@@ -1,0 +1,16 @@
+"""Helper shared by the table/figure benchmarks."""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, data, experiment_id: str):
+    """Benchmark one experiment, print its table, assert its checks."""
+    from repro.harness import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, data), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    failed = [str(c) for c in result.checks if not c.passed]
+    assert not failed, f"{experiment_id} shape checks failed: {failed}"
+    return result

@@ -1,0 +1,48 @@
+"""Ablation studies: remove one mechanism at a time and check the
+result moves the way the paper's analysis predicts.
+
+* fine-grained inner-loop parallelism on a conventional SMP (the
+  thread-cost disaster the paper predicts);
+* the prototype network exponent behind the sub-ideal 1.4x/1.8x
+  two-processor speedups;
+* issue interval vs unhidden memory latency behind the MTA's
+  sequential crawl;
+* cache size behind the SMPs' near-ideal Threat Analysis scaling.
+"""
+
+from _support import run_and_report
+
+
+def bench_ablation_finegrained_smp(benchmark, data):
+    run_and_report(benchmark, data, "ablation-finegrained-smp")
+
+
+def bench_ablation_network(benchmark, data):
+    run_and_report(benchmark, data, "ablation-network")
+
+
+def bench_ablation_issue(benchmark, data):
+    run_and_report(benchmark, data, "ablation-issue")
+
+
+def bench_ablation_cache(benchmark, data):
+    run_and_report(benchmark, data, "ablation-cache")
+
+
+def bench_threat_alternative(benchmark, data):
+    run_and_report(benchmark, data, "threat-alternative")
+
+
+def bench_sensitivity(benchmark, data):
+    result = run_and_report(benchmark, data, "sensitivity")
+    from repro.harness.sensitivity import render_sensitivity, run_sensitivity
+    print()
+    print(render_sensitivity(run_sensitivity(data)))
+
+
+def bench_ablation_temp_memory(benchmark, data):
+    run_and_report(benchmark, data, "ablation-temp-memory")
+
+
+def bench_seed_robustness(benchmark, data):
+    run_and_report(benchmark, data, "seed-robustness")

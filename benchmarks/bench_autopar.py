@@ -1,0 +1,13 @@
+"""Sections 5-6: the automatic parallelizing compilers find no
+practical parallelism in either sequential program, and parallelize
+the restructured programs only at their explicit pragmas."""
+
+from _support import run_and_report
+
+from repro.compiler import parallelize, render_feedback, threat_sequential_ir
+
+
+def bench_autopar(benchmark, data):
+    run_and_report(benchmark, data, "autopar")
+    print()
+    print(render_feedback(parallelize(threat_sequential_ir())))

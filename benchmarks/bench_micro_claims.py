@@ -1,0 +1,13 @@
+"""Section 7 micro-claims, from the cycle-accurate MTA simulator:
+one instruction per 21 cycles per stream, ~80 streams to saturate a
+processor on load-use code, and the thread-cost table."""
+
+from _support import run_and_report
+
+from repro.threads.costs import render_cost_table
+
+
+def bench_micro_claims(benchmark, data):
+    run_and_report(benchmark, data, "micro")
+    print()
+    print(render_cost_table())

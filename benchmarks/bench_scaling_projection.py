@@ -1,0 +1,9 @@
+"""The paper's future work: project both benchmarks onto MTA
+configurations with 1-16 processors, on the prototype network and on a
+mature (linearly scaling) one."""
+
+from _support import run_and_report
+
+
+def bench_scaling_projection(benchmark, data):
+    run_and_report(benchmark, data, "scaling")

@@ -1,0 +1,31 @@
+"""The C3IPBS-style correctness run: every program variant of both
+problems, validated against its reference output (the suite ships a
+correctness test per problem; this is ours)."""
+
+
+def bench_suite_threat_analysis(benchmark, data):
+    from repro.c3i.suite import run_problem
+
+    report = benchmark.pedantic(
+        run_problem, args=("threat-analysis",),
+        kwargs={"scale": 0.02}, rounds=1, iterations=1)
+    print()
+    print(f"{report.problem}: {report.n_scenarios} scenarios")
+    for v in report.variants:
+        mark = "ok " if v.correct else "FAIL"
+        print(f"  [{mark}] {v.name:<40} kernel {v.kernel_seconds:.2f}s")
+    assert report.correct
+
+
+def bench_suite_terrain_masking(benchmark, data):
+    from repro.c3i.suite import run_problem
+
+    report = benchmark.pedantic(
+        run_problem, args=("terrain-masking",),
+        kwargs={"scale": 0.05}, rounds=1, iterations=1)
+    print()
+    print(f"{report.problem}: {report.n_scenarios} scenarios")
+    for v in report.variants:
+        mark = "ok " if v.correct else "FAIL"
+        print(f"  [{mark}] {v.name:<40} kernel {v.kernel_seconds:.2f}s")
+    assert report.correct

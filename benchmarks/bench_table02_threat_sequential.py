@@ -1,0 +1,7 @@
+"""Table 2: sequential Threat Analysis on all four platforms."""
+
+from _support import run_and_report
+
+
+def bench_table2(benchmark, data):
+    run_and_report(benchmark, data, "table2")

@@ -1,0 +1,20 @@
+"""Table 3 / Figure 1: multithreaded Threat Analysis on the quad
+Pentium Pro (near-linear speedup; threads run in cache)."""
+
+from _support import run_and_report
+
+from repro.harness import render_speedup_figure
+from repro.harness.calibration import PAPER_TABLE3
+
+
+def bench_table3_fig1(benchmark, data):
+    result = run_and_report(benchmark, data, "table3")
+    procs = [1, 2, 3, 4]
+    base = result.row("1 processors").simulated
+    speedups = [base / result.row(f"{n} processors").simulated
+                for n in procs]
+    paper = [PAPER_TABLE3[1] / PAPER_TABLE3[n] for n in procs]
+    print()
+    print(render_speedup_figure(
+        "Figure 1: Threat Analysis speedup on 4-CPU Pentium Pro",
+        procs, speedups, paper))

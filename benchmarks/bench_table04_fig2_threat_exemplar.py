@@ -1,0 +1,20 @@
+"""Table 4 / Figure 2: multithreaded Threat Analysis on the 16-CPU
+Exemplar (scales to 15.4x in the paper)."""
+
+from _support import run_and_report
+
+from repro.harness import render_speedup_figure
+from repro.harness.calibration import PAPER_TABLE4
+
+
+def bench_table4_fig2(benchmark, data):
+    result = run_and_report(benchmark, data, "table4")
+    procs = list(range(1, 17))
+    base = result.row("1 processors").simulated
+    speedups = [base / result.row(f"{n} processors").simulated
+                for n in procs]
+    paper = [PAPER_TABLE4[1] / PAPER_TABLE4[n] for n in procs]
+    print()
+    print(render_speedup_figure(
+        "Figure 2: Threat Analysis speedup on 16-CPU Exemplar",
+        procs, speedups, paper))

@@ -1,0 +1,8 @@
+"""Table 5: multithreaded Threat Analysis on the dual-processor Tera
+MTA (32x over its own sequential run; 1.8x on two processors)."""
+
+from _support import run_and_report
+
+
+def bench_table5(benchmark, data):
+    run_and_report(benchmark, data, "table5")

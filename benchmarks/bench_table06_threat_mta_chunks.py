@@ -1,0 +1,9 @@
+"""Table 6: Threat Analysis vs chunk count on the Tera MTA -- the
+'hundreds of threads required' result: time halves with each chunk
+doubling until the issue slots saturate around 128 chunks."""
+
+from _support import run_and_report
+
+
+def bench_table6(benchmark, data):
+    run_and_report(benchmark, data, "table6")

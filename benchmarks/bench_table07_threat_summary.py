@@ -1,0 +1,8 @@
+"""Table 7: Threat Analysis cross-platform summary, including the
+'one Tera processor ~ four Exemplar processors' equivalence."""
+
+from _support import run_and_report
+
+
+def bench_table7(benchmark, data):
+    run_and_report(benchmark, data, "table7")

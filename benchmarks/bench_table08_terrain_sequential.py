@@ -1,0 +1,8 @@
+"""Table 8: sequential Terrain Masking on all four platforms (memory
+bound: the Tera/Alpha gap shrinks to ~6x)."""
+
+from _support import run_and_report
+
+
+def bench_table8(benchmark, data):
+    run_and_report(benchmark, data, "table8")

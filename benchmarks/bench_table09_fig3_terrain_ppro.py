@@ -1,0 +1,20 @@
+"""Table 9 / Figure 3: coarse-grained Terrain Masking on the quad
+Pentium Pro -- bus saturation caps the speedup near 3x."""
+
+from _support import run_and_report
+
+from repro.harness import render_speedup_figure
+from repro.harness.calibration import PAPER_TABLE9
+
+
+def bench_table9_fig3(benchmark, data):
+    result = run_and_report(benchmark, data, "table9")
+    procs = [1, 2, 3, 4]
+    seq = result.row("sequential").simulated
+    speedups = [seq / result.row(f"{n} processors").simulated
+                for n in procs]
+    paper = [PAPER_TABLE9["sequential"] / PAPER_TABLE9[n] for n in procs]
+    print()
+    print(render_speedup_figure(
+        "Figure 3: Terrain Masking speedup on 4-CPU Pentium Pro",
+        procs, speedups, paper))

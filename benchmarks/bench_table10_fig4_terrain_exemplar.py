@@ -1,0 +1,21 @@
+"""Table 10 / Figure 4: coarse-grained Terrain Masking on the 16-CPU
+Exemplar -- memory contention saturates the speedup near 6-7x."""
+
+from _support import run_and_report
+
+from repro.harness import render_speedup_figure
+from repro.harness.calibration import PAPER_TABLE10
+
+
+def bench_table10_fig4(benchmark, data):
+    result = run_and_report(benchmark, data, "table10")
+    procs = list(range(1, 17))
+    seq = result.row("sequential").simulated
+    speedups = [seq / result.row(f"{n} processors").simulated
+                for n in procs]
+    paper = [PAPER_TABLE10["sequential"] / PAPER_TABLE10[n]
+             for n in procs]
+    print()
+    print(render_speedup_figure(
+        "Figure 4: Terrain Masking speedup on 16-CPU Exemplar",
+        procs, speedups, paper))

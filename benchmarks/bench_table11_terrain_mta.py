@@ -1,0 +1,9 @@
+"""Table 11: fine-grained Terrain Masking on the dual-processor Tera
+MTA (inner-loop parallelism; network-bound 1.4x two-processor
+speedup)."""
+
+from _support import run_and_report
+
+
+def bench_table11(benchmark, data):
+    run_and_report(benchmark, data, "table11")

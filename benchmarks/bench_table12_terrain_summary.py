@@ -1,0 +1,8 @@
+"""Table 12: Terrain Masking cross-platform summary, including the
+'two Tera processors ~ eight Exemplar processors' equivalence."""
+
+from _support import run_and_report
+
+
+def bench_table12(benchmark, data):
+    run_and_report(benchmark, data, "table12")

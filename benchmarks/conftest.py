@@ -1,0 +1,18 @@
+"""Shared fixtures for the table/figure benchmarks.
+
+The benchmark kernels (real Threat Analysis / Terrain Masking runs)
+execute once per session; each bench then measures the *simulation* of
+its table and prints the reproduced table next to the paper's values.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import BenchmarkData
+
+
+@pytest.fixture(scope="session")
+def data() -> BenchmarkData:
+    return BenchmarkData(threat_scale=0.02, terrain_scale=0.05)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Would *your* program have liked the Tera MTA?
+
+The machine models are general: describe any program as phases
+(operation mix + memory locality + available parallelism) and run it
+on every platform of the paper.  This example evaluates three classic
+kernels the paper never measured:
+
+* dense matrix multiply (blocked): compute-bound, cache-friendly,
+  embarrassingly parallel -- everyone's best case;
+* sparse matrix-vector product: memory-bound with scattered access --
+  the SMPs' nightmare and the flat-memory MTA's favourite;
+* a wavefront stencil (like Terrain Masking's rings): fine-grained
+  parallelism only -- practical on the MTA alone.
+
+    python examples/port_your_own_kernel.py
+"""
+
+from repro.machines import ALPHASTATION_500, ConventionalMachine, exemplar
+from repro.mta import MtaMachine, mta
+from repro.workload import (
+    AccessPattern,
+    JobBuilder,
+    OpCounts,
+    ThreadProgramBuilder,
+    make_phase,
+    single_thread_job,
+)
+
+
+def matmul_job(n=1200, n_threads=16):
+    """Blocked dense matmul C = A x B, one thread per block row."""
+    flops = 2.0 * n ** 3
+    ops = OpCounts(falu=flops, ialu=flops * 0.3, load=flops * 0.15,
+                   store=flops * 0.01, branch=flops * 0.05)
+    phase = make_phase("matmul", ops,
+                       unique_bytes=3 * 64 * 64 * 8.0,  # blocks in cache
+                       pattern=AccessPattern.SEQUENTIAL,
+                       parallelism=n / 64)
+    threads = [ThreadProgramBuilder(f"rowblk{i}").phase(p).build()
+               for i, p in enumerate(phase.split(n_threads))]
+    return JobBuilder("dense-matmul").parallel(threads).build()
+
+
+def spmv_job(nnz=4e8, n_threads=16):
+    """Sparse matrix-vector product: one gather per nonzero."""
+    ops = OpCounts(falu=2 * nnz, ialu=2 * nnz, load=3 * nnz,
+                   store=0.02 * nnz, branch=0.5 * nnz)
+    phase = make_phase("spmv", ops,
+                       unique_bytes=nnz * 12.0,   # matrix streamed
+                       pattern=AccessPattern.RANDOM,
+                       parallelism=1e4)
+    threads = [ThreadProgramBuilder(f"strip{i}").phase(p).build()
+               for i, p in enumerate(phase.split(n_threads))]
+    return JobBuilder("spmv").parallel(threads).build()
+
+
+def wavefront_job(n=4000, sweeps=60):
+    """A 2-D wavefront stencil: anti-diagonals are parallel, the
+    diagonal sequence is not -- inner-loop parallelism only."""
+    cells = float(n * n * sweeps)
+    ops = OpCounts(falu=6 * cells, ialu=4 * cells, load=3 * cells,
+                   store=1 * cells, branch=1 * cells)
+    phase = make_phase(
+        "wavefront", ops,
+        unique_bytes=n * n * 8.0,
+        pattern=AccessPattern.SEQUENTIAL,
+        parallelism=n / 2,                    # mean anti-diagonal width
+        serial_cycles=2.0 * n * sweeps * 40,  # diagonal ordering
+    )
+    return single_thread_job("wavefront", [phase])
+
+
+def evaluate(job):
+    rows = []
+    rows.append(("Alpha (1 CPU)",
+                 ConventionalMachine(ALPHASTATION_500).run(job).seconds))
+    rows.append(("Exemplar (16 CPUs)",
+                 ConventionalMachine(exemplar(16)).run(job).seconds))
+    rows.append(("Tera MTA (1 proc)", MtaMachine(mta(1)).run(job).seconds))
+    rows.append(("Tera MTA (2 procs)",
+                 MtaMachine(mta(2)).run(job).seconds))
+    return rows
+
+
+def main() -> None:
+    for title, job in (("Dense matrix multiply (compute-bound)",
+                        matmul_job()),
+                       ("Sparse matrix-vector (memory-bound, scattered)",
+                        spmv_job()),
+                       ("Wavefront stencil (fine-grained only)",
+                        wavefront_job())):
+        print(title)
+        print("-" * len(title))
+        rows = evaluate(job)
+        best = min(t for _n, t in rows)
+        for name, t in rows:
+            marker = "  <-- winner" if t == best else ""
+            print(f"  {name:<22} {t:>10.1f} s{marker}")
+        print()
+    print("The pattern matches the paper: conventional SMPs win when")
+    print("caches work; the MTA wins when they cannot -- if you can")
+    print("feed it hundreds of threads.")
+    print()
+    print("Note the matmul row-block decomposition (only ~19 strands):")
+    print("two MTA processors run no faster than one.  That is exactly")
+    print("Section 8's warning -- a loop of 16 independent iterations")
+    print("perfectly utilizes a 16-CPU Exemplar but holds 'only a small")
+    print("fraction of the parallelism necessary to fully utilize even")
+    print("a single-processor Tera MTA'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce one headline result of the paper in ~5 seconds.
+
+Runs Table 5 -- multithreaded Threat Analysis on the dual-processor
+Tera MTA -- end to end: synthetic scenarios, the real benchmark kernel,
+workload extraction, and the MTA performance simulation; then prints
+the reproduced table next to the paper's numbers.
+
+    python examples/quickstart.py
+"""
+
+from repro.harness import BenchmarkData, run_experiment
+
+
+def main() -> None:
+    # Small kernels: the workload extractor extrapolates exactly to the
+    # paper's 1000-threat scenarios.
+    data = BenchmarkData(threat_scale=0.015, terrain_scale=0.04)
+
+    print("Reproducing Table 5 of Brunett et al. (SC'98)...\n")
+    result = run_experiment("table5", data)
+    print(result.render())
+
+    print()
+    print("And the chunk sweep behind it (Table 6):\n")
+    print(run_experiment("table6", data).render())
+
+    print()
+    print("Every other table/figure is available the same way:")
+    from repro.harness import list_experiments
+    print(" ", ", ".join(list_experiments()))
+
+
+if __name__ == "__main__":
+    main()

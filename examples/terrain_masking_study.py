@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The full Terrain Masking study (Section 6 of the paper).
+
+1. Generates a synthetic terrain + threat laydown and runs the
+   sequential program (Program 3).
+2. Runs the coarse-grained block-locked variant (Program 4) and the
+   fine-grained Tera variant; validates both bit-exactly against the
+   reference (min-merging is order-free).
+3. Reproduces Tables 8-12 and Figures 3-4.
+
+    python examples/terrain_masking_study.py
+"""
+
+import numpy as np
+
+from repro.c3i import terrain as TE
+from repro.harness import BenchmarkData, render_speedup_figure, run_experiment
+from repro.harness.calibration import PAPER_TABLE9, PAPER_TABLE10
+
+
+def study_the_programs() -> None:
+    print("=" * 72)
+    print("Part 1: the benchmark programs")
+    print("=" * 72)
+    scenario = TE.make_scenario(0, scale=0.05)
+    n = scenario.grid_n
+    print(f"scenario 0: {n}x{n} terrain, {scenario.n_threats} ground "
+          f"threats (reduced scale; full scale is "
+          f"{TE.FULL_SCALE.grid_n}x{TE.FULL_SCALE.grid_n})")
+
+    reference = TE.run_sequential(scenario)
+    TE.check_masking(scenario, reference.masking)
+    covered = np.isfinite(reference.masking).mean()
+    print(f"sequential (Program 3): {covered:.0%} of the terrain is "
+          f"constrained by at least one threat; "
+          f"{reference.n_rings_total} wavefront rings "
+          f"(mean width {reference.mean_ring_width:.0f} cells)")
+
+    blocked = TE.run_blocked(scenario, n_threads=4, num_blocks=10)
+    TE.check_blocked(reference, blocked)
+    print(f"coarse-grained (Program 4, 10x10 blocks): bit-identical "
+          f"output; {blocked.n_lock_acquisitions} block-lock "
+          f"acquisitions, most contended block shared by "
+          f"{blocked.max_block_sharing} threats")
+
+    fine = TE.run_finegrained(scenario)
+    TE.check_finegrained(reference, fine)
+    print(f"fine-grained (Tera variant): bit-identical output; "
+          f"ring-level parallelism up to {fine.max_ring_width} strands")
+
+
+def study_the_performance() -> None:
+    print()
+    print("=" * 72)
+    print("Part 2: performance on the four platforms")
+    print("=" * 72)
+    data = BenchmarkData(threat_scale=0.015, terrain_scale=0.05)
+
+    for eid in ("table8", "table9", "table10", "table11", "table12"):
+        print()
+        print(run_experiment(eid, data).render())
+
+    t9 = run_experiment("table9", data)
+    procs = [1, 2, 3, 4]
+    seq = t9.row("sequential").simulated
+    print()
+    print(render_speedup_figure(
+        "Figure 3: Terrain Masking speedup on 4-CPU Pentium Pro",
+        procs,
+        [seq / t9.row(f"{n} processors").simulated for n in procs],
+        [PAPER_TABLE9["sequential"] / PAPER_TABLE9[n] for n in procs]))
+
+    t10 = run_experiment("table10", data)
+    procs = list(range(1, 17))
+    seq = t10.row("sequential").simulated
+    print()
+    print(render_speedup_figure(
+        "Figure 4: Terrain Masking speedup on 16-CPU Exemplar",
+        procs,
+        [seq / t10.row(f"{n} processors").simulated for n in procs],
+        [PAPER_TABLE10["sequential"] / PAPER_TABLE10[n] for n in procs]))
+
+
+if __name__ == "__main__":
+    study_the_programs()
+    study_the_performance()

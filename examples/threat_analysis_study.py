@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The full Threat Analysis study (Section 5 of the paper).
+
+1. Generates the five synthetic input scenarios and runs the real
+   sequential benchmark program (Program 1).
+2. Runs the manually parallelized variants -- chunked (Program 2) and
+   the fine-grained sync-variable alternative -- and validates them
+   against the sequential reference, including the nondeterministic
+   output ordering the paper warns about.
+3. Reproduces Tables 2-7 and Figures 1-2 on the simulated platforms.
+
+    python examples/threat_analysis_study.py
+"""
+
+from repro.c3i import threat as TH
+from repro.harness import BenchmarkData, render_speedup_figure, run_experiment
+from repro.harness.calibration import PAPER_TABLE3, PAPER_TABLE4
+
+
+def study_the_programs() -> None:
+    print("=" * 72)
+    print("Part 1: the benchmark programs")
+    print("=" * 72)
+    scenario = TH.make_scenario(0, scale=0.03)
+    print(f"scenario 0: {scenario.n_threats} threats, "
+          f"{scenario.n_weapons} weapons, {scenario.n_steps} time steps "
+          f"per pair (reduced scale; full scale is 1000 threats)")
+
+    reference = TH.run_sequential(scenario)
+    print(f"sequential (Program 1): {reference.n_intervals} interception "
+          f"intervals from {reference.n_pairs_scanned} scanned pairs "
+          f"({reference.n_pairs_skipped} screened out)")
+
+    chunked = TH.run_chunked(scenario, n_chunks=16)
+    TH.check_chunked(reference, chunked)
+    print(f"chunked (Program 2, 16 chunks): identical output; chunk "
+          f"imbalance max/mean = {chunked.imbalance:.2f}")
+
+    fine = TH.run_finegrained(scenario, schedule_seed=42)
+    TH.check_finegrained(reference, fine)
+    print(f"fine-grained sync-variable variant: same interval set, "
+          f"order differs from sequential: {fine.order_differs} "
+          f"(the nondeterminacy the paper flags), "
+          f"{fine.n_sync_ops} full/empty counter operations")
+
+
+def study_the_performance() -> None:
+    print()
+    print("=" * 72)
+    print("Part 2: performance on the four platforms")
+    print("=" * 72)
+    data = BenchmarkData(threat_scale=0.02, terrain_scale=0.04)
+
+    for eid in ("table2", "table3", "table4", "table5", "table6",
+                "table7"):
+        print()
+        print(run_experiment(eid, data).render())
+
+    t3 = run_experiment("table3", data)
+    procs = [1, 2, 3, 4]
+    base = t3.row("1 processors").simulated
+    print()
+    print(render_speedup_figure(
+        "Figure 1: Threat Analysis speedup on 4-CPU Pentium Pro",
+        procs,
+        [base / t3.row(f"{n} processors").simulated for n in procs],
+        [PAPER_TABLE3[1] / PAPER_TABLE3[n] for n in procs]))
+
+    t4 = run_experiment("table4", data)
+    procs = list(range(1, 17))
+    base = t4.row("1 processors").simulated
+    print()
+    print(render_speedup_figure(
+        "Figure 2: Threat Analysis speedup on 16-CPU Exemplar",
+        procs,
+        [base / t4.row(f"{n} processors").simulated for n in procs],
+        [PAPER_TABLE4[1] / PAPER_TABLE4[n] for n in procs]))
+
+
+if __name__ == "__main__":
+    study_the_programs()
+    study_the_performance()

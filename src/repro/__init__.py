@@ -1,0 +1,34 @@
+"""repro -- reproduction of the SC'98 Tera MTA / C3IPBS evaluation.
+
+The package implements, in pure Python + NumPy:
+
+* :mod:`repro.des` -- a deterministic discrete-event simulation kernel;
+* :mod:`repro.workload` -- an abstract representation of multithreaded
+  programs (operation mixes, memory locality, critical sections);
+* :mod:`repro.machines` -- performance simulators for the conventional
+  platforms of the paper (AlphaStation 500, quad Pentium Pro, 16-way
+  HP Exemplar);
+* :mod:`repro.mta` -- a performance simulator for the Tera MTA
+  (128-stream processors, flat no-cache interleaved memory, full/empty
+  bits, prototype network);
+* :mod:`repro.threads` -- the programming systems layered on top
+  (Sthreads-style coarse threads, Exemplar/Tera parallel pragmas, Tera
+  futures) with per-platform cost tables;
+* :mod:`repro.compiler` -- a model of the automatic parallelizing
+  compilers (loop IR, dependence analysis, canal-style feedback);
+* :mod:`repro.c3i` -- the two C3I Parallel Benchmark Suite programs
+  (Threat Analysis and Terrain Masking) in all the variants the paper
+  measures, with synthetic scenario generators and validators;
+* :mod:`repro.harness` -- the experiment registry reproducing every
+  table and figure of the paper.
+
+Quick start::
+
+    from repro.harness import run_experiment
+    result = run_experiment("table2")
+    print(result.render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,139 @@
+"""Command-line interface: reproduce the paper from a shell.
+
+Usage::
+
+    python -m repro list                      # all experiment ids
+    python -m repro run table5                # one table/figure
+    python -m repro run table5 fig3 autopar   # several
+    python -m repro all                       # everything
+    python -m repro report                    # EXPERIMENTS.md to stdout
+    python -m repro feedback                  # compiler feedback, Programs 1-4
+
+Options::
+
+    --threat-scale 0.02    kernel scale for Threat Analysis (default 0.02)
+    --terrain-scale 0.05   kernel scale for Terrain Masking (default 0.05)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import BenchmarkData, list_experiments, run_experiment
+from repro.harness.calibration import (
+    DEFAULT_TERRAIN_SCALE,
+    DEFAULT_THREAT_SCALE,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the SC'98 Tera MTA / C3IPBS evaluation.")
+    parser.add_argument("--threat-scale", type=float,
+                        default=DEFAULT_THREAT_SCALE,
+                        help="kernel scale for Threat Analysis")
+    parser.add_argument("--terrain-scale", type=float,
+                        default=DEFAULT_TERRAIN_SCALE,
+                        help="kernel scale for Terrain Masking")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run experiments by id")
+    run_p.add_argument("ids", nargs="+", metavar="ID")
+    run_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the results as JSON")
+    sub.add_parser("all", help="run every experiment")
+    sub.add_parser("report", help="print EXPERIMENTS.md content")
+    sub.add_parser("feedback",
+                   help="compiler feedback for Programs 1-4")
+    return parser
+
+
+def _cmd_list() -> int:
+    for eid in list_experiments():
+        print(eid)
+    return 0
+
+
+def _cmd_run(ids: list[str], data: BenchmarkData,
+             json_path: str | None = None) -> int:
+    status = 0
+    results = []
+    for eid in ids:
+        try:
+            result = run_experiment(eid, data)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        results.append(result)
+        print(result.render())
+        print()
+        if not result.all_checks_pass():
+            status = 1
+    if json_path is not None:
+        from repro.harness.store import dump_results
+        dump_results(results, json_path)
+    return status
+
+
+def _cmd_all(data: BenchmarkData) -> int:
+    from repro.harness import run_all_experiments
+
+    status = 0
+    for result in run_all_experiments(data).values():
+        print(result.render())
+        print()
+        if not result.all_checks_pass():
+            status = 1
+    return status
+
+
+def _cmd_report(threat_scale: float, terrain_scale: float) -> int:
+    from repro.harness.report import generate
+
+    sys.stdout.write(generate(threat_scale, terrain_scale))
+    return 0
+
+
+def _cmd_feedback() -> int:
+    from repro.compiler import (
+        parallelize,
+        render_advisories,
+        render_feedback,
+        terrain_blocked_ir,
+        terrain_sequential_ir,
+        threat_chunked_ir,
+        threat_sequential_ir,
+    )
+
+    for prog in (threat_sequential_ir(), threat_chunked_ir(),
+                 terrain_sequential_ir(), terrain_blocked_ir()):
+        result = parallelize(prog)
+        print(render_feedback(result))
+        print()
+        print(render_advisories(result))
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "feedback":
+        return _cmd_feedback()
+    if args.command == "report":
+        return _cmd_report(args.threat_scale, args.terrain_scale)
+    data = BenchmarkData(threat_scale=args.threat_scale,
+                         terrain_scale=args.terrain_scale)
+    if args.command == "run":
+        return _cmd_run(args.ids, data, args.json)
+    if args.command == "all":
+        return _cmd_all(data)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The C3I Parallel Benchmark Suite subset used by the paper.
+
+Two of the eight C3IPBS problems, implemented from their descriptions
+in the paper (the original Rome Laboratory distribution is not
+available):
+
+* :mod:`repro.c3i.threat` -- **Threat Analysis**: a time-stepped
+  simulation of incoming ballistic threats with computation of
+  interception windows for each (threat, weapon) pair.
+* :mod:`repro.c3i.terrain` -- **Terrain Masking**: maximum safe flight
+  altitude over a terrain containing ground-based threats, via
+  line-of-sight shadow propagation.
+
+Each problem provides, mirroring the suite's structure: synthetic input
+scenarios (five per problem, deterministic), an efficient sequential
+program, the parallelized variants measured in the paper, a correctness
+test, and workload extraction for the machine models.
+"""
+
+__all__ = ["terrain", "threat"]

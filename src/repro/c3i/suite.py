@@ -1,0 +1,178 @@
+"""The C3I Parallel Benchmark Suite framework.
+
+The C3IPBS defines, for each of its eight problems: a description, an
+efficient sequential program, benchmark input data, and a correctness
+test for the output.  This module captures that structure as a
+protocol, registers the two problems the paper measures, and provides
+the suite driver -- so the remaining six problems (or new ones) plug in
+without touching the harness.
+
+::
+
+    from repro.c3i.suite import get_problem, list_problems, run_problem
+
+    for name in list_problems():
+        report = run_problem(name, scale=0.02)
+        assert report.correct
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class VariantReport:
+    """One program variant's execution + validation outcome."""
+
+    name: str
+    correct: bool
+    kernel_seconds: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ProblemReport:
+    """Outcome of running one suite problem end to end."""
+
+    problem: str
+    scale: float
+    n_scenarios: int
+    variants: tuple[VariantReport, ...]
+
+    @property
+    def correct(self) -> bool:
+        return all(v.correct for v in self.variants)
+
+
+@dataclass(frozen=True)
+class SuiteProblem:
+    """One C3IPBS problem: scenarios, programs, correctness test.
+
+    * ``make_scenarios(scale, seed_offset)`` -- the benchmark inputs;
+    * ``reference(scenario)`` -- the efficient sequential program;
+    * ``variants`` -- named parallel programs, each
+      ``fn(scenario) -> result``;
+    * ``validate(scenario, reference_result, variant_name, result)`` --
+      raises on any mismatch (the suite's correctness test).
+    """
+
+    name: str
+    description: str
+    make_scenarios: Callable[..., list]
+    reference: Callable
+    variants: dict[str, Callable] = field(default_factory=dict)
+    validate: Optional[Callable] = None
+
+
+_REGISTRY: dict[str, SuiteProblem] = {}
+
+
+def register_problem(problem: SuiteProblem) -> None:
+    """Add a problem to the suite (name must be unique)."""
+    if problem.name in _REGISTRY:
+        raise ValueError(f"problem {problem.name!r} already registered")
+    _REGISTRY[problem.name] = problem
+
+
+def list_problems() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_problem(name: str) -> SuiteProblem:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown problem {name!r}; registered: {list_problems()}")
+    return _REGISTRY[name]
+
+
+def run_problem(name: str, scale: float = 0.02, seed_offset: int = 0
+                ) -> ProblemReport:
+    """Run one problem: reference + every variant + correctness tests."""
+    problem = get_problem(name)
+    scenarios = problem.make_scenarios(scale=scale,
+                                       seed_offset=seed_offset)
+    t0 = time.perf_counter()
+    references = [problem.reference(sc) for sc in scenarios]
+    ref_seconds = time.perf_counter() - t0
+    variants = [VariantReport("sequential (reference)", True,
+                              ref_seconds)]
+    for vname, fn in problem.variants.items():
+        t0 = time.perf_counter()
+        results = [fn(sc) for sc in scenarios]
+        elapsed = time.perf_counter() - t0
+        correct = True
+        detail = ""
+        if problem.validate is not None:
+            try:
+                for sc, ref, res in zip(scenarios, references, results):
+                    problem.validate(sc, ref, vname, res)
+            except AssertionError as exc:
+                correct = False
+                detail = str(exc)
+        variants.append(VariantReport(vname, correct, elapsed, detail))
+    return ProblemReport(problem=name, scale=scale,
+                         n_scenarios=len(scenarios),
+                         variants=tuple(variants))
+
+
+# ----------------------------------------------------------------------
+# register the two problems the paper measures
+# ----------------------------------------------------------------------
+
+def _register_builtin() -> None:
+    from repro.c3i import terrain as TE
+    from repro.c3i import threat as TH
+
+    def threat_validate(scenario, reference, vname, result):
+        TH.check_intervals(scenario, reference.intervals)
+        if vname.startswith("chunked"):
+            TH.check_chunked(reference, result)
+        else:
+            TH.check_finegrained(reference, result)
+
+    register_problem(SuiteProblem(
+        name="threat-analysis",
+        description=("Time-stepped simulation of incoming ballistic "
+                     "threats with computation of interception windows"),
+        make_scenarios=TH.benchmark_scenarios,
+        reference=TH.run_sequential,
+        variants={
+            "chunked (Program 2, 16 chunks)":
+                lambda sc: TH.run_chunked(sc, 16),
+            "chunked (Program 2, 256 chunks)":
+                lambda sc: TH.run_chunked(sc, 256),
+            "fine-grained sync-variable":
+                lambda sc: TH.run_finegrained(sc),
+        },
+        validate=threat_validate,
+    ))
+
+    def terrain_validate(scenario, reference, vname, result):
+        TE.check_masking(scenario, reference.masking)
+        if vname.startswith("blocked"):
+            TE.check_blocked(reference, result)
+        else:
+            TE.check_finegrained(reference, result)
+
+    register_problem(SuiteProblem(
+        name="terrain-masking",
+        description=("Maximum safe flight altitude over terrain with "
+                     "ground-based threats (LOS shadow propagation)"),
+        make_scenarios=TE.benchmark_scenarios,
+        reference=TE.run_sequential,
+        variants={
+            "blocked (Program 4, 4 threads)":
+                lambda sc: TE.run_blocked(sc, n_threads=4),
+            "blocked (Program 4, 16 threads)":
+                lambda sc: TE.run_blocked(sc, n_threads=16),
+            "fine-grained (Tera variant)":
+                lambda sc: TE.run_finegrained(sc),
+        },
+        validate=terrain_validate,
+    ))
+
+
+_register_builtin()

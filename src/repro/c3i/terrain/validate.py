@@ -1,0 +1,50 @@
+"""Correctness tests for the Terrain Masking outputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.c3i.terrain.blocked import BlockedResult
+from repro.c3i.terrain.finegrained import FineGrainedTerrainResult
+from repro.c3i.terrain.scenarios import TerrainScenario
+from repro.c3i.terrain.sequential import TerrainMaskingResult
+
+
+class ValidationError(AssertionError):
+    """A parallel variant disagreed with the reference output."""
+
+
+def check_masking(scenario: TerrainScenario,
+                  masking: np.ndarray) -> None:
+    """Structural invariants of a masking array."""
+    n = scenario.grid_n
+    if masking.shape != (n, n):
+        raise ValidationError(f"masking shape {masking.shape} != {(n, n)}")
+    finite = np.isfinite(masking)
+    # wherever constrained, the safe altitude is at or above the terrain
+    if not (masking[finite] >= scenario.terrain[finite] - 1e-9).all():
+        raise ValidationError("masking below terrain")
+    # every threat's own cell is maximally constrained (grazing)
+    for t in scenario.threats:
+        if masking[t.x, t.y] > scenario.terrain[t.x, t.y] + 1e-9:
+            raise ValidationError("threat cell not fully masked")
+    # at least some of the grid is unconstrained (regions cover <= ~5%
+    # each, 60 threats cannot blanket everything at full scale)
+    if finite.all():
+        raise ValidationError("no unconstrained cells at all")
+
+
+def check_blocked(reference: TerrainMaskingResult,
+                  blocked: BlockedResult) -> None:
+    """Blocked output must be bit-identical (min is order-free)."""
+    if not np.array_equal(reference.masking, blocked.masking):
+        diff = np.sum(reference.masking != blocked.masking)
+        raise ValidationError(f"blocked masking differs in {diff} cells")
+
+
+def check_finegrained(reference: TerrainMaskingResult,
+                      fine: FineGrainedTerrainResult) -> None:
+    """Fine-grained output must be bit-identical."""
+    if not np.array_equal(reference.masking, fine.masking):
+        diff = np.sum(reference.masking != fine.masking)
+        raise ValidationError(f"fine-grained masking differs in {diff} cells")

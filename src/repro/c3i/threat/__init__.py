@@ -1,0 +1,60 @@
+"""Threat Analysis: interception windows for ballistic threats.
+
+Problem (paper, Section 5): given the trajectories of incoming ballistic
+threats and the locations/capabilities of interceptor weapons, compute,
+for each (threat, weapon) pair, the time intervals over which the threat
+can be intercepted.  The time-stepped trajectory simulation is the
+computational core; a pair can yield zero, one or more intervals
+(a ballistic arc can pass through a weapon's engagement envelope twice).
+"""
+
+from repro.c3i.threat.model import (
+    Interval,
+    Threat,
+    Weapon,
+    feasible_mask,
+    threat_positions,
+)
+from repro.c3i.threat.scenarios import (
+    FULL_SCALE,
+    Scenario,
+    benchmark_scenarios,
+    make_scenario,
+)
+from repro.c3i.threat.sequential import ThreatAnalysisResult, run_sequential
+from repro.c3i.threat.chunked import ChunkedResult, run_chunked
+from repro.c3i.threat.finegrained import FineGrainedResult, run_finegrained
+from repro.c3i.threat.validate import (
+    check_chunked,
+    check_finegrained,
+    check_intervals,
+)
+from repro.c3i.threat.workload import (
+    chunked_benchmark_job,
+    finegrained_benchmark_job,
+    sequential_benchmark_job,
+)
+
+__all__ = [
+    "ChunkedResult",
+    "FULL_SCALE",
+    "FineGrainedResult",
+    "Interval",
+    "Scenario",
+    "Threat",
+    "ThreatAnalysisResult",
+    "Weapon",
+    "benchmark_scenarios",
+    "check_chunked",
+    "check_finegrained",
+    "check_intervals",
+    "chunked_benchmark_job",
+    "feasible_mask",
+    "finegrained_benchmark_job",
+    "make_scenario",
+    "run_chunked",
+    "run_finegrained",
+    "run_sequential",
+    "sequential_benchmark_job",
+    "threat_positions",
+]

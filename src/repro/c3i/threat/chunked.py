@@ -1,0 +1,95 @@
+"""Program 2: the chunked multithreaded Threat Analysis program.
+
+The outer loop over threats becomes a multithreaded loop over chunks
+(contiguous threat subranges, first/last per the paper's formula); each
+chunk appends to its own section of the (oversized) intervals array
+with its own counter, so the chunks are completely independent.
+
+Run here as a deterministic semantic execution: each chunk's work is
+computed independently (in any order -- we do it chunk by chunk) and
+the per-chunk outputs are kept separate exactly as the restructured
+program keeps them.  Timing comes from the machine models via
+:mod:`repro.c3i.threat.workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.c3i.threat.model import (
+    Interval,
+    pair_intervals,
+    precheck_in_range,
+    threat_positions,
+)
+from repro.c3i.threat.scenarios import Scenario
+
+
+@dataclass
+class ChunkedResult:
+    """Per-chunk outputs and statistics for one scenario."""
+
+    scenario: int
+    n_chunks: int
+    #: intervals[chunk] -- each chunk's private output section
+    intervals_per_chunk: list[list[Interval]] = field(default_factory=list)
+    #: per-chunk structural work (drives simulated imbalance)
+    steps_per_chunk: list[int] = field(default_factory=list)
+    pairs_per_chunk: list[int] = field(default_factory=list)
+
+    @property
+    def merged_intervals(self) -> list[Interval]:
+        """Chunk sections concatenated in chunk order.  Because chunks
+        are contiguous threat ranges, this equals the sequential order."""
+        out: list[Interval] = []
+        for sec in self.intervals_per_chunk:
+            out.extend(sec)
+        return out
+
+    @property
+    def n_intervals(self) -> int:
+        return sum(len(s) for s in self.intervals_per_chunk)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean of per-chunk work (1.0 = perfectly balanced)."""
+        work = [s for s in self.steps_per_chunk]
+        nonzero = [w for w in work if w > 0]
+        if not nonzero:
+            return 1.0
+        mean = sum(work) / len(work)
+        return max(work) / mean if mean > 0 else 1.0
+
+
+def chunk_bounds(n_threats: int, n_chunks: int, chunk: int
+                 ) -> tuple[int, int]:
+    """Program 2's subrange: [first_threat, last_threat] inclusive."""
+    first = (chunk * n_threats) // n_chunks
+    last = ((chunk + 1) * n_threats) // n_chunks - 1
+    return first, last
+
+
+def run_chunked(scenario: Scenario, n_chunks: int) -> ChunkedResult:
+    """Execute Program 2 on one scenario."""
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    result = ChunkedResult(scenario=scenario.index, n_chunks=n_chunks)
+    for chunk in range(n_chunks):
+        first, last = chunk_bounds(scenario.n_threats, n_chunks, chunk)
+        section: list[Interval] = []
+        steps = 0
+        pairs = 0
+        for t_idx in range(first, last + 1):
+            threat = scenario.threats[t_idx]
+            times, positions = threat_positions(threat, scenario.n_steps)
+            for w_idx, weapon in enumerate(scenario.weapons):
+                if not precheck_in_range(threat, weapon):
+                    continue
+                section.extend(
+                    pair_intervals(times, positions, weapon, t_idx, w_idx))
+                pairs += 1
+                steps += scenario.n_steps
+        result.intervals_per_chunk.append(section)
+        result.steps_per_chunk.append(steps)
+        result.pairs_per_chunk.append(pairs)
+    return result

@@ -1,0 +1,169 @@
+"""Threats, weapons and interception mathematics.
+
+A threat flies a ballistic arc from its launch point to its impact
+point: linear ground track plus a parabolic altitude profile peaking at
+``apex_alt``.  A weapon can intercept the threat at time ``t`` when the
+threat is (i) past its detection time, (ii) within the weapon's slant
+range of the weapon site, and (iii) inside the weapon's engagement
+altitude band.  Because the arc can dip in and out of the altitude band
+while in range, a (threat, weapon) pair produces zero, one or *two*
+engagement windows -- the "zero, one, or more intervals" of the paper.
+
+The time-stepped simulation evaluates feasibility on a fixed grid of
+``n_steps`` times between launch and impact (the benchmark's simulation
+resolution); interception windows are maximal runs of feasible steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.c3i.common import contiguous_runs
+
+
+@dataclass(frozen=True)
+class Threat:
+    """One incoming ballistic threat."""
+
+    launch_x: float
+    launch_y: float
+    impact_x: float
+    impact_y: float
+    launch_time: float
+    impact_time: float
+    apex_alt: float
+    #: fraction of the flight after which tracking picks the threat up
+    detect_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.impact_time <= self.launch_time:
+            raise ValueError("impact must come after launch")
+        if self.apex_alt <= 0:
+            raise ValueError("apex altitude must be positive")
+        if not 0.0 <= self.detect_fraction < 1.0:
+            raise ValueError("detect_fraction must be in [0, 1)")
+
+    @property
+    def flight_time(self) -> float:
+        return self.impact_time - self.launch_time
+
+    @property
+    def detection_time(self) -> float:
+        """Initial detection time (t0 of Program 1)."""
+        return self.launch_time + self.detect_fraction * self.flight_time
+
+    def position(self, t: float) -> tuple[float, float, float]:
+        """(x, y, altitude) at time ``t`` (scalar convenience)."""
+        s = (t - self.launch_time) / self.flight_time
+        s = min(max(s, 0.0), 1.0)
+        x = self.launch_x + s * (self.impact_x - self.launch_x)
+        y = self.launch_y + s * (self.impact_y - self.launch_y)
+        alt = 4.0 * self.apex_alt * s * (1.0 - s)
+        return x, y, alt
+
+
+@dataclass(frozen=True)
+class Weapon:
+    """One interceptor site."""
+
+    x: float
+    y: float
+    slant_range: float
+    min_alt: float
+    max_alt: float
+
+    def __post_init__(self) -> None:
+        if self.slant_range <= 0:
+            raise ValueError("slant_range must be positive")
+        if not 0.0 <= self.min_alt < self.max_alt:
+            raise ValueError("need 0 <= min_alt < max_alt")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One interception window: the output tuple of the benchmark."""
+
+    threat: int
+    weapon: int
+    t_first: float
+    t_last: float
+
+    def __post_init__(self) -> None:
+        if self.t_last < self.t_first:
+            raise ValueError("interval end before start")
+
+
+# ----------------------------------------------------------------------
+# vectorised trajectory / feasibility kernels
+# ----------------------------------------------------------------------
+
+def threat_positions(threat: Threat, n_steps: int
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Times and (x, y, alt) positions on the simulation grid.
+
+    The grid spans detection time to impact time -- the range the inner
+    loop of Program 1 scans.
+    """
+    if n_steps < 2:
+        raise ValueError("need at least 2 time steps")
+    times = np.linspace(threat.detection_time, threat.impact_time, n_steps)
+    s = (times - threat.launch_time) / threat.flight_time
+    xs = threat.launch_x + s * (threat.impact_x - threat.launch_x)
+    ys = threat.launch_y + s * (threat.impact_y - threat.launch_y)
+    alts = 4.0 * threat.apex_alt * s * (1.0 - s)
+    return times, np.stack([xs, ys, alts], axis=1)
+
+
+def feasible_mask(positions: np.ndarray, weapon: Weapon) -> np.ndarray:
+    """Per-step feasibility of interception by ``weapon``.
+
+    ``positions`` is the (n_steps, 3) array from
+    :func:`threat_positions`.
+    """
+    dx = positions[:, 0] - weapon.x
+    dy = positions[:, 1] - weapon.y
+    alt = positions[:, 2]
+    slant_sq = dx * dx + dy * dy + alt * alt
+    return ((slant_sq <= weapon.slant_range ** 2)
+            & (alt >= weapon.min_alt)
+            & (alt <= weapon.max_alt))
+
+
+def pair_intervals(times: np.ndarray, positions: np.ndarray,
+                   weapon: Weapon, threat_idx: int, weapon_idx: int
+                   ) -> list[Interval]:
+    """All interception windows for one (threat, weapon) pair."""
+    mask = feasible_mask(positions, weapon)
+    return [
+        Interval(threat=threat_idx, weapon=weapon_idx,
+                 t_first=float(times[a]), t_last=float(times[b]))
+        for a, b in contiguous_runs(mask)
+    ]
+
+
+def precheck_in_range(threat: Threat, weapon: Weapon) -> bool:
+    """Cheap exact screen before the time-stepped scan.
+
+    The slant distance to the threat is never less than the horizontal
+    distance from the weapon to the threat's ground track, so if that
+    segment-to-point distance already exceeds the slant range, no time
+    step can be feasible and the scan is skipped.  (The real benchmark
+    program's efficiency comes from this kind of screen; it is also
+    what makes per-threat work *vary* -- the load imbalance visible in
+    the paper's chunk sweep.)
+    """
+    ax, ay = threat.launch_x, threat.launch_y
+    bx, by = threat.impact_x, threat.impact_y
+    px, py = weapon.x, weapon.y
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        u = 0.0
+    else:
+        u = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+        u = min(max(u, 0.0), 1.0)
+    cx, cy = ax + u * dx, ay + u * dy
+    dist_sq = (px - cx) ** 2 + (py - cy) ** 2
+    return dist_sq <= weapon.slant_range ** 2

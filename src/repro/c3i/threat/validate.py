@@ -1,0 +1,61 @@
+"""Correctness tests for the Threat Analysis outputs.
+
+The C3IPBS ships a correctness test per problem; these play that role.
+The sequential program is the reference; every parallel variant must
+produce the same set of interception windows (and for the chunked
+variant, the same *order* after the canonical chunk-order merge).
+"""
+
+from __future__ import annotations
+
+from repro.c3i.threat.chunked import ChunkedResult
+from repro.c3i.threat.finegrained import FineGrainedResult
+from repro.c3i.threat.model import Interval
+from repro.c3i.threat.scenarios import Scenario
+from repro.c3i.threat.sequential import ThreatAnalysisResult
+
+
+class ValidationError(AssertionError):
+    """A parallel variant disagreed with the reference output."""
+
+
+def check_intervals(scenario: Scenario,
+                    intervals: list[Interval]) -> None:
+    """Structural sanity of an interval list against its scenario."""
+    for iv in intervals:
+        if not 0 <= iv.threat < scenario.n_threats:
+            raise ValidationError(f"interval references threat {iv.threat}")
+        if not 0 <= iv.weapon < scenario.n_weapons:
+            raise ValidationError(f"interval references weapon {iv.weapon}")
+        threat = scenario.threats[iv.threat]
+        if iv.t_first < threat.detection_time - 1e-9:
+            raise ValidationError(
+                f"interception before detection for threat {iv.threat}")
+        if iv.t_last > threat.impact_time + 1e-9:
+            raise ValidationError(
+                f"interception after impact for threat {iv.threat}")
+
+
+def check_chunked(reference: ThreatAnalysisResult,
+                  chunked: ChunkedResult) -> None:
+    """The chunk-order merge must equal the sequential output exactly."""
+    merged = chunked.merged_intervals
+    if merged != reference.intervals:
+        raise ValidationError(
+            f"chunked output differs: {len(merged)} vs "
+            f"{len(reference.intervals)} intervals (or order mismatch)")
+    if sum(chunked.steps_per_chunk) != reference.n_steps_total:
+        raise ValidationError("chunked step accounting diverged")
+
+
+def check_finegrained(reference: ThreatAnalysisResult,
+                      fine: FineGrainedResult) -> None:
+    """The sync-variable variant must produce the same *set* of
+    intervals (order is nondeterministic by design)."""
+    if sorted(fine.intervals, key=_key) != sorted(reference.intervals,
+                                                  key=_key):
+        raise ValidationError("fine-grained output set differs")
+
+
+def _key(iv: Interval) -> tuple:
+    return (iv.threat, iv.weapon, iv.t_first, iv.t_last)

@@ -1,0 +1,92 @@
+"""Model of the automatic parallelizing compilers.
+
+The paper reports that on both the Exemplar and the Tera MTA the
+manufacturer-supplied parallelizing compilers "were unable to identify
+any practical opportunities for parallelization" of either sequential
+benchmark, for two structural reasons: loop-carried dependences through
+shared variables (``num_intervals``/``intervals``, the overlapping
+``masking`` regions), and chains of function calls, pointer operations
+and non-trivial index expressions that defeat dependence analysis.
+With the manual restructuring *and* explicit parallel pragmas the
+compilers do parallelize the annotated loops.
+
+This package reproduces that behaviour mechanically:
+
+* :mod:`~repro.compiler.loopir` -- a small loop-nest IR (for/while
+  loops, affine and opaque array subscripts, scalar updates, calls);
+* :mod:`~repro.compiler.dependence` -- scalar dataflow + ZIV/SIV/GCD
+  array subscript tests, conservative on anything opaque;
+* :mod:`~repro.compiler.autopar` -- the parallelization pass, honouring
+  explicit pragmas;
+* :mod:`~repro.compiler.feedback` -- canal-style per-loop feedback;
+* :mod:`~repro.compiler.programs` -- IR encodings of Programs 1-4 from
+  the paper.
+"""
+
+from repro.compiler.loopir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    ForLoop,
+    IfStmt,
+    Program,
+    VarRef,
+    WhileLoop,
+)
+from repro.compiler.dependence import (
+    Dependence,
+    DependenceKind,
+    analyze_loop,
+)
+from repro.compiler.autopar import (
+    AutoParResult,
+    LoopReport,
+    parallelize,
+)
+from repro.compiler.feedback import render_feedback
+from repro.compiler.advisory import (
+    Advisory,
+    AdvisoryKind,
+    generate_advisories,
+    mechanical_fixes_exist,
+    render_advisories,
+)
+from repro.compiler.programs import (
+    terrain_blocked_ir,
+    terrain_sequential_ir,
+    threat_chunked_ir,
+    threat_sequential_ir,
+)
+
+__all__ = [
+    "Advisory",
+    "AdvisoryKind",
+    "ArrayRef",
+    "Assign",
+    "AutoParResult",
+    "BinOp",
+    "Call",
+    "CallStmt",
+    "Const",
+    "Dependence",
+    "DependenceKind",
+    "ForLoop",
+    "IfStmt",
+    "LoopReport",
+    "Program",
+    "VarRef",
+    "WhileLoop",
+    "analyze_loop",
+    "generate_advisories",
+    "mechanical_fixes_exist",
+    "parallelize",
+    "render_advisories",
+    "render_feedback",
+    "terrain_blocked_ir",
+    "terrain_sequential_ir",
+    "threat_chunked_ir",
+    "threat_sequential_ir",
+]

@@ -1,0 +1,127 @@
+"""Advisory generation: what a helpful parallelizing compiler would say.
+
+The paper stresses that the 1998 compilers "were unable to make any
+suggestions regarding changes to the program (e.g., algorithmic
+modifications or the addition of pragmas) that might expose
+parallelism".  This module models the *suggestion* machinery a better
+compiler could have had: for each dependence class it knows a standard
+remedy, and it can also tell when no mechanical remedy exists -- which
+is exactly the verdict for the paper's two programs (their fixes are
+algorithmic: chunk-private output sections, block locking).
+
+Advisories are classified:
+
+* ``MECHANICAL`` -- a known transformation would remove the dependence
+  (privatization, reduction recognition, pragma on a proven loop);
+* ``RESTRUCTURING`` -- only an algorithm change can help (the paper's
+  "significant modification of the underlying algorithm");
+* ``INHERENT`` -- sequential by nature (time-stepped while loops).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.compiler.autopar import AutoParResult, LoopReport
+from repro.compiler.dependence import Dependence, DependenceKind
+
+
+class AdvisoryKind(enum.Enum):
+    MECHANICAL = "mechanical"
+    RESTRUCTURING = "restructuring"
+    INHERENT = "inherent"
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """One suggestion attached to a loop's dependence."""
+
+    loop_label: str
+    kind: AdvisoryKind
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.loop_label}: [{self.kind.value}] {self.message}"
+
+
+def _advise_dependence(report: LoopReport, dep: Dependence) -> Advisory:
+    label = report.label
+    if dep.kind == DependenceKind.CONTROL:
+        return Advisory(label, AdvisoryKind.INHERENT,
+                        "time-stepped/while loop: iterations are "
+                        "ordered by construction; no transformation "
+                        "applies")
+    if dep.kind == DependenceKind.SCALAR:
+        # A read-then-written scalar is mechanically fixable only if it
+        # is an induction/reduction; an index-then-increment counter
+        # (num_intervals) is not -- its value *names output positions*.
+        return Advisory(
+            label, AdvisoryKind.RESTRUCTURING,
+            f"scalar '{dep.variable}' carries a value used as an "
+            f"output position; privatization changes program meaning. "
+            f"Restructure: give each iteration (or chunk) a private "
+            f"counter and output section (the paper's Program 2)")
+    if dep.kind == DependenceKind.CALL:
+        return Advisory(
+            label, AdvisoryKind.RESTRUCTURING,
+            f"call '{dep.variable}' has unknown side effects; "
+            f"interprocedural analysis or a purity assertion would be "
+            f"needed before any loop transformation")
+    if dep.kind == DependenceKind.ARRAY and dep.distance is not None:
+        return Advisory(
+            label, AdvisoryKind.MECHANICAL,
+            f"array '{dep.variable}' carries distance "
+            f"{dep.distance:g}; loop skewing or pipelining could "
+            f"expose wavefront parallelism")
+    return Advisory(
+        label, AdvisoryKind.RESTRUCTURING,
+        f"accesses to '{dep.variable}' cannot be disambiguated "
+        f"(opaque subscripts / overlapping regions); partition the "
+        f"data and lock the partitions (the paper's Program 4) or "
+        f"parallelize the inner loops on fine-grained hardware")
+
+
+def generate_advisories(result: AutoParResult) -> list[Advisory]:
+    """Suggestions for every non-parallelized loop of a program."""
+    out: list[Advisory] = []
+    for report in result.reports:
+        if report.parallelized:
+            continue
+        for dep in report.dependences:
+            out.append(_advise_dependence(report, dep))
+    return out
+
+
+def mechanical_fixes_exist(result: AutoParResult) -> bool:
+    """Could a smarter compiler have parallelized this program without
+    programmer help?  True only if *every* loop that fails has only
+    MECHANICAL advisories on at least one loop level."""
+    by_loop: dict[str, list[Advisory]] = {}
+    for adv in generate_advisories(result):
+        by_loop.setdefault(adv.loop_label, []).append(adv)
+    if not by_loop:
+        return False
+    return any(all(a.kind == AdvisoryKind.MECHANICAL for a in advs)
+               for advs in by_loop.values())
+
+
+def render_advisories(result: AutoParResult) -> str:
+    """Human-readable advisory report."""
+    advisories = generate_advisories(result)
+    lines = [f"Advisories for {result.program.name}",
+             "-" * (15 + len(result.program.name))]
+    if not advisories:
+        lines.append("(nothing to suggest: all loops parallelized)")
+        return "\n".join(lines)
+    for adv in advisories:
+        lines.append(f"  {adv}")
+    lines.append("")
+    if mechanical_fixes_exist(result):
+        lines.append("verdict: a mechanical transformation could expose "
+                     "parallelism here")
+    else:
+        lines.append("verdict: no mechanical transformation applies -- "
+                     "the algorithm itself must change (the paper's "
+                     "conclusion)")
+    return "\n".join(lines)

@@ -1,0 +1,341 @@
+"""Dependence analysis over the loop IR.
+
+For a candidate ``for`` loop the analysis collects every scalar and
+array access in the body (including nested loops) and decides whether
+any dependence is carried across iterations:
+
+* **Scalars** -- a scalar read and written in the body is carried
+  unless every path writes it before reading (privatizable).  The
+  ``num_intervals`` counter of Threat Analysis is the canonical carried
+  case.
+* **Arrays** -- per-dimension subscript tests in the loop variable:
+  ZIV (both constant), strong SIV (equal coefficients), and the GCD
+  test for unequal coefficients.  Subscripts are recognised as affine
+  only in the form ``a*v + x + c`` with ``x`` a single loop-invariant
+  or inner-loop symbol; anything else (a mutated scalar like
+  ``num_intervals``, a call, a nested array ref) is *opaque* and the
+  pair is conservatively assumed dependent -- the paper's "non-trivial
+  index expressions" obstacle.
+* **Calls** -- any impure call bars parallelization outright (no
+  interprocedural analysis; the "chains of function calls" obstacle).
+* **While loops** -- inherently sequential (loop-carried condition).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.compiler.loopir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Stmt,
+    VarRef,
+    WhileLoop,
+)
+
+
+class DependenceKind(enum.Enum):
+    SCALAR = "scalar"       # loop-carried scalar dataflow
+    ARRAY = "array"         # proven cross-iteration array dependence
+    ASSUMED = "assumed"     # opaque subscripts: assumed dependence
+    CALL = "call"           # impure call bars analysis
+    CONTROL = "control"     # while-loop / loop-carried control
+
+
+@dataclass(frozen=True)
+class Dependence:
+    kind: DependenceKind
+    variable: str
+    reason: str
+    distance: Optional[float] = None
+
+    def __str__(self) -> str:
+        return f"[{self.kind.value}] {self.variable}: {self.reason}"
+
+
+# ----------------------------------------------------------------------
+# Access collection
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Accesses:
+    scalar_reads: list[str] = field(default_factory=list)
+    scalar_writes: list[str] = field(default_factory=list)
+    #: ordered (name, "R"/"W") trace, for write-before-read checks
+    scalar_trace: list[tuple[str, str]] = field(default_factory=list)
+    array_reads: list[ArrayRef] = field(default_factory=list)
+    array_writes: list[ArrayRef] = field(default_factory=list)
+    impure_calls: list[str] = field(default_factory=list)
+    inner_loop_vars: set[str] = field(default_factory=set)
+    has_while: bool = False
+
+
+def _collect_expr(e: Expr, acc: _Accesses) -> None:
+    if isinstance(e, Const):
+        return
+    if isinstance(e, VarRef):
+        acc.scalar_reads.append(e.name)
+        acc.scalar_trace.append((e.name, "R"))
+    elif isinstance(e, BinOp):
+        _collect_expr(e.left, acc)
+        _collect_expr(e.right, acc)
+    elif isinstance(e, Call):
+        if not e.pure:
+            acc.impure_calls.append(e.fn)
+        for a in e.args:
+            _collect_expr(a, acc)
+    elif isinstance(e, ArrayRef):
+        acc.array_reads.append(e)
+        for i in e.indices:
+            _collect_expr(i, acc)
+    else:  # pragma: no cover
+        raise TypeError(f"unknown expression {e!r}")
+
+
+def _collect_stmt(s: Stmt, acc: _Accesses) -> None:
+    if isinstance(s, Assign):
+        _collect_expr(s.value, acc)
+        if isinstance(s.target, VarRef):
+            acc.scalar_writes.append(s.target.name)
+            acc.scalar_trace.append((s.target.name, "W"))
+        else:
+            acc.array_writes.append(s.target)
+            for i in s.target.indices:
+                _collect_expr(i, acc)
+    elif isinstance(s, CallStmt):
+        acc.impure_calls.append(s.fn)
+        for a in s.args:
+            _collect_expr(a, acc)
+    elif isinstance(s, IfStmt):
+        _collect_expr(s.cond, acc)
+        for t in s.then:
+            _collect_stmt(t, acc)
+        for t in s.orelse:
+            _collect_stmt(t, acc)
+    elif isinstance(s, ForLoop):
+        acc.inner_loop_vars.add(s.var)
+        _collect_expr(s.lower, acc)
+        _collect_expr(s.upper, acc)
+        for t in s.body:
+            _collect_stmt(t, acc)
+    elif isinstance(s, WhileLoop):
+        acc.has_while = True
+        _collect_expr(s.cond, acc)
+        for t in s.body:
+            _collect_stmt(t, acc)
+    else:  # pragma: no cover
+        raise TypeError(f"unknown statement {s!r}")
+
+
+def collect_accesses(body: tuple[Stmt, ...]) -> _Accesses:
+    acc = _Accesses()
+    for s in body:
+        _collect_stmt(s, acc)
+    return acc
+
+
+# ----------------------------------------------------------------------
+# Affine subscript recognition:  a*v + x + c
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Affine:
+    coef: float          # coefficient of the analyzed loop variable
+    base_var: Optional[str]  # at most one symbolic term
+    base_num: float
+    opaque: bool = False
+
+    def add(self, other: "_Affine", sign: float) -> "_Affine":
+        if self.opaque or other.opaque:
+            return _OPAQUE
+        if self.base_var and other.base_var:
+            return _OPAQUE  # more than one symbol: give up
+        return _Affine(self.coef + sign * other.coef,
+                       self.base_var or other.base_var,
+                       self.base_num + sign * other.base_num)
+
+
+_OPAQUE = _Affine(0.0, None, 0.0, opaque=True)
+
+
+def affine_form(e: Expr, var: str, mutated: set[str]) -> _Affine:
+    """Recognise ``e`` as affine in ``var``; opaque on anything else."""
+    if isinstance(e, Const):
+        return _Affine(0.0, None, float(e.value))
+    if isinstance(e, VarRef):
+        if e.name == var:
+            return _Affine(1.0, None, 0.0)
+        if e.name in mutated:
+            return _OPAQUE  # value changes within the loop: unknown
+        return _Affine(0.0, e.name, 0.0)
+    if isinstance(e, BinOp):
+        if e.op == "+":
+            return affine_form(e.left, var, mutated).add(
+                affine_form(e.right, var, mutated), 1.0)
+        if e.op == "-":
+            return affine_form(e.left, var, mutated).add(
+                affine_form(e.right, var, mutated), -1.0)
+        if e.op == "*":
+            lhs = affine_form(e.left, var, mutated)
+            rhs = affine_form(e.right, var, mutated)
+            for k, a in ((lhs, rhs), (rhs, lhs)):
+                if (not k.opaque and k.coef == 0 and k.base_var is None
+                        and not a.opaque and a.base_var is None):
+                    return _Affine(a.coef * k.base_num, None,
+                                   a.base_num * k.base_num)
+            return _OPAQUE
+        return _OPAQUE
+    return _OPAQUE  # calls, array refs: opaque
+
+
+# ----------------------------------------------------------------------
+# Subscript pair tests
+# ----------------------------------------------------------------------
+
+#: Per-dimension verdicts.
+_INDEP = "independent"
+_DEP = "dependent"
+_UNKNOWN = "unknown"
+
+
+def _dimension_verdict(w: _Affine, r: _Affine,
+                       inner_vars: set[str]) -> tuple[str, Optional[float]]:
+    if w.opaque or r.opaque:
+        return _UNKNOWN, None
+    varies_w = w.base_var in inner_vars if w.base_var else False
+    varies_r = r.base_var in inner_vars if r.base_var else False
+
+    if w.coef == r.coef:
+        a = w.coef
+        if a != 0:
+            # strong SIV:  a*i + bw  vs  a*i' + br
+            if w.base_var == r.base_var and not (varies_w or varies_r):
+                d = (r.base_num - w.base_num) / a
+                if d != int(d):
+                    return _INDEP, None
+                if d == 0:
+                    return _INDEP, None  # only intra-iteration
+                return _DEP, d
+            if w.base_var == r.base_var:
+                # same inner symbol: a nonzero coefficient still forces
+                # i == i' only when the symbol takes the same value --
+                # different inner iterations may collide across i.
+                return _UNKNOWN, None
+            return _UNKNOWN, None  # different symbols: unknown offset
+        # ZIV: both invariant in the loop variable
+        if w.base_var == r.base_var and not (varies_w or varies_r):
+            if w.base_num == r.base_num:
+                return _DEP, None  # same element every iteration
+            if w.base_var is None:
+                return _INDEP, None  # distinct constants
+            return _UNKNOWN, None  # x+1 vs x+2: distinct... but offsets
+        if varies_w or varies_r:
+            return _UNKNOWN, None  # inner-var subscript sweeps a range
+        return _UNKNOWN, None
+    # unequal coefficients: GCD test when fully numeric
+    if w.base_var is None and r.base_var is None:
+        a1, a2 = w.coef, r.coef
+        g = math.gcd(int(a1), int(a2)) if (
+            a1 == int(a1) and a2 == int(a2)) else 0
+        diff = r.base_num - w.base_num
+        if g > 0 and diff == int(diff) and int(diff) % g != 0:
+            return _INDEP, None
+    return _UNKNOWN, None
+
+
+def _pair_dependence(write: ArrayRef, other: ArrayRef, var: str,
+                     mutated: set[str], inner_vars: set[str]
+                     ) -> Optional[tuple[str, Optional[float]]]:
+    """Test one (write, read-or-write) pair; None means independent."""
+    if write.array != other.array:
+        return None
+    verdicts = []
+    n = min(len(write.indices), len(other.indices))
+    for d in range(n):
+        wa = affine_form(write.indices[d], var, mutated)
+        ra = affine_form(other.indices[d], var, mutated)
+        verdicts.append(_dimension_verdict(wa, ra, inner_vars))
+    if any(v == _INDEP for v, _dist in verdicts):
+        return None
+    if all(v == _DEP for v, _dist in verdicts) and verdicts:
+        dist = next((d for v, d in verdicts if d is not None), None)
+        return _DEP, dist
+    return _UNKNOWN, None
+
+
+# ----------------------------------------------------------------------
+# Whole-loop analysis
+# ----------------------------------------------------------------------
+
+def analyze_loop(loop: Union[ForLoop, WhileLoop]) -> list[Dependence]:
+    """All dependences that prevent running ``loop``'s iterations
+    concurrently.  Empty list == provably parallelizable."""
+    if isinstance(loop, WhileLoop):
+        return [Dependence(
+            DependenceKind.CONTROL, str(loop.cond),
+            "while loop: trip count and condition are loop-carried")]
+
+    acc = collect_accesses(loop.body)
+    deps: list[Dependence] = []
+
+    # 1. impure calls bar everything
+    for fn in sorted(set(acc.impure_calls)):
+        deps.append(Dependence(
+            DependenceKind.CALL, fn,
+            "call with unknown side effects defeats dependence analysis"))
+
+    mutated = set(acc.scalar_writes)
+
+    # 2. scalar dataflow
+    reads = set(acc.scalar_reads)
+    for name in sorted(mutated):
+        if name == loop.var or name in acc.inner_loop_vars:
+            continue
+        if name not in reads:
+            continue  # written only: privatizable output value
+        # privatizable if the first access on the trace is a write
+        first = next(k for n, k in acc.scalar_trace if n == name)
+        if first == "W":
+            continue
+        deps.append(Dependence(
+            DependenceKind.SCALAR, name,
+            "read-then-written scalar carries a value across iterations"))
+
+    # 3. array subscript tests.  Every write is tested against every
+    # other access AND against itself -- a static write conflicts with
+    # its own instances in other iterations unless the subscripts
+    # separate iterations (output dependence).
+    seen: set[tuple[str, str, str]] = set()
+    for w in acc.array_writes:
+        for other in acc.array_writes + acc.array_reads:
+            verdict = _pair_dependence(w, other, loop.var, mutated,
+                                       acc.inner_loop_vars)
+            if verdict is None:
+                continue
+            kind, dist = verdict
+            key = (w.array, str(w), str(other))
+            if key in seen:
+                continue
+            seen.add(key)
+            if kind == _DEP:
+                deps.append(Dependence(
+                    DependenceKind.ARRAY, w.array,
+                    f"cross-iteration access pair {w} / {other}",
+                    distance=dist))
+            else:
+                deps.append(Dependence(
+                    DependenceKind.ASSUMED, w.array,
+                    f"subscripts of {w} / {other} are not provably "
+                    f"independent (opaque or range-overlapping)"))
+
+    return deps

@@ -1,0 +1,45 @@
+"""Canal-style compiler feedback.
+
+The Tera toolchain's ``canal`` utility annotated each source loop with
+what the compiler did and why.  :func:`render_feedback` produces the
+same kind of report from an :class:`~repro.compiler.autopar.AutoParResult`.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.autopar import AutoParResult
+
+
+def render_feedback(result: AutoParResult) -> str:
+    """A human-readable per-loop parallelization report."""
+    lines = [
+        f"Compiler feedback for {result.program.name}",
+        "=" * (22 + len(result.program.name)),
+    ]
+    if result.program.source_note:
+        lines.append(f"({result.program.source_note})")
+    lines.append("")
+    if not result.reports:
+        lines.append("no loops found")
+    for r in result.reports:
+        indent = "  " * r.depth
+        header = f"{indent}{r.label}:"
+        if r.parallelized and r.by_pragma:
+            lines.append(f"{header} PARALLELIZED (explicit pragma; "
+                         f"independence asserted by the programmer)")
+        elif r.parallelized:
+            lines.append(f"{header} PARALLELIZED (no dependences found)")
+        else:
+            lines.append(f"{header} NOT parallelized")
+            for reason in r.reasons:
+                lines.append(f"{indent}    - {reason}")
+    lines.append("")
+    if result.n_auto_parallelized == 0 and result.n_parallelized == 0:
+        lines.append(
+            "summary: no practical opportunities for parallelization "
+            "were identified")
+    else:
+        lines.append(
+            f"summary: {result.n_parallelized}/{result.n_loops} loops "
+            f"parallelized ({result.n_auto_parallelized} automatically)")
+    return "\n".join(lines)

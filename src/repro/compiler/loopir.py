@@ -1,0 +1,193 @@
+"""A small loop-nest IR: the programs the compiler model analyzes.
+
+Expressions::
+
+    Const(3)                          literal
+    VarRef("i")                       scalar read
+    ArrayRef("a", (expr, ...))        array element read
+    BinOp("+", e1, e2)                arithmetic
+    Call("f", (args...), pure=False)  function call in expression position
+
+Statements::
+
+    Assign(target, value)             target is VarRef or ArrayRef
+    CallStmt("f", (args...))          call with (assumed) side effects
+    IfStmt(cond, then, orelse)
+    ForLoop(var, lo, hi, body, pragma_parallel=False)
+    WhileLoop(cond, body)
+
+A :class:`Program` is a named parameter list plus a statement body.
+Index expressions of the form ``a*i + b`` (``i`` the loop variable)
+are recognised as affine by the dependence tests; anything else --
+reads of mutated scalars, calls, nested array refs -- is opaque and
+treated conservatively, exactly the behaviour the paper blames for the
+compilers' failure on general-purpose C code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Const:
+    value: float
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/", "%", "<", "<=", ">", ">=",
+                           "==", "!=", "&&", "||"):
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Call:
+    """A function call in expression position.
+
+    ``pure=True`` asserts no side effects and a value depending only on
+    the arguments; the compiler model only believes annotations (it has
+    no interprocedural analysis -- the paper's "separately compiled
+    modules" obstacle)."""
+
+    fn: str
+    args: tuple["Expr", ...] = ()
+    pure: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.fn}({inner})"
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    array: str
+    indices: tuple["Expr", ...]
+
+    def __post_init__(self) -> None:
+        if not self.indices:
+            raise ValueError("array reference needs at least one index")
+
+    def __str__(self) -> str:
+        return self.array + "".join(f"[{i}]" for i in self.indices)
+
+
+Expr = Union[Const, VarRef, BinOp, Call, ArrayRef]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Assign:
+    target: Union[VarRef, ArrayRef]
+    value: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.target, (VarRef, ArrayRef)):
+            raise TypeError("assignment target must be a scalar or array ref")
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value};"
+
+
+@dataclass(frozen=True)
+class CallStmt:
+    fn: str
+    args: tuple[Expr, ...] = ()
+    #: which arguments (by index) the callee may write through
+    writes_args: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.fn}({inner});"
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    cond: Expr
+    then: tuple["Stmt", ...]
+    orelse: tuple["Stmt", ...] = ()
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) {{ ... }}"
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    var: str
+    lower: Expr
+    upper: Expr
+    body: tuple["Stmt", ...]
+    #: the programmer's `#pragma multithreaded` / `#pragma parallel`
+    pragma_parallel: bool = False
+    label: str = ""
+
+    def __str__(self) -> str:
+        pragma = "#pragma multithreaded\n" if self.pragma_parallel else ""
+        return (f"{pragma}for ({self.var} = {self.lower} .. {self.upper})"
+                f" {{ ... }}")
+
+
+@dataclass(frozen=True)
+class WhileLoop:
+    cond: Expr
+    body: tuple["Stmt", ...]
+    label: str = ""
+
+    def __str__(self) -> str:
+        return f"while ({self.cond}) {{ ... }}"
+
+
+Stmt = Union[Assign, CallStmt, IfStmt, ForLoop, WhileLoop]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A named loop-nest program (one benchmark routine)."""
+
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    source_note: str = ""
+
+    def loops(self) -> list[Union[ForLoop, WhileLoop]]:
+        """Every loop in the program, outermost first."""
+        found: list[Union[ForLoop, WhileLoop]] = []
+
+        def walk(stmts: tuple[Stmt, ...]) -> None:
+            for s in stmts:
+                if isinstance(s, (ForLoop, WhileLoop)):
+                    found.append(s)
+                    walk(s.body)
+                elif isinstance(s, IfStmt):
+                    walk(s.then)
+                    walk(s.orelse)
+
+        walk(self.body)
+        return found

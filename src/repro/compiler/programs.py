@@ -1,0 +1,282 @@
+"""IR encodings of the paper's Programs 1-4.
+
+These mirror the pseudocode in Sections 5 and 6 closely enough for the
+dependence analysis to trip over exactly the constructs the paper
+blames: the shared ``num_intervals``/``intervals`` variables, the
+time-stepped ``while`` simulations, overlapping ``masking`` regions
+with call-dependent bounds, and pointer/call-laden expressions.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.loopir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    ForLoop,
+    Program,
+    VarRef,
+    WhileLoop,
+)
+
+
+def _v(name: str) -> VarRef:
+    return VarRef(name)
+
+
+def _minus1(e) -> BinOp:
+    return BinOp("-", e, Const(1))
+
+
+# ----------------------------------------------------------------------
+# Program 1: sequential Threat Analysis
+# ----------------------------------------------------------------------
+
+def threat_sequential_ir() -> Program:
+    """Program 1 of the paper."""
+    inner_while = WhileLoop(
+        label="while (weapon can intercept threat)",
+        cond=Call("can_intercept",
+                  (_v("weapon"), _v("threat"), _v("t0"), _v("impact"))),
+        body=(
+            Assign(_v("t1"), Call("first_intercept_time",
+                                  (_v("weapon"), _v("threat"), _v("t0")))),
+            Assign(_v("t2"), Call("last_intercept_time",
+                                  (_v("weapon"), _v("threat"), _v("t1")))),
+            Assign(ArrayRef("intervals", (_v("num_intervals"),)),
+                   Call("make_interval",
+                        (_v("threat"), _v("weapon"), _v("t1"), _v("t2")),
+                        pure=True)),
+            Assign(_v("num_intervals"),
+                   BinOp("+", _v("num_intervals"), Const(1))),
+            Assign(_v("t0"), BinOp("+", _v("t2"), Const(1))),
+        ),
+    )
+    weapon_loop = ForLoop(
+        label="for weapon", var="weapon",
+        lower=Const(0), upper=_minus1(_v("num_weapons")),
+        body=(
+            Assign(_v("t0"),
+                   Call("initial_detection_time",
+                        (ArrayRef("threats", (_v("threat"),)),))),
+            inner_while,
+        ),
+    )
+    threat_loop = ForLoop(
+        label="for threat", var="threat",
+        lower=Const(0), upper=_minus1(_v("num_threats")),
+        body=(weapon_loop,),
+    )
+    return Program(
+        name="ThreatAnalysis (sequential)",
+        params=("num_threats", "threats", "num_weapons", "weapons",
+                "num_intervals", "intervals"),
+        body=(Assign(_v("num_intervals"), Const(0)), threat_loop),
+        source_note="Program 1 of Brunett et al., SC'98",
+    )
+
+
+# ----------------------------------------------------------------------
+# Program 2: chunked multithreaded Threat Analysis
+# ----------------------------------------------------------------------
+
+def threat_chunked_ir(with_pragma: bool = True) -> Program:
+    """Program 2 of the paper (the manual restructuring)."""
+    inner_while = WhileLoop(
+        label="while (weapon can intercept threat)",
+        cond=Call("can_intercept",
+                  (_v("weapon"), _v("threat"), _v("t0"), _v("impact"))),
+        body=(
+            Assign(_v("t1"), Call("first_intercept_time",
+                                  (_v("weapon"), _v("threat"), _v("t0")))),
+            Assign(_v("t2"), Call("last_intercept_time",
+                                  (_v("weapon"), _v("threat"), _v("t1")))),
+            Assign(ArrayRef("intervals",
+                            (_v("chunk"),
+                             ArrayRef("num_intervals", (_v("chunk"),)))),
+                   Call("make_interval",
+                        (_v("threat"), _v("weapon"), _v("t1"), _v("t2")),
+                        pure=True)),
+            Assign(ArrayRef("num_intervals", (_v("chunk"),)),
+                   BinOp("+", ArrayRef("num_intervals", (_v("chunk"),)),
+                         Const(1))),
+            Assign(_v("t0"), BinOp("+", _v("t2"), Const(1))),
+        ),
+    )
+    weapon_loop = ForLoop(
+        label="for weapon", var="weapon",
+        lower=Const(0), upper=_minus1(_v("num_weapons")),
+        body=(
+            Assign(_v("t0"),
+                   Call("initial_detection_time",
+                        (ArrayRef("threats", (_v("threat"),)),))),
+            inner_while,
+        ),
+    )
+    threat_loop = ForLoop(
+        label="for threat (chunk subrange)", var="threat",
+        lower=_v("first_threat"), upper=_v("last_threat"),
+        body=(weapon_loop,),
+    )
+    chunk_loop = ForLoop(
+        label="for chunk", var="chunk",
+        lower=Const(0), upper=_minus1(_v("num_chunks")),
+        pragma_parallel=with_pragma,
+        body=(
+            Assign(_v("first_threat"),
+                   BinOp("/", BinOp("*", _v("chunk"), _v("num_threats")),
+                         _v("num_chunks"))),
+            Assign(_v("last_threat"),
+                   _minus1(BinOp("/",
+                                 BinOp("*",
+                                       BinOp("+", _v("chunk"), Const(1)),
+                                       _v("num_threats")),
+                                 _v("num_chunks")))),
+            Assign(ArrayRef("num_intervals", (_v("chunk"),)), Const(0)),
+            threat_loop,
+        ),
+    )
+    return Program(
+        name="ThreatAnalysis (chunked multithreaded)",
+        params=("num_threats", "threats", "num_weapons", "weapons",
+                "num_chunks", "num_intervals", "intervals"),
+        body=(chunk_loop,),
+        source_note="Program 2 of Brunett et al., SC'98",
+    )
+
+
+# ----------------------------------------------------------------------
+# Program 3: sequential Terrain Masking
+# ----------------------------------------------------------------------
+
+#: the linearised 2-D subscript the real C code uses: x * y_size + y.
+#: A product of two symbols is beyond the affine recogniser -- the
+#: paper's "non-trivial index expressions" obstacle, verbatim.
+def _lin() -> BinOp:
+    return BinOp("+", BinOp("*", _v("x"), _v("y_size")), _v("y"))
+
+
+def _region_loop(label: str, body) -> ForLoop:
+    """``for (x, y = region of influence of threat)``: nested x/y loops
+    whose bounds come from calls on the current threat."""
+    threat_ref = ArrayRef("threats", (_v("threat"),))
+    inner = ForLoop(
+        label=f"{label} (y)", var="y",
+        lower=Call("region_y_lo", (threat_ref, _v("x"))),
+        upper=Call("region_y_hi", (threat_ref, _v("x"))),
+        body=tuple(body),
+    )
+    return ForLoop(
+        label=label, var="x",
+        lower=Call("region_x_lo", (threat_ref,)),
+        upper=Call("region_x_hi", (threat_ref,)),
+        body=(inner,),
+    )
+
+
+def terrain_sequential_ir() -> Program:
+    """Program 3 of the paper."""
+    init = CallStmt("initialize_to_infinity",
+                    (_v("masking"), _v("x_size"), _v("y_size")),
+                    writes_args=(0,))
+    threat_loop = ForLoop(
+        label="for threat", var="threat",
+        lower=Const(0), upper=_minus1(_v("num_threats")),
+        body=(
+            _region_loop("copy masking into temp", [
+                Assign(ArrayRef("temp", (_lin(),)),
+                       ArrayRef("masking", (_lin(),))),
+            ]),
+            _region_loop("reset masking region", [
+                Assign(ArrayRef("masking", (_lin(),)),
+                       Const(float("inf"))),
+            ]),
+            _region_loop("compute safe altitude", [
+                Assign(ArrayRef("masking", (_lin(),)),
+                       Call("max_safe_altitude",
+                            (_v("terrain"),
+                             ArrayRef("threats", (_v("threat"),)),
+                             _lin(),
+                             _v("masking")))),
+            ]),
+            _region_loop("minimize into result", [
+                Assign(ArrayRef("masking", (_lin(),)),
+                       Call("min", (ArrayRef("masking", (_lin(),)),
+                                    ArrayRef("temp", (_lin(),))),
+                            pure=True)),
+            ]),
+        ),
+    )
+    return Program(
+        name="TerrainMasking (sequential)",
+        params=("x_size", "y_size", "terrain", "num_threats", "threats",
+                "masking"),
+        body=(init, threat_loop),
+        source_note="Program 3 of Brunett et al., SC'98",
+    )
+
+
+# ----------------------------------------------------------------------
+# Program 4: coarse-grained multithreaded Terrain Masking
+# ----------------------------------------------------------------------
+
+def terrain_blocked_ir(with_pragma: bool = True) -> Program:
+    """Program 4 of the paper."""
+    work_while = WhileLoop(
+        label="while (unprocessed threats)",
+        cond=Call("unprocessed_threats", ()),
+        body=(
+            Assign(_v("threat"), Call("next_unprocessed_threat", ())),
+            _region_loop("reset temp region", [
+                Assign(ArrayRef("temp", (_v("thread"), _lin())),
+                       Const(float("inf"))),
+            ]),
+            _region_loop("compute safe altitude into temp", [
+                Assign(ArrayRef("temp", (_v("thread"), _lin())),
+                       Call("max_safe_altitude",
+                            (_v("terrain"),
+                             ArrayRef("threats", (_v("threat"),)),
+                             _lin(),
+                             ArrayRef("temp", (_v("thread"),))))),
+            ]),
+            ForLoop(
+                label="for blocks overlapping threat", var="b",
+                lower=Call("first_block", (_v("threat"),)),
+                upper=Call("last_block", (_v("threat"),)),
+                body=(
+                    CallStmt("lock", (ArrayRef("locks", (_v("b"),)),),
+                             writes_args=(0,)),
+                    _region_loop("min temp into masking block", [
+                        Assign(ArrayRef("masking", (_lin(),)),
+                               Call("min",
+                                    (ArrayRef("masking", (_lin(),)),
+                                     ArrayRef("temp",
+                                              (_v("thread"), _lin()))),
+                                    pure=True)),
+                    ]),
+                    CallStmt("unlock", (ArrayRef("locks", (_v("b"),)),),
+                             writes_args=(0,)),
+                ),
+            ),
+        ),
+    )
+    thread_loop = ForLoop(
+        label="for thread", var="thread",
+        lower=Const(0), upper=_minus1(_v("num_threads")),
+        pragma_parallel=with_pragma,
+        body=(work_while,),
+    )
+    init = CallStmt("initialize_blocks_and_masking",
+                    (_v("blocks"), _v("masking"), _v("x_size"),
+                     _v("y_size")),
+                    writes_args=(0, 1))
+    return Program(
+        name="TerrainMasking (coarse-grained multithreaded)",
+        params=("x_size", "y_size", "terrain", "num_threats", "threats",
+                "num_blocks", "num_threads", "masking"),
+        body=(init, thread_loop),
+        source_note="Program 4 of Brunett et al., SC'98",
+    )

@@ -1,0 +1,24 @@
+"""Exception types used by the DES kernel."""
+
+from __future__ import annotations
+
+
+class DesError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SimulationDeadlock(DesError):
+    """Raised by :meth:`Simulator.run` when processes remain blocked but
+    no events are scheduled -- i.e. the simulation can never advance."""
+
+
+class Interrupt(DesError):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever value the interrupter
+    supplied, so the interrupted process can decide how to react.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause

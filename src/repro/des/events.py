@@ -1,0 +1,173 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` is a one-shot occurrence in simulated time.  Processes
+wait on events by ``yield``-ing them; the simulator resumes the process
+when the event fires.  Events carry either a value (success) or an
+exception (failure).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.des.errors import DesError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.simulator import Simulator
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Lifecycle::
+
+        created --(succeed/fail)--> triggered --(event loop)--> processed
+
+    ``triggered`` means the outcome is decided and the event sits in the
+    simulator's queue; ``processed`` means its callbacks have run.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: object = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._defused = False
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the outcome (value or failure) has been decided."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run by the event loop."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise DesError("event outcome not decided yet")
+        return self._exc is None
+
+    @property
+    def value(self) -> object:
+        """The event's value (raises the failure exception if it failed)."""
+        if self._value is _PENDING:
+            raise DesError("event has not been triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: object = None, priority: int = 1) -> "Event":
+        """Decide the event's outcome as success and enqueue it."""
+        if self.triggered:
+            raise DesError(f"{self!r} already triggered")
+        self._value = value
+        self.sim._enqueue(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = 1) -> "Event":
+        """Decide the event's outcome as failure and enqueue it."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self.triggered:
+            raise DesError(f"{self!r} already triggered")
+        self._value = None
+        self._exc = exc
+        self.sim._enqueue(self, priority)
+        return self
+
+    def _mark_defused(self) -> None:
+        # A failed event whose exception was delivered to at least one
+        # waiter is "defused": the failure was handled and must not be
+        # re-raised by the event loop at the end of the run.
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._enqueue(self, priority=1, delay=delay)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise DesError("cannot mix events from different simulators")
+        self._n_fired = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, object]:
+        return {ev: ev._value for ev in self.events if ev.triggered and ev.ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._n_fired += 1
+        if not event.ok:
+            event._mark_defused()
+            self.fail(event._exc)
+        elif self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired (or any fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires (or any fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired >= 1

@@ -1,0 +1,76 @@
+"""Instrumentation for simulations: time series and counters."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.simulator import Simulator
+
+
+class TimeSeries:
+    """A piecewise-constant quantity sampled at state changes.
+
+    Records ``(time, value)`` points and can compute the time-weighted
+    mean -- e.g. average number of busy processors, mean queue depth.
+    """
+
+    def __init__(self, sim: "Simulator", initial: float = 0.0):
+        self.sim = sim
+        self.times: list[float] = [sim.now]
+        self.values: list[float] = [float(initial)]
+
+    @property
+    def current(self) -> float:
+        return self.values[-1]
+
+    def record(self, value: float) -> None:
+        self.times.append(self.sim.now)
+        self.values.append(float(value))
+
+    def add(self, delta: float) -> None:
+        self.record(self.current + delta)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean of the series from creation to ``until``."""
+        end = self.sim.now if until is None else until
+        if end <= self.times[0]:
+            return self.values[0]
+        total = 0.0
+        for i in range(len(self.times)):
+            t0 = self.times[i]
+            t1 = self.times[i + 1] if i + 1 < len(self.times) else end
+            t1 = min(t1, end)
+            if t1 > t0:
+                total += self.values[i] * (t1 - t0)
+            if t1 >= end:
+                break
+        return total / (end - self.times[0])
+
+    def maximum(self) -> float:
+        return max(self.values)
+
+
+class Monitor:
+    """A bag of named counters and time series for one simulation."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.counters: dict[str, float] = {}
+        self.series: dict[str, TimeSeries] = {}
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def gauge(self, name: str, initial: float = 0.0) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(self.sim, initial)
+        return self.series[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters plus the time-average of every gauge."""
+        out = dict(self.counters)
+        for name, ts in self.series.items():
+            out[f"{name}.avg"] = ts.time_average()
+            out[f"{name}.max"] = ts.maximum()
+        return out

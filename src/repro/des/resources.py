@@ -1,0 +1,318 @@
+"""Shared resources: FIFO k-server resources and fair-share servers.
+
+Two contention models cover everything the machine simulators need:
+
+* :class:`Resource` -- classic k-server with a FIFO queue.  Used for
+  locks (k=1) and for exclusive hardware (e.g. an uncontended port).
+
+* :class:`FairShareServer` -- generalized processor sharing (GPS): all
+  active jobs progress simultaneously, each at rate
+  ``min(per_customer_cap, capacity / n_active)``.  This is the natural
+  model for a shared memory bus (jobs share total bandwidth) and for
+  the Tera MTA's instruction issue slots (each hardware stream is
+  capped at 1/21 of the clock; the processor aggregates to at most one
+  instruction per cycle).  Completions are computed exactly -- no time
+  slicing -- so the model is both fast and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.des.errors import DesError
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.simulator import Simulator
+
+# Relative tolerance when deciding that a job's remaining work is zero.
+_EPS = 1e-9
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Fires when the resource is granted.  Usable as a context manager so
+    the resource is released even if the holder's code raises::
+
+        with res.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A k-server resource with a FIFO wait queue."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1,
+                 name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: set[Request] = set()
+        self._queue: list[Request] = []
+        # simple contention statistics
+        self.total_waits = 0
+        self.total_wait_time = 0.0
+        self._wait_started: dict[Request, float] = {}
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            self.total_waits += 1
+            self._wait_started[req] = self.sim.now
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        if req in self._users:
+            self._users.discard(req)
+        elif req in self._queue:  # cancelled before being granted
+            self._queue.remove(req)
+            self._wait_started.pop(req, None)
+            return
+        else:
+            raise DesError(f"{self.name}: releasing a request never granted")
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.pop(0)
+            self.total_wait_time += self.sim.now - self._wait_started.pop(nxt)
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class _Job:
+    __slots__ = ("remaining", "done", "enter_time", "cap", "rate")
+
+    def __init__(self, remaining: float, done: Event, enter_time: float,
+                 cap: Optional[float]):
+        self.remaining = remaining
+        self.done = done
+        self.enter_time = enter_time
+        self.cap = cap       # per-job rate limit (None -> server default)
+        self.rate = 0.0      # current allocation, set by _allocate()
+
+
+class FairShareServer:
+    """Generalized-processor-sharing server with per-customer rate cap.
+
+    ``capacity`` is the aggregate service rate (work units per simulated
+    time unit).  Rates are allocated by *water-filling*: capacity is
+    shared equally, except that no job exceeds its rate cap, and the
+    share a capped job cannot use is redistributed to the others.  With
+    equal caps this reduces to ``min(cap, capacity / n_active)``.
+    Allocations are recomputed exactly at every arrival and departure --
+    no time slicing -- and ``submit(demand)`` returns an event that
+    fires when the demand has been fully served.
+
+    ``per_customer_cap`` is the default cap; ``submit(..., cap=...)``
+    overrides it per job.  The MTA issue model uses ``capacity = clock``
+    and a per-stream cap of ``clock / 21``, so a lone stream gets 1/21
+    of the clock and ~21+ streams saturate the processor -- which is
+    precisely the paper's single-thread utilization story.  A job
+    representing a phase with internal parallelism ``p`` simply submits
+    with ``cap = p * stream_rate``.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float,
+                 per_customer_cap: Optional[float] = None,
+                 name: str = "fairshare"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if per_customer_cap is not None and per_customer_cap <= 0:
+            raise ValueError("per_customer_cap must be positive")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.per_customer_cap = (
+            float(per_customer_cap) if per_customer_cap is not None else None)
+        self.name = name
+        self._jobs: list[_Job] = []
+        self._last_update = sim.now
+        self._wakeup: Optional[Event] = None
+        self._wakeup_valid = False
+        self._flush_pending = False
+        # statistics: integral of served work and of busy time
+        self.total_served = 0.0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_active(self) -> int:
+        return len(self._jobs)
+
+    def current_rate(self) -> float:
+        """Equal-share per-job rate right now (0 if idle).
+
+        With heterogeneous per-job caps the true allocation is computed
+        by :meth:`_allocate`; this method reports the uncapped equal
+        share and is kept for symmetric-job inspection.
+        """
+        n = len(self._jobs)
+        if n == 0:
+            return 0.0
+        rate = self.capacity / n
+        if self.per_customer_cap is not None:
+            rate = min(rate, self.per_customer_cap)
+        return rate
+
+    def submit(self, demand: float, cap: Optional[float] = None) -> Event:
+        """Enter a job with ``demand`` work units; returns its done-event.
+
+        ``cap`` limits this job's service rate (defaults to the server's
+        ``per_customer_cap``).
+        """
+        if demand < 0:
+            raise ValueError("demand must be >= 0")
+        if cap is not None and cap <= 0:
+            raise ValueError("cap must be positive")
+        done = Event(self.sim)
+        if demand == 0:
+            done.succeed(None)
+            return done
+        self._advance()
+        self._jobs.append(_Job(float(demand), done, self.sim.now, cap))
+        self._request_reschedule()
+        return done
+
+    def _request_reschedule(self) -> None:
+        """Defer (re)allocation to a single flush event at the current
+        timestamp, so a burst of arrivals/departures costs one O(n)
+        pass instead of one per change."""
+        self._wakeup_valid = False  # outstanding wakeup is stale
+        if self._flush_pending:
+            return
+        self._flush_pending = True
+        flush = Event(self.sim)
+        flush.callbacks.append(self._flush)
+        # priority 2: after every same-time completion and submission
+        self.sim._enqueue(flush, priority=2, delay=0.0)
+        flush._value = None
+
+    def _flush(self, _event: Event) -> None:
+        self._flush_pending = False
+        self._advance()  # usually dt == 0 here
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    def _allocate(self) -> None:
+        """Water-filling rate allocation across the active jobs.
+
+        Jobs are filled in ascending cap order; each takes the smaller
+        of its cap and an equal share of what remains, and whatever a
+        capped job leaves on the table is redistributed to the rest.
+        """
+        jobs = self._jobs
+        if not jobs:
+            return
+        default = self.per_customer_cap
+        inf = float("inf")
+
+        # Fast path: all jobs share one cap (the overwhelmingly common
+        # case -- symmetric thread regions).  Equal caps make
+        # water-filling collapse to min(cap, capacity / n).
+        first_cap = jobs[0].cap if jobs[0].cap is not None else default
+        uniform = True
+        for job in jobs:
+            cap = job.cap if job.cap is not None else default
+            if cap != first_cap:
+                uniform = False
+                break
+        if uniform:
+            share = self.capacity / len(jobs)
+            rate = share if first_cap is None else min(first_cap, share)
+            for job in jobs:
+                job.rate = rate
+            return
+
+        ordered = sorted(
+            jobs, key=lambda j: j.cap if j.cap is not None
+            else (default if default is not None else inf))
+        left = self.capacity
+        n_left = len(ordered)
+        for job in ordered:
+            cap = job.cap if job.cap is not None else default
+            share = left / n_left
+            rate = share if cap is None else min(cap, share)
+            job.rate = rate
+            left -= rate
+            n_left -= 1
+
+    def _advance(self) -> None:
+        """Credit service performed since the last state change."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._jobs:
+            return
+        served_total = 0.0
+        for job in self._jobs:
+            served = job.rate * dt
+            job.remaining -= served
+            served_total += served
+        self.total_served += served_total
+        self.busy_time += dt
+
+    def _reschedule(self) -> None:
+        """Recompute rates and schedule the next job completion."""
+        self._wakeup_valid = False  # invalidate any outstanding wakeup
+        if not self._jobs:
+            return
+        self._allocate()
+        delay = min(job.remaining / job.rate for job in self._jobs
+                    if job.rate > 0)
+        delay = max(0.0, delay)
+        wakeup = Event(self.sim)
+        self._wakeup = wakeup
+        self._wakeup_valid = True
+        wakeup.callbacks.append(self._on_wakeup)
+        self.sim._enqueue(wakeup, priority=1, delay=delay)
+        wakeup._value = None  # trigger directly; not via succeed()
+
+    def _on_wakeup(self, event: Event) -> None:
+        if event is not self._wakeup or not self._wakeup_valid:
+            return  # stale wakeup superseded by a later arrival
+        self._advance()
+        # A job is done when its remaining work is zero up to float
+        # noise (relative to what has been served so far).
+        min_remaining = min(j.remaining for j in self._jobs)
+        threshold = max(_EPS, min_remaining * (1.0 + _EPS))
+        keep, finished = [], []
+        for j in self._jobs:
+            (finished if j.remaining <= threshold else keep).append(j)
+        self._jobs = keep
+        for job in finished:
+            job.remaining = 0.0
+            job.done.succeed(None)
+        self._request_reschedule()
+
+    def utilization(self, total_time: Optional[float] = None) -> float:
+        """Fraction of aggregate capacity actually used so far."""
+        t = total_time if total_time is not None else self.sim.now
+        if t <= 0:
+            return 0.0
+        return self.total_served / (self.capacity * t)

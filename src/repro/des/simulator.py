@@ -1,0 +1,131 @@
+"""The event loop driving a discrete-event simulation."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.des.errors import DesError, SimulationDeadlock
+from repro.des.events import Event, Timeout
+from repro.des.process import Process, ProcessGenerator
+
+
+class Simulator:
+    """A deterministic discrete-event simulation.
+
+    Events are processed in order of (time, priority, insertion order),
+    so two runs of the same model are bit-identical.  Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(3.0)
+            return "done"
+
+        p = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 3.0 and p.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.now: float = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event, to be succeeded/failed manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event firing ``delay`` simulated time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Register a generator as a simulated process."""
+        return Process(self, generator, name=name)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # scheduling / execution
+    # ------------------------------------------------------------------
+    def _enqueue(self, event: Event, priority: int = 1,
+                 delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap,
+                       (self.now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationDeadlock("no events scheduled")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - defensive
+            raise DesError("event scheduled in the past")
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if event._exc is not None and not event._defused:
+            # A failure nobody waited on: surface it instead of silently
+            # swallowing a crashed process.
+            raise event._exc
+
+    def run(self, until: Optional[float | Event] = None) -> object:
+        """Run until the heap is empty, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (simulated
+        time to stop at), or an :class:`Event` (stop when it is processed
+        and return its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self.now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self.now})")
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if self.peek() > stop_time:
+                self.now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise SimulationDeadlock(
+                "ran out of events before the awaited event fired")
+        if stop_time != float("inf"):
+            self.now = stop_time
+        return None
+
+    def run_all(self, *processes: Process) -> float:
+        """Convenience: run to exhaustion, assert the given processes all
+        finished, and return the finish time."""
+        self.run()
+        for p in processes:
+            if not p.triggered:
+                raise SimulationDeadlock(f"process {p.name} never finished")
+            if not p.ok:  # re-raise the process failure
+                p.value
+        return self.now

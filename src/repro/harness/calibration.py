@@ -1,0 +1,115 @@
+"""Calibration constants: the paper's measured values and how the
+model constants were fitted to them.
+
+**What is calibrated and what is emergent.**  The reproduction has two
+kinds of numbers:
+
+* *Calibrated constants* -- a small set of per-machine and per-workload
+  scalars fitted so the **sequential** baselines land on the paper's
+  Tables 2 and 8, namely:
+
+  - the per-op cycle costs of each conventional CPU
+    (``repro/machines/catalog.py``), fitted to the three conventional
+    sequential times of each benchmark;
+  - each machine's sustained memory bandwidth and effective miss
+    latency (same file), fitted to the memory-bound Terrain Masking
+    sequential times and the bus-saturation levels;
+  - the benchmark op recipes (``repro/c3i/*/workload.py``): per-event
+    op mixes whose *ratios* (memory fraction, float fraction) encode
+    the compute-bound/memory-bound character of each program, and
+    whose absolute sizes set total work (full-scale ``n_steps`` for
+    Threat Analysis, the grid size and LOS per-cell cost for Terrain
+    Masking);
+  - the MTA parameters (``repro/mta/spec.py``): the 21-cycle issue
+    interval and 128 streams are the machine's published architecture;
+    the lookahead depth (5), loaded memory latency (135 cycles), LIW
+    packing (3 ops/instruction) and prototype network throughput
+    (0.45 words/cycle/processor, scaling as P^0.54) are fitted to the
+    MTA rows of Tables 2/5/8/11.
+
+* *Emergent results* -- everything else: every speedup curve, the bus
+  saturation of Terrain Masking on both SMPs, the chunk-count sweep of
+  Table 6, the 1.8x vs 1.4x two-processor MTA speedups (compute-bound
+  issue scaling vs network-bound sublinear scaling), the failure of
+  automatic parallelization, and the cross-machine equivalences
+  ("one MTA processor ~ four Exemplar processors").  No per-table
+  constants exist; a change to any machine model moves all of its
+  tables together.
+
+**Key derivations.**
+
+* MTA sequential slowdown: one stream issues one instruction per
+  21-cycle pipeline pass; unhidden memory latency adds
+  ``mem_per_instr * max(0, 135 - 5*21)= ~0.35 * 30`` cycles for Threat
+  Analysis, giving ~31.5 cycles/instruction -- the paper's 32x gap
+  between sequential and saturated multithreaded execution.
+* LIW packing: with 3 ops per 64-bit instruction word and one memory
+  slot per word, instructions = max(ops/3, memory ops); Terrain
+  Masking's ~37% memory ops make it one-reference-per-instruction,
+  which is why its MTA runs are network-bound.
+* Prototype network: Threat Analysis at saturation demands ~0.35
+  words/cycle/processor (< 0.45: issue-bound at 1 processor; the
+  aggregate demand of two processors then exceeds the sublinearly
+  scaled network, capping the speedup at ~1.8).  Terrain Masking
+  demands ~1.0 (network-bound everywhere; speedup = the network
+  scaling factor, 2^0.54 ~ 1.45).
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# The paper's measured values, table by table (seconds unless noted).
+# ----------------------------------------------------------------------
+
+#: Table 2 -- sequential Threat Analysis.
+PAPER_TABLE2 = {"Alpha": 187.0, "Pentium Pro": 458.0, "Exemplar": 343.0,
+                "Tera": 2584.0}
+
+#: Table 3 -- multithreaded Threat Analysis on the quad Pentium Pro.
+PAPER_TABLE3 = {"sequential": 458.0, 1: 466.0, 2: 233.0, 3: 157.0,
+                4: 117.0}
+
+#: Table 4 -- multithreaded Threat Analysis on the 16-CPU Exemplar.
+PAPER_TABLE4 = {"sequential": 343.0, 1: 343.0, 2: 172.0, 3: 115.0, 4: 87.0,
+                5: 69.0, 6: 58.0, 7: 50.0, 8: 43.0, 9: 39.0, 10: 35.0,
+                11: 32.0, 12: 29.0, 13: 27.0, 14: 26.0, 15: 24.0, 16: 22.0}
+
+#: Table 5 -- multithreaded Threat Analysis on the Tera MTA (256 chunks).
+PAPER_TABLE5 = {1: 82.0, 2: 46.0}
+
+#: Table 6 -- Threat Analysis on the dual-processor MTA vs chunk count.
+PAPER_TABLE6 = {8: 386.0, 16: 197.0, 32: 104.0, 64: 61.0, 128: 46.0,
+                256: 46.0}
+
+#: Table 8 -- sequential Terrain Masking.
+PAPER_TABLE8 = {"Alpha": 158.0, "Pentium Pro": 197.0, "Exemplar": 228.0,
+                "Tera": 978.0}
+
+#: Table 9 -- multithreaded Terrain Masking on the quad Pentium Pro.
+PAPER_TABLE9 = {"sequential": 197.0, 1: 172.0, 2: 97.0, 3: 74.0, 4: 65.0}
+
+#: Table 10 -- multithreaded Terrain Masking on the 16-CPU Exemplar.
+PAPER_TABLE10 = {"sequential": 228.0, 1: 228.0, 2: 102.0, 3: 90.0, 4: 59.0,
+                 5: 62.0, 6: 43.0, 7: 51.0, 8: 37.0, 9: 49.0, 10: 34.0,
+                 11: 41.0, 12: 34.0, 13: 32.0, 14: 40.0, 15: 41.0, 16: 37.0}
+
+#: Table 11 -- fine-grained Terrain Masking on the Tera MTA.
+PAPER_TABLE11 = {1: 48.0, 2: 34.0}
+
+#: Section 7 micro-claims.
+PAPER_MICRO = {
+    "single_stream_issue_interval_cycles": 21.0,
+    "single_stream_utilization": 1.0 / 21.0,
+    "streams_for_full_utilization": 80.0,
+    "hw_thread_create_cycles": 2.0,
+    "sw_thread_create_cycles_lo": 50.0,
+    "sw_thread_create_cycles_hi": 100.0,
+    "sync_cycles": 1.0,
+    "os_thread_create_cycles_lo": 10_000.0,
+    "os_thread_create_cycles_hi": 500_000.0,
+}
+
+#: Default kernel scales used by the harness (see the workload modules
+#: for the exact extrapolation; both are work-exact).
+DEFAULT_THREAT_SCALE = 0.02
+DEFAULT_TERRAIN_SCALE = 0.05

@@ -1,0 +1,75 @@
+"""Experiment result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Row:
+    """One row of a reproduced table: paper value vs simulated value."""
+
+    label: str
+    paper: Optional[float]
+    simulated: float
+    unit: str = "s"
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper is None or self.paper == 0:
+            return None
+        return self.simulated / self.paper
+
+    @property
+    def error_pct(self) -> Optional[float]:
+        r = self.ratio
+        return None if r is None else (r - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One reproduction criterion (a property of the *shape*)."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.description}{suffix}"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A reproduced table/figure with its shape checks."""
+
+    experiment_id: str
+    title: str
+    rows: tuple[Row, ...]
+    checks: tuple[ShapeCheck, ...] = ()
+    notes: str = ""
+
+    def all_checks_pass(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def row(self, label: str) -> Row:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(f"{self.experiment_id}: no row {label!r}")
+
+    def render(self) -> str:
+        from repro.harness.tables import render_comparison_table
+        out = [f"{self.experiment_id}: {self.title}",
+               "=" * (len(self.experiment_id) + len(self.title) + 2),
+               render_comparison_table(self.rows)]
+        if self.checks:
+            out.append("")
+            out.append("shape checks:")
+            out.extend(f"  {c}" for c in self.checks)
+        if self.notes:
+            out.append("")
+            out.append(self.notes)
+        return "\n".join(out)

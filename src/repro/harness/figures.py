@@ -1,0 +1,38 @@
+"""ASCII rendering of the paper's speedup figures (Figures 1-4)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def render_speedup_figure(title: str,
+                          processors: Sequence[int],
+                          speedups: Sequence[float],
+                          paper_speedups: Optional[Sequence[float]] = None,
+                          width: int = 52) -> str:
+    """A horizontal-bar speedup chart: one bar per processor count.
+
+    ``*`` marks the simulated speedup; ``|`` marks the paper's where
+    given; the dotted diagonal would be ideal speedup.
+    """
+    if len(processors) != len(speedups):
+        raise ValueError("processors and speedups must align")
+    if paper_speedups is not None and len(paper_speedups) != len(speedups):
+        raise ValueError("paper_speedups must align with speedups")
+    max_s = max(max(speedups), max(processors),
+                max(paper_speedups) if paper_speedups else 0.0)
+    scale = (width - 1) / max_s
+    lines = [title, "-" * len(title),
+             f"{'procs':>5}  speedup  " + " " * 4 +
+             f"(ideal '.', simulated '*', paper '|')"]
+    for i, (p, s) in enumerate(zip(processors, speedups)):
+        bar = [" "] * width
+        ideal_pos = min(width - 1, int(round(p * scale)))
+        bar[ideal_pos] = "."
+        if paper_speedups is not None:
+            paper_pos = min(width - 1, int(round(paper_speedups[i] * scale)))
+            bar[paper_pos] = "|"
+        sim_pos = min(width - 1, int(round(s * scale)))
+        bar[sim_pos] = "*"
+        lines.append(f"{p:>5}  {s:>6.2f}   {''.join(bar)}")
+    return "\n".join(lines)

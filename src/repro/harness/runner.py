@@ -1,0 +1,139 @@
+"""Benchmark data cache and machine-run helpers.
+
+Running an experiment takes three steps: (1) generate the synthetic
+scenarios and execute the real benchmark kernels (once, cached here);
+(2) turn the instrumented runs into machine-model jobs; (3) simulate
+the jobs on the platform models.  ``BenchmarkData`` owns step 1 and
+memoizes everything downstream of it.
+
+The kernels run at a reduced scale by default (the workload extractors
+extrapolate exactly -- see the ``workload`` modules); pass larger
+scales for higher-fidelity structural statistics at more kernel time.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.c3i import terrain as TE
+from repro.c3i import threat as TH
+from repro.machines import ConventionalMachine, exemplar, ppro
+from repro.machines.catalog import ALPHASTATION_500
+from repro.machines.spec import MachineSpec
+from repro.mta import MtaMachine, mta
+from repro.workload.task import Job
+
+
+class BenchmarkData:
+    """Scenarios + instrumented kernel runs for both benchmarks."""
+
+    def __init__(self, threat_scale: float = 0.02,
+                 terrain_scale: float = 0.05, seed_offset: int = 0):
+        self.threat_scale = threat_scale
+        self.terrain_scale = terrain_scale
+        self.seed_offset = seed_offset
+        self._cache: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # kernels (step 1)
+    # ------------------------------------------------------------------
+    def _memo(self, key: str, fn):
+        if key not in self._cache:
+            self._cache[key] = fn()
+        return self._cache[key]
+
+    @property
+    def threat_scenarios(self):
+        return self._memo("th-sc", lambda: TH.benchmark_scenarios(
+            scale=self.threat_scale, seed_offset=self.seed_offset))
+
+    @property
+    def threat_sequential(self):
+        return self._memo("th-seq", lambda: [
+            TH.run_sequential(s) for s in self.threat_scenarios])
+
+    @property
+    def terrain_scenarios(self):
+        return self._memo("te-sc", lambda: TE.benchmark_scenarios(
+            scale=self.terrain_scale, seed_offset=self.seed_offset))
+
+    @property
+    def terrain_sequential(self):
+        return self._memo("te-seq", lambda: [
+            TE.run_sequential(s) for s in self.terrain_scenarios])
+
+    @property
+    def terrain_finegrained(self):
+        return self._memo("te-fg", lambda: [
+            TE.run_finegrained(s) for s in self.terrain_scenarios])
+
+    def terrain_blocked(self, n_threads: int):
+        return self._memo(f"te-bl-{n_threads}", lambda: [
+            TE.run_blocked(s, n_threads=n_threads)
+            for s in self.terrain_scenarios])
+
+    # ------------------------------------------------------------------
+    # jobs (step 2)
+    # ------------------------------------------------------------------
+    def threat_sequential_job(self) -> Job:
+        return self._memo("th-job-seq", lambda: TH.sequential_benchmark_job(
+            self.threat_scenarios, self.threat_sequential))
+
+    def threat_chunked_job(self, n_chunks: int,
+                           thread_kind: str = "os") -> Job:
+        return self._memo(
+            f"th-job-ch-{n_chunks}-{thread_kind}",
+            lambda: TH.chunked_benchmark_job(
+                self.threat_scenarios, self.threat_sequential, n_chunks,
+                thread_kind=thread_kind))
+
+    def threat_finegrained_job(self) -> Job:
+        return self._memo("th-job-fg", lambda: TH.finegrained_benchmark_job(
+            self.threat_scenarios, self.threat_sequential))
+
+    def terrain_sequential_job(self) -> Job:
+        return self._memo("te-job-seq", lambda: TE.sequential_benchmark_job(
+            self.terrain_scenarios, self.terrain_sequential))
+
+    def terrain_blocked_job(self, n_threads: int,
+                            thread_kind: str = "os") -> Job:
+        return self._memo(
+            f"te-job-bl-{n_threads}-{thread_kind}",
+            lambda: TE.blocked_benchmark_job(
+                self.terrain_scenarios, self.terrain_blocked(n_threads),
+                thread_kind=thread_kind))
+
+    def terrain_finegrained_job(self) -> Job:
+        return self._memo("te-job-fg", lambda: TE.finegrained_benchmark_job(
+            self.terrain_scenarios, self.terrain_finegrained))
+
+    # ------------------------------------------------------------------
+    # simulation (step 3)
+    # ------------------------------------------------------------------
+    def run_conventional(self, spec: MachineSpec, job: Job) -> float:
+        key = f"run-{spec.name}-{spec.n_cpus}-{job.name}"
+        return self._memo(
+            key, lambda: ConventionalMachine(spec).run(job).seconds)
+
+    def run_mta(self, n_processors: int, job: Job) -> float:
+        key = f"run-mta{n_processors}-{job.name}"
+        return self._memo(
+            key, lambda: MtaMachine(mta(n_processors)).run(job).seconds)
+
+    # convenience shorthands used by the registry -----------------------
+    def alpha(self, job: Job) -> float:
+        return self.run_conventional(ALPHASTATION_500, job)
+
+    def ppro(self, n: int, job: Job) -> float:
+        return self.run_conventional(ppro(n), job)
+
+    def exemplar(self, n: int, job: Job) -> float:
+        return self.run_conventional(exemplar(n), job)
+
+
+@lru_cache(maxsize=4)
+def default_data(threat_scale: float = 0.02,
+                 terrain_scale: float = 0.05) -> BenchmarkData:
+    """The process-wide shared benchmark data (kernels run once)."""
+    return BenchmarkData(threat_scale=threat_scale,
+                         terrain_scale=terrain_scale)

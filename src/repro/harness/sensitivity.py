@@ -1,0 +1,143 @@
+"""Parameter sensitivity: which conclusions depend on which constants.
+
+For each calibrated constant the study perturbs it by +/-25% and
+measures four headline outputs.  The point is epistemic honesty about
+the calibration: the *qualitative* findings (which machine wins, what
+saturates) must survive any single-constant error, while absolute
+seconds legitimately move.
+
+Outputs watched:
+
+* MT Threat Analysis on 1 MTA processor  (Table 5's 82 s)
+* MT Threat Analysis 2-processor speedup (Table 5's 1.8x)
+* FG Terrain Masking 2-processor speedup (Table 11's 1.4x)
+* Terrain Masking 16-CPU Exemplar speedup (Table 10's ~6x)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.harness.runner import BenchmarkData
+from repro.machines import ConventionalMachine, exemplar
+from repro.machines.spec import MemSpec
+from repro.mta import MtaMachine, MtaSpec, mta
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    parameter: str
+    output: str
+    base: float
+    low: float    # output at parameter * 0.75
+    high: float   # output at parameter * 1.25
+
+    @property
+    def swing_pct(self) -> float:
+        """Largest relative output change across the perturbations."""
+        return 100.0 * max(abs(self.low - self.base),
+                           abs(self.high - self.base)) / self.base
+
+
+def _outputs(data: BenchmarkData, mta_factory: Callable[[int], MtaSpec],
+             exemplar_factory) -> dict[str, float]:
+    threat = data.threat_chunked_job(256, thread_kind="hw")
+    terrain = data.terrain_finegrained_job()
+    blocked1 = data.terrain_blocked_job(1)
+    blocked16 = data.terrain_blocked_job(16)
+    t1 = MtaMachine(mta_factory(1)).run(threat).seconds
+    t2 = MtaMachine(mta_factory(2)).run(threat).seconds
+    m1 = MtaMachine(mta_factory(1)).run(terrain).seconds
+    m2 = MtaMachine(mta_factory(2)).run(terrain).seconds
+    e1 = ConventionalMachine(exemplar_factory(1)).run(blocked1).seconds
+    e16 = ConventionalMachine(exemplar_factory(16)).run(blocked16).seconds
+    return {
+        "threat MTA 1p (s)": t1,
+        "threat MTA 2p speedup": t1 / t2,
+        "terrain MTA 2p speedup": m1 / m2,
+        "terrain Exemplar 16p speedup": e1 / e16,
+    }
+
+
+def _mta_knob(field: str, factor: float):
+    def factory(p: int) -> MtaSpec:
+        base = mta(p)
+        return dataclasses.replace(
+            base, **{field: getattr(base, field) * factor})
+    return factory
+
+
+def _exemplar_knob(field: str, factor: float):
+    def factory(n: int):
+        spec = exemplar(n)
+        mem = spec.mem
+        kwargs = {"bandwidth_bytes_per_s": mem.bandwidth_bytes_per_s,
+                  "miss_latency_s": mem.miss_latency_s}
+        kwargs[field] = kwargs[field] * factor
+        return dataclasses.replace(spec, mem=MemSpec(**kwargs))
+    return factory
+
+
+#: (parameter label, model, field) -- the calibrated constants probed.
+PARAMETERS = (
+    ("MTA network words/cycle", "mta", "network_words_per_cycle"),
+    ("MTA memory latency", "mta", "mem_latency_cycles"),
+    ("MTA LIW packing", "mta", "ops_per_instruction"),
+    ("Exemplar memory bandwidth", "exemplar", "bandwidth_bytes_per_s"),
+    ("Exemplar miss latency", "exemplar", "miss_latency_s"),
+)
+
+
+def run_sensitivity(data: BenchmarkData) -> list[SensitivityRow]:
+    """The full sensitivity table (one row per parameter x output)."""
+    base = _outputs(data, mta, exemplar)
+    rows: list[SensitivityRow] = []
+    for label, model, field in PARAMETERS:
+        variants = {}
+        for tag, factor in (("low", 0.75), ("high", 1.25)):
+            if model == "mta":
+                variants[tag] = _outputs(data, _mta_knob(field, factor),
+                                         exemplar)
+            else:
+                variants[tag] = _outputs(data, mta,
+                                         _exemplar_knob(field, factor))
+        for output, base_v in base.items():
+            rows.append(SensitivityRow(
+                parameter=label, output=output, base=base_v,
+                low=variants["low"][output],
+                high=variants["high"][output]))
+    return rows
+
+
+def render_sensitivity(rows: list[SensitivityRow]) -> str:
+    lines = [
+        f"{'parameter':<30} {'output':<30} {'base':>9} {'-25%':>9} "
+        f"{'+25%':>9} {'swing':>7}",
+        "-" * 98,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.parameter:<30} {r.output:<30} {r.base:>9.2f} "
+            f"{r.low:>9.2f} {r.high:>9.2f} {r.swing_pct:>6.1f}%")
+    return "\n".join(lines)
+
+
+def qualitative_conclusions_hold(rows: list[SensitivityRow]) -> bool:
+    """Under every probed perturbation: the MTA's 2-processor speedups
+    stay sub-ideal, and Threat scales better than Terrain on the MTA."""
+    by_param: dict[str, dict[str, SensitivityRow]] = {}
+    for r in rows:
+        by_param.setdefault(r.parameter, {})[r.output] = r
+    for variants in by_param.values():
+        threat_s = variants["threat MTA 2p speedup"]
+        terrain_s = variants["terrain MTA 2p speedup"]
+        for tag in ("low", "high"):
+            ts = getattr(threat_s, tag)
+            ms = getattr(terrain_s, tag)
+            if not (1.0 <= ms <= 2.0 and 1.0 <= ts <= 2.0):
+                return False
+            if ts < ms - 0.05:  # Threat must scale at least as well
+                return False
+    return True

@@ -1,0 +1,75 @@
+"""Serialization of experiment results (JSON round trip).
+
+Lets CI pipelines and notebooks consume reproduced tables without
+re-running the simulations, and lets the CLI emit machine-readable
+output (``python -m repro run table5 --json out.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.harness.experiment import ExperimentResult, Row, ShapeCheck
+
+#: bumped on any schema change
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "notes": result.notes,
+        "rows": [
+            {"label": r.label, "paper": r.paper,
+             "simulated": r.simulated, "unit": r.unit}
+            for r in result.rows
+        ],
+        "checks": [
+            {"description": c.description, "passed": c.passed,
+             "detail": c.detail}
+            for c in result.checks
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema {schema!r} "
+            f"(this build reads {SCHEMA_VERSION})")
+    rows = tuple(
+        Row(label=r["label"], paper=r["paper"],
+            simulated=r["simulated"], unit=r["unit"])
+        for r in payload["rows"]
+    )
+    checks = tuple(
+        ShapeCheck(description=c["description"], passed=c["passed"],
+                   detail=c.get("detail", ""))
+        for c in payload["checks"]
+    )
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        rows=rows,
+        checks=checks,
+        notes=payload.get("notes", ""),
+    )
+
+
+def dump_results(results: Iterable[ExperimentResult], path: str) -> None:
+    """Write results as a JSON array."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump([result_to_dict(r) for r in results], fh, indent=2)
+
+
+def load_results(path: str) -> list[ExperimentResult]:
+    """Read back results written by :func:`dump_results`."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, list):
+        raise ValueError("expected a JSON array of results")
+    return [result_from_dict(p) for p in payload]

@@ -1,0 +1,38 @@
+"""Rendering of paper-vs-simulated comparison tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.harness.experiment import Row
+
+
+def _fmt(v: float | None, unit: str) -> str:
+    if v is None:
+        return "-"
+    if unit == "s":
+        return f"{v:,.1f}" if v < 100 else f"{v:,.0f}"
+    if unit == "x":
+        return f"{v:.2f}"
+    if unit == "loops":
+        return f"{v:.0f}"
+    if unit == "cycles":
+        return f"{v:,.0f}"
+    if unit == "%":
+        return f"{v:+.1f}%"
+    return f"{v:g}"
+
+
+def render_comparison_table(rows: Sequence[Row]) -> str:
+    """Aligned text table: label | paper | simulated | error."""
+    label_w = max(24, max((len(r.label) for r in rows), default=0) + 1)
+    lines = [
+        f"{'row':<{label_w}} {'paper':>12} {'simulated':>12} {'err %':>8}",
+        "-" * (label_w + 36),
+    ]
+    for r in rows:
+        err = "" if r.error_pct is None else f"{r.error_pct:+.1f}"
+        lines.append(
+            f"{r.label:<{label_w}} {_fmt(r.paper, r.unit):>12} "
+            f"{_fmt(r.simulated, r.unit):>12} {err:>8}")
+    return "\n".join(lines)

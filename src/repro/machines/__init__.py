@@ -1,0 +1,76 @@
+"""Performance simulators for the conventional platforms of the paper.
+
+A :class:`~repro.machines.machine.ConventionalMachine` executes a
+:class:`~repro.workload.Job` on a DES model of a cache-based
+shared-memory multiprocessor:
+
+* each CPU is a share of a processor pool (threads never exceed one
+  CPU's issue rate; the pool never exceeds ``n_cpus``);
+* each phase's cache-miss traffic -- derived from its footprint and
+  access pattern by :mod:`repro.machines.locality` -- contends for a
+  shared memory bus with finite bandwidth and a per-CPU cap set by the
+  miss latency (an in-order CPU keeps only one miss outstanding);
+* locks are DES mutexes with the platform's synchronization cost;
+* thread creation pays the platform's (expensive) OS-thread cost.
+
+The three platforms of the paper are in
+:mod:`repro.machines.catalog`: ``ALPHASTATION_500`` (1x500 MHz),
+``PPRO_SMP_4`` (4x200 MHz), ``EXEMPLAR_16`` (16x180 MHz).
+
+:mod:`repro.machines.cache` additionally provides a trace-level
+set-associative cache simulator used by the unit tests and
+micro-benchmarks to validate the macro locality model.
+"""
+
+from repro.machines.spec import (
+    CacheSpec,
+    CoreSpec,
+    MachineSpec,
+    MemSpec,
+    ThreadCosts,
+)
+from repro.machines.cache import SetAssociativeCache
+from repro.machines.cycle import (
+    CoreInstruction,
+    CoreStats,
+    InOrderCore,
+    compute_kernel,
+    random_kernel,
+    resident_kernel,
+    streaming_kernel,
+)
+from repro.machines.locality import miss_traffic_bytes
+from repro.machines.machine import ConventionalMachine, RunResult
+from repro.machines.catalog import (
+    ALPHASTATION_500,
+    EXEMPLAR_16,
+    PPRO_SMP_4,
+    exemplar,
+    get_machine_spec,
+    ppro,
+)
+
+__all__ = [
+    "ALPHASTATION_500",
+    "CacheSpec",
+    "ConventionalMachine",
+    "CoreInstruction",
+    "CoreSpec",
+    "CoreStats",
+    "InOrderCore",
+    "compute_kernel",
+    "random_kernel",
+    "resident_kernel",
+    "streaming_kernel",
+    "EXEMPLAR_16",
+    "MachineSpec",
+    "MemSpec",
+    "PPRO_SMP_4",
+    "RunResult",
+    "SetAssociativeCache",
+    "ThreadCosts",
+    "exemplar",
+    "get_machine_spec",
+    "miss_traffic_bytes",
+    "ppro",
+]

@@ -1,0 +1,93 @@
+"""Trace-level set-associative cache simulator.
+
+This is the micro-fidelity companion to the macro locality model in
+:mod:`repro.machines.locality`: unit tests replay address traces through
+it and check that the macro model's traffic estimates agree with the
+trace-exact miss counts on the reference patterns (streaming, in-cache
+reuse, random).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over byte addresses."""
+
+    def __init__(self, capacity_bytes: int, line_bytes: int = 64,
+                 assoc: int = 4):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a positive power of two")
+        if assoc < 1:
+            raise ValueError("assoc must be >= 1")
+        n_lines = capacity_bytes // line_bytes
+        if n_lines < assoc or n_lines % assoc:
+            raise ValueError(
+                "capacity must hold a whole number of sets of `assoc` lines")
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.n_sets = n_lines // assoc
+        # each set: OrderedDict tag -> None, LRU at the front
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, address: int) -> bool:
+        """Reference one byte address; returns True on hit."""
+        if address < 0:
+            raise ValueError("negative address")
+        set_idx, tag = self._locate(address)
+        s = self._sets[set_idx]
+        if tag in s:
+            s.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(s) >= self.assoc:
+            s.popitem(last=False)  # evict LRU
+        s[tag] = None
+        return False
+
+    def access_range(self, start: int, n_bytes: int, stride: int = 8
+                     ) -> int:
+        """Reference ``n_bytes`` starting at ``start`` with the given
+        stride; returns the number of misses incurred."""
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        before = self.misses
+        for addr in range(start, start + n_bytes, stride):
+            self.access(addr)
+        return self.misses - before
+
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        n = self.accesses
+        return self.misses / n if n else 0.0
+
+    @property
+    def miss_traffic_bytes(self) -> int:
+        return self.misses * self.line_bytes
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self.reset_stats()

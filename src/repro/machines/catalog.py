@@ -1,0 +1,126 @@
+"""The conventional platforms of the paper (Table 1), as machine specs.
+
+The specs pair each platform's published clock/cache/bus figures with
+*effective* per-op cycle costs.  The op costs are calibrated constants
+(see ``repro/harness/calibration.py`` for provenance and the fitting
+rationale); the structural parameters are from the hardware manuals of
+the era:
+
+* **AlphaStation 500/500** -- 500 MHz 21164A, 4-issue in-order, 96 KB
+  on-chip L2 + 2 MB board cache, ~180 ns memory latency, one memory bus.
+* **NeTpower Sparta** -- 4 x 200 MHz Pentium Pro, 3-issue out-of-order,
+  256 KB L2 per CPU, all CPUs sharing one 66 MHz x 8 B front-side bus
+  (528 MB/s peak, far less sustained).
+* **HP Exemplar S-Class** -- 16 x 180 MHz PA-8000, 4-issue out-of-order,
+  large (1 MB+) off-chip caches, CPUs reach memory through a
+  hypernode crossbar with good aggregate bandwidth but long latency.
+"""
+
+from __future__ import annotations
+
+from repro.machines.spec import (
+    CacheSpec,
+    CoreSpec,
+    MachineSpec,
+    MemSpec,
+    ThreadCosts,
+)
+
+MB = 1024.0 * 1024.0
+
+#: Effective cycles per op class.  These fold issue width, dependence
+#: stalls and branch behaviour into a single per-class mean, calibrated
+#: so that the *ratios* between the platforms' sequential benchmark
+#: times match Tables 2 and 8 of the paper.  The ``sync`` entry is the
+#: cost of one synchronized memory operation (atomic/lock-word access):
+#: hundreds of cycles on these SMPs, per the paper's Section 7.
+_ALPHA_OPS = {"ialu": 1.03, "falu": 1.72, "load": 1.49, "store": 1.49,
+              "branch": 2.06, "sync": 400.0}
+_PPRO_OPS = {"ialu": 0.83, "falu": 1.93, "load": 1.10, "store": 1.19,
+             "branch": 1.83, "sync": 600.0}
+_EXEMPLAR_OPS = {"ialu": 0.63, "falu": 1.16, "load": 0.95, "store": 1.05,
+                 "branch": 1.47, "sync": 500.0}
+
+#: OS/software thread costs on the conventional platforms, per the
+#: paper's Section 7: creation tens-of-thousands to hundreds-of-
+#: thousands of cycles, synchronization hundreds to thousands.
+_NT_COSTS = {
+    "os": ThreadCosts(create_cycles=100_000.0, sync_cycles=600.0),
+    "sw": ThreadCosts(create_cycles=30_000.0, sync_cycles=400.0),
+}
+_UNIX_COSTS = {
+    "os": ThreadCosts(create_cycles=80_000.0, sync_cycles=500.0),
+    "sw": ThreadCosts(create_cycles=25_000.0, sync_cycles=400.0),
+}
+
+ALPHASTATION_500 = MachineSpec(
+    name="AlphaStation 500/500",
+    n_cpus=1,
+    core=CoreSpec(clock_hz=500e6, op_cycles=dict(_ALPHA_OPS)),
+    cache=CacheSpec(capacity_bytes=2 * MB, line_bytes=64, assoc=4,
+                    hit_cycles=2.0),
+    # The AS500's write-through board cache makes read-modify-write
+    # sweeps expensive: the effective back-to-back miss cost is several
+    # times the pin-to-pin latency (STREAM-class measurements on this
+    # box sit near 100 MB/s for scale/triad).
+    mem=MemSpec(bandwidth_bytes_per_s=360e6, miss_latency_s=700e-9),
+    thread_costs=dict(_UNIX_COSTS),
+    memory_bytes=500.0 * 1024 * 1024,   # Table 1: 500 MB
+)
+
+PPRO_SMP_4 = MachineSpec(
+    name="NeTpower Sparta (4 x Pentium Pro)",
+    n_cpus=4,
+    core=CoreSpec(clock_hz=200e6, op_cycles=dict(_PPRO_OPS)),
+    cache=CacheSpec(capacity_bytes=256 * 1024, line_bytes=32, assoc=4,
+                    hit_cycles=3.0),
+    # One FSB shared by all four CPUs: ~340 MB/s sustained out of the
+    # 528 MB/s peak; ~170 ns loaded miss latency.
+    mem=MemSpec(bandwidth_bytes_per_s=340e6, miss_latency_s=170e-9),
+    thread_costs=dict(_NT_COSTS),
+    memory_bytes=500.0 * 1024 * 1024,   # Table 1: 500 MB
+)
+
+EXEMPLAR_16 = MachineSpec(
+    name="HP Exemplar S-Class",
+    n_cpus=16,
+    core=CoreSpec(clock_hz=180e6, op_cycles=dict(_EXEMPLAR_OPS)),
+    cache=CacheSpec(capacity_bytes=1 * MB, line_bytes=64, assoc=4,
+                    hit_cycles=2.0),
+    # Hypernode crossbar: decent aggregate bandwidth but long latency
+    # (ccNUMA), so one CPU's private ceiling is modest.
+    mem=MemSpec(bandwidth_bytes_per_s=500e6, miss_latency_s=650e-9),
+    thread_costs=dict(_UNIX_COSTS),
+    memory_bytes=4.0 * 1024 ** 3,       # Table 1: 4 GB
+)
+
+_CATALOG = {
+    "alpha": ALPHASTATION_500,
+    "alphastation": ALPHASTATION_500,
+    "ppro": PPRO_SMP_4,
+    "pentiumpro": PPRO_SMP_4,
+    "exemplar": EXEMPLAR_16,
+}
+
+
+def get_machine_spec(name: str) -> MachineSpec:
+    """Look up a platform by short name (case-insensitive)."""
+    key = name.strip().lower().replace(" ", "").replace("-", "")
+    if key not in _CATALOG:
+        raise KeyError(
+            f"unknown machine {name!r}; known: {sorted(set(_CATALOG))}")
+    return _CATALOG[key]
+
+
+def exemplar(n_cpus: int) -> MachineSpec:
+    """The Exemplar restricted to ``n_cpus`` processors (1..16)."""
+    if not 1 <= n_cpus <= 16:
+        raise ValueError("the paper's Exemplar has 1..16 processors")
+    return EXEMPLAR_16.with_cpus(n_cpus)
+
+
+def ppro(n_cpus: int) -> MachineSpec:
+    """The Pentium Pro SMP restricted to ``n_cpus`` processors (1..4)."""
+    if not 1 <= n_cpus <= 4:
+        raise ValueError("the paper's Pentium Pro system has 1..4 CPUs")
+    return PPRO_SMP_4.with_cpus(n_cpus)

@@ -1,0 +1,154 @@
+"""Cycle-level in-order CPU model for the conventional machines.
+
+The micro-fidelity companion to :class:`~repro.machines.machine.
+ConventionalMachine` (as :mod:`repro.mta.system` is to
+:class:`~repro.mta.machine.MtaMachine`): executes explicit instruction
+traces through a real set-associative cache with a fixed miss penalty.
+Unit tests cross-validate the macro model's compute/traffic split
+against this simulator on the boundary workloads (in-cache compute,
+streaming sweeps, random access), pinning the whole-benchmark results
+to per-reference behaviour.
+
+The model is deliberately an idealized in-order core -- one instruction
+per ``op_cycles`` plus a full ``miss_penalty`` stall per cache miss --
+matching the macro model's assumption that these 1990s CPUs overlap
+little of their miss latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.machines.cache import SetAssociativeCache
+from repro.machines.spec import MachineSpec
+
+#: instruction kinds understood by the core model
+CORE_KINDS = ("ialu", "falu", "load", "store", "branch", "sync")
+
+
+@dataclass(frozen=True)
+class CoreInstruction:
+    """One instruction of a trace."""
+
+    kind: str
+    addr: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CORE_KINDS:
+            raise ValueError(f"unknown instruction kind {self.kind!r}")
+        if self.addr < 0:
+            raise ValueError("negative address")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in ("load", "store", "sync")
+
+
+@dataclass(frozen=True)
+class CoreStats:
+    """Outcome of one trace execution."""
+
+    cycles: float
+    instructions: int
+    mem_refs: int
+    cache_hits: int
+    cache_misses: int
+    stall_cycles: float
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return (self.cache_misses / self.mem_refs
+                if self.mem_refs else 0.0)
+
+
+class InOrderCore:
+    """An in-order scalar CPU with one cache level."""
+
+    def __init__(self, spec: MachineSpec,
+                 cache: Optional[SetAssociativeCache] = None):
+        self.spec = spec
+        self.cache = cache if cache is not None else SetAssociativeCache(
+            capacity_bytes=int(spec.cache.capacity_bytes),
+            line_bytes=spec.cache.line_bytes,
+            assoc=spec.cache.assoc)
+        #: full miss penalty in core cycles
+        self.miss_penalty = (spec.mem.miss_latency_s
+                             * spec.core.clock_hz)
+
+    def run(self, trace: Iterable[CoreInstruction]) -> CoreStats:
+        """Execute a trace; returns cycle-level statistics."""
+        op_cycles = self.spec.core.op_cycles
+        cycles = 0.0
+        stall = 0.0
+        n = 0
+        mem = 0
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        for ins in trace:
+            n += 1
+            cycles += op_cycles.get(ins.kind, 1.0)
+            if ins.is_memory:
+                mem += 1
+                if not self.cache.access(ins.addr):
+                    cycles += self.miss_penalty
+                    stall += self.miss_penalty
+        return CoreStats(
+            cycles=cycles,
+            instructions=n,
+            mem_refs=mem,
+            cache_hits=self.cache.hits - hits0,
+            cache_misses=self.cache.misses - misses0,
+            stall_cycles=stall,
+        )
+
+    def seconds(self, stats: CoreStats) -> float:
+        return stats.cycles / self.spec.core.clock_hz
+
+
+# ----------------------------------------------------------------------
+# trace generators for cross-validation and micro-benchmarks
+# ----------------------------------------------------------------------
+
+def compute_kernel(n: int, falu_ratio: float = 0.5
+                   ) -> list[CoreInstruction]:
+    """Pure-ALU trace: no memory references at all."""
+    out = []
+    for i in range(n):
+        out.append(CoreInstruction(
+            "falu" if (i % 100) < falu_ratio * 100 else "ialu"))
+    return out
+
+
+def streaming_kernel(n_refs: int, stride: int = 8, base: int = 0,
+                     alu_per_ref: int = 2) -> list[CoreInstruction]:
+    """Unit-stride sweep: one load every ``alu_per_ref`` ALU ops."""
+    out: list[CoreInstruction] = []
+    for i in range(n_refs):
+        out.append(CoreInstruction("load", addr=base + i * stride))
+        out.extend(CoreInstruction("ialu") for _ in range(alu_per_ref))
+    return out
+
+
+def resident_kernel(n_refs: int, footprint_bytes: int, stride: int = 8,
+                    base: int = 0) -> list[CoreInstruction]:
+    """Repeated sweeps over a fixed footprint (cache-resident reuse)."""
+    out: list[CoreInstruction] = []
+    per_pass = max(1, footprint_bytes // stride)
+    for i in range(n_refs):
+        addr = base + (i % per_pass) * stride
+        out.append(CoreInstruction("load", addr=addr))
+        out.append(CoreInstruction("ialu"))
+    return out
+
+
+def random_kernel(n_refs: int, span_bytes: int, seed: int = 7,
+                  base: int = 0) -> list[CoreInstruction]:
+    """Scattered single-word accesses across ``span_bytes``."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, max(1, span_bytes // 8), size=n_refs) * 8
+    return [CoreInstruction("load", addr=base + int(a)) for a in addrs]

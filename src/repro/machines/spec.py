@@ -1,0 +1,129 @@
+"""Machine specification dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """One CPU core's timing parameters.
+
+    ``op_cycles`` maps op-class names (see
+    :class:`~repro.workload.ops.OpCounts`) to average cycles per
+    operation *assuming cache hits*; cache misses are charged separately
+    by the memory system.  The values fold in issue width, typical
+    dependence stalls and branch behaviour -- they are effective CPIs,
+    not datasheet latencies.
+    """
+
+    clock_hz: float
+    op_cycles: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        for name, v in self.op_cycles.items():
+            if v < 0:
+                raise ValueError(f"negative op cycle cost {name}={v}")
+
+    def compute_cycles(self, ops: "OpCounts") -> float:  # noqa: F821
+        return ops.weighted_cycles(self.op_cycles)
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Effective cache parameters (the outermost level that matters)."""
+
+    capacity_bytes: float
+    line_bytes: int = 64
+    assoc: int = 4
+    hit_cycles: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line_bytes must be a positive power of two")
+        if self.assoc < 1:
+            raise ValueError("assoc must be >= 1")
+
+
+@dataclass(frozen=True)
+class MemSpec:
+    """Shared-memory system parameters.
+
+    ``bandwidth_bytes_per_s`` is the sustainable aggregate bandwidth of
+    the bus/crossbar.  ``miss_latency_s`` bounds what a single in-order
+    CPU can pull: with one outstanding miss, its private ceiling is
+    ``line_bytes / miss_latency_s``.
+    """
+
+    bandwidth_bytes_per_s: float
+    miss_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.miss_latency_s <= 0:
+            raise ValueError("miss latency must be positive")
+
+
+@dataclass(frozen=True)
+class ThreadCosts:
+    """Creation/termination and synchronization costs in cycles.
+
+    The paper's numbers: OS threads cost tens of thousands to hundreds
+    of thousands of cycles to create and hundreds to thousands to
+    synchronize on conventional machines; on the Tera MTA
+    compiler-created hardware streams cost 2 cycles, programmer-created
+    software threads 50-100, and synchronization 1.
+    """
+
+    create_cycles: float
+    sync_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.create_cycles < 0 or self.sync_cycles < 0:
+            raise ValueError("thread costs must be >= 0")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete conventional shared-memory machine."""
+
+    name: str
+    n_cpus: int
+    core: CoreSpec
+    cache: CacheSpec
+    mem: MemSpec
+    #: cost table per thread kind ("os" | "sw" | "hw")
+    thread_costs: dict[str, ThreadCosts] = field(default_factory=dict)
+    #: installed physical memory (Table 1 of the paper)
+    memory_bytes: float = 512.0 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.n_cpus < 1:
+            raise ValueError("n_cpus must be >= 1")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+
+    def with_cpus(self, n: int) -> "MachineSpec":
+        """The same machine restricted/extended to ``n`` CPUs (the paper
+        measures 1..16-processor subsets of the Exemplar)."""
+        return replace(self, n_cpus=n, name=f"{self.name}[{n}p]")
+
+    def costs_for(self, kind: str) -> ThreadCosts:
+        """Cost row for a thread kind, falling back to the most expensive
+        row the machine has (a conventional machine asked for "hw"
+        threads gives you OS threads -- there is nothing cheaper)."""
+        if kind in self.thread_costs:
+            return self.thread_costs[kind]
+        if "os" in self.thread_costs:
+            return self.thread_costs["os"]
+        raise KeyError(f"{self.name}: no thread cost table for {kind!r}")
+
+    @property
+    def per_cpu_mem_bandwidth(self) -> float:
+        """One in-order CPU's private memory-bandwidth ceiling."""
+        return self.cache.line_bytes / self.mem.miss_latency_s

@@ -1,0 +1,69 @@
+"""The Tera MTA simulator -- the paper's subject system.
+
+Two fidelity levels:
+
+* :class:`~repro.mta.machine.MtaMachine` -- macro performance model
+  executing :class:`~repro.workload.Job` descriptions on DES servers:
+  per-processor instruction-issue slots (each hardware stream capped at
+  one instruction per 21-cycle pipeline pass, the processor at one per
+  cycle) and a prototype-status memory network whose aggregate
+  bandwidth scales sublinearly with processors.  All of the paper's MTA
+  tables run through this model.
+
+* :class:`~repro.mta.system.MtaSystem` -- a cycle-accurate
+  micro-simulator (streams, issue arbitration, interleaved memory banks
+  with full/empty bits, lookahead-limited memory concurrency) used by
+  the unit tests and the Section 7 micro-claims benchmark: one
+  instruction per 21 cycles per stream, tens-of-streams saturation
+  curves, 1-cycle synchronization.
+
+:mod:`~repro.mta.runtime` provides the programming-system surface
+(parallel-loop pragmas, futures, sync variables) that the C3I
+benchmark variants and the examples are written against.
+"""
+
+from repro.mta.spec import MTA_2, MtaSpec, mta
+from repro.mta.machine import MtaMachine, MtaRunResult
+from repro.mta.stream import Instruction, Stream
+from repro.mta.processor import CycleProcessor
+from repro.mta.memory import InterleavedMemory
+from repro.mta.system import (
+    CycleStats,
+    MtaSystem,
+    alu_kernel,
+    dependent_load_kernel,
+    independent_load_kernel,
+    load_use_kernel,
+)
+from repro.mta.runtime import Future, SyncVariable, TeraRuntime
+from repro.mta.idioms import (
+    AtomicCounter,
+    BoundedBuffer,
+    ReductionTree,
+    fork_join_map,
+)
+
+__all__ = [
+    "AtomicCounter",
+    "BoundedBuffer",
+    "CycleProcessor",
+    "CycleStats",
+    "Future",
+    "Instruction",
+    "InterleavedMemory",
+    "MTA_2",
+    "MtaMachine",
+    "MtaRunResult",
+    "MtaSpec",
+    "MtaSystem",
+    "ReductionTree",
+    "Stream",
+    "SyncVariable",
+    "TeraRuntime",
+    "alu_kernel",
+    "dependent_load_kernel",
+    "fork_join_map",
+    "independent_load_kernel",
+    "load_use_kernel",
+    "mta",
+]

@@ -1,0 +1,134 @@
+"""Classic full/empty-bit programming idioms for the Tera runtime.
+
+The MTA's signature primitive -- a full/empty tag on every word --
+supports a family of synchronization idioms at a cycle or two each.
+These are the building blocks Tera's documentation taught; they are
+used by the examples and give the runtime library-grade utilities:
+
+* :class:`AtomicCounter`  -- ``int_fetch_add`` on a sync variable;
+* :class:`BoundedBuffer`  -- a producer/consumer ring of sync cells;
+* :class:`ReductionTree`  -- parallel reduction with paired combines;
+* :func:`fork_join_map`   -- future-per-element map over an iterable.
+
+All are deterministic under the DES and cost what the hardware costs
+(1-cycle synchronized accesses, 2/75-cycle thread creation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.des import AllOf
+from repro.mta.runtime import TeraRuntime
+
+
+class AtomicCounter:
+    """``int_fetch_add`` built from one full/empty word.
+
+    ``add(k)`` atomically adds ``k`` and returns the previous value --
+    the idiom behind the shared ``num_intervals`` counter of the
+    fine-grained Threat Analysis variant.
+    """
+
+    def __init__(self, runtime: TeraRuntime, initial: int = 0,
+                 name: str = "counter$"):
+        self._rt = runtime
+        self._cell = runtime.sync_variable(value=initial, full=True,
+                                           name=name)
+
+    def add(self, k: int = 1):
+        """Process-style: ``old = yield from counter.add(3)``."""
+        old = yield self._cell.read()     # empties the cell: atomic
+        yield self._cell.write(old + k)   # refill
+        return old
+
+    def value(self) -> int:
+        return self._cell.peek()
+
+
+class BoundedBuffer:
+    """A fixed-capacity producer/consumer ring of full/empty cells.
+
+    Producers ``put`` into successive slots (blocking while a slot is
+    still full); consumers ``get`` from successive slots (blocking
+    while empty).  Slot turns are claimed through atomic counters, so
+    any number of producers and consumers may mix.
+    """
+
+    def __init__(self, runtime: TeraRuntime, capacity: int,
+                 name: str = "buffer$"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._rt = runtime
+        self.capacity = capacity
+        self._slots = [runtime.sync_variable(name=f"{name}[{i}]")
+                       for i in range(capacity)]
+        self._head = AtomicCounter(runtime, name=f"{name}.head")
+        self._tail = AtomicCounter(runtime, name=f"{name}.tail")
+
+    def put(self, item):
+        """Process-style: ``yield from buffer.put(item)``."""
+        turn = yield from self._tail.add(1)
+        slot = self._slots[turn % self.capacity]
+        yield slot.write(item)   # blocks while the slot is still full
+
+    def get(self):
+        """Process-style: ``item = yield from buffer.get()``."""
+        turn = yield from self._head.add(1)
+        slot = self._slots[turn % self.capacity]
+        item = yield slot.read()  # blocks while the slot is empty
+        return item
+
+
+class ReductionTree:
+    """Parallel reduction: futures combine pairwise up a tree.
+
+    ``reduce(values, op)`` spawns one hardware thread per leaf pair and
+    combines in ``ceil(log2(n))`` rounds -- the fine-grained pattern a
+    conventional machine cannot afford for small leaves.
+    """
+
+    def __init__(self, runtime: TeraRuntime,
+                 combine_cycles: float = 10.0):
+        self._rt = runtime
+        self.combine_cycles = combine_cycles
+
+    def reduce(self, values: Sequence, op: Callable):
+        """Process-style: ``total = yield from tree.reduce(vs, add)``."""
+        rt = self._rt
+        level = list(values)
+        combine_cycles = self.combine_cycles
+
+        def combiner(rt, a, b):
+            yield rt.cycles(combine_cycles)
+            return op(a, b)
+
+        while len(level) > 1:
+            futures = []
+            carry = None
+            if len(level) % 2:
+                carry = level[-1]
+            for i in range(0, len(level) - 1, 2):
+                futures.append(rt.hw_thread(combiner, level[i],
+                                            level[i + 1]))
+            yield AllOf(rt.sim, [f._process for f in futures])
+            level = [f.value() for f in futures]
+            if carry is not None:
+                level.append(carry)
+        return level[0] if level else None
+
+
+def fork_join_map(runtime: TeraRuntime, fn: Callable,
+                  items: Iterable, work_cycles: float = 50.0):
+    """Process-style parallel map: one hardware thread per element.
+
+    ``results = yield from fork_join_map(rt, fn, items)`` -- results
+    keep the input order regardless of completion order.
+    """
+    def body(rt, item):
+        yield rt.cycles(work_cycles)
+        return fn(item)
+
+    futures = [runtime.hw_thread(body, item) for item in items]
+    yield AllOf(runtime.sim, [f._process for f in futures])
+    return [f.value() for f in futures]

@@ -1,0 +1,263 @@
+"""Macro performance model of the Tera MTA.
+
+Executes :class:`~repro.workload.Job` descriptions on DES servers:
+
+* **Issue slots.**  One fair-share server per processor with aggregate
+  capacity of one instruction per cycle.  A thread executing a phase
+  with memory fraction *f* is capped at ``clock / (21 + f * stall)``
+  instructions per second -- one stream's best case -- so a lone thread
+  crawls (the paper's 14x-slower-than-Alpha sequential runs) while
+  dozens of threads saturate the processor (Table 6's chunk sweep).
+
+* **Network.**  A single fair-share server for memory references; its
+  capacity scales sublinearly with processors (prototype network).
+  Memory-heavy phases hit this wall -- the reason fine-grained Terrain
+  Masking speeds up only 1.4x on two processors (Table 11) while the
+  compute-heavy Threat Analysis reaches 1.8x (Table 5).
+
+* **Fine-grained phases.**  A phase with ``parallelism = p`` may occupy
+  up to ``p`` streams; its issue demand spreads over *all* processors
+  (the Tera runtime's virtual processors), so inner-loop parallelism
+  scales past one processor without restructuring -- exactly the
+  programming-model point the paper makes.
+
+* Unhidable per-phase critical-path latency (``serial_cycles``) and
+  full/empty-style lock costs (1 cycle) are also modelled.
+
+Instruction counts come from abstract op counts divided by the LIW
+packing factor (``ops_per_instruction``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.des import AllOf, FairShareServer, SimLock, Simulator, Store
+from repro.workload.phase import Phase
+from repro.workload.task import (
+    Compute,
+    Critical,
+    Job,
+    ParallelRegion,
+    SerialStep,
+    ThreadProgram,
+    WorkQueueRegion,
+)
+
+from repro.mta.spec import MtaSpec
+
+
+@dataclass(frozen=True)
+class MtaRunResult:
+    """Outcome of simulating one job on the MTA."""
+
+    machine: str
+    job: str
+    seconds: float
+    issue_utilization: float      # mean across processors
+    network_utilization: float
+    lock_wait_seconds: float
+    n_threads_peak: int
+    stats: dict[str, float] = field(default_factory=dict)
+
+
+class MtaMachine:
+    """DES performance model of the Tera MTA."""
+
+    def __init__(self, spec: MtaSpec, slices_per_phase: int = 8):
+        if slices_per_phase < 1:
+            raise ValueError("slices_per_phase must be >= 1")
+        self.spec = spec
+        self.slices_per_phase = slices_per_phase
+
+    # ------------------------------------------------------------------
+    def run(self, job: Job) -> MtaRunResult:
+        spec = self.spec
+        sim = Simulator()
+        issue = [
+            FairShareServer(sim, capacity=spec.clock_hz,
+                            name=f"issue-p{p}")
+            for p in range(spec.n_processors)
+        ]
+        network = FairShareServer(
+            sim, capacity=spec.network_capacity_words_per_s(),
+            name="network")
+        locks: dict[str, SimLock] = {}
+        peak = [1]
+
+        main = sim.process(
+            self._job_body(sim, job, issue, network, locks, peak),
+            name=job.name)
+        sim.run_all(main)
+
+        total = sim.now
+        lock_wait = sum(lk.total_wait_time for lk in locks.values())
+        issue_util = (sum(s.utilization(total) for s in issue) / len(issue)
+                      if total > 0 else 0.0)
+        return MtaRunResult(
+            machine=spec.name,
+            job=job.name,
+            seconds=total,
+            issue_utilization=issue_util,
+            network_utilization=(network.utilization(total)
+                                 if total > 0 else 0.0),
+            lock_wait_seconds=lock_wait,
+            n_threads_peak=peak[0],
+            stats={
+                "network_busy_time": network.busy_time,
+                "issue_busy_time_total": float(
+                    sum(s.busy_time for s in issue)),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _lock(self, sim, locks, name: str) -> SimLock:
+        if name not in locks:
+            locks[name] = SimLock(sim, name=name)
+        return locks[name]
+
+    def _stream_cap(self, mem_fraction: float) -> float:
+        """One stream's instruction-rate ceiling for a given mix."""
+        return self.spec.stream_issue_rate(mem_fraction)
+
+    def _creation(self, issue0, kind: str, n_threads: int):
+        """Parent-side thread creation: a single stream issuing the
+        create instructions."""
+        costs = self.spec.costs_for(kind)
+        cycles = costs.create_cycles * n_threads
+        if cycles <= 0:
+            return None
+        # The cost is quoted in cycles; the creating stream retires them
+        # at full pipeline rate (creation is not memory-bound).
+        return issue0.submit(cycles, cap=self.spec.clock_hz)
+
+    def _job_body(self, sim, job, issue, network, locks, peak):
+        spec = self.spec
+        for step in job.steps:
+            if isinstance(step, SerialStep):
+                yield from self._run_phase(sim, step.phase, 0, issue,
+                                           network)
+            elif isinstance(step, ParallelRegion):
+                ev = self._creation(issue[0], step.thread_kind,
+                                    step.n_threads)
+                if ev is not None:
+                    yield ev
+                peak[0] = max(peak[0], step.n_threads)
+                procs = [
+                    sim.process(
+                        self._thread_body(sim, th, i % spec.n_processors,
+                                          issue, network, locks,
+                                          step.thread_kind),
+                        name=th.name)
+                    for i, th in enumerate(step.threads)
+                ]
+                yield AllOf(sim, procs)
+            elif isinstance(step, WorkQueueRegion):
+                ev = self._creation(issue[0], step.thread_kind,
+                                    step.n_threads)
+                if ev is not None:
+                    yield ev
+                peak[0] = max(peak[0], step.n_threads)
+                queue = Store(sim, name="work-queue")
+                for item in step.items:
+                    queue.put(item)
+                procs = [
+                    sim.process(
+                        self._worker_body(sim, queue, i % spec.n_processors,
+                                          issue, network, locks,
+                                          step.thread_kind),
+                        name=f"worker-{i}")
+                    for i in range(step.n_threads)
+                ]
+                yield AllOf(sim, procs)
+            else:  # pragma: no cover
+                raise TypeError(f"unknown job step {step!r}")
+
+    def _thread_body(self, sim, program: ThreadProgram, proc: int, issue,
+                     network, locks, kind: str):
+        for item in program.items:
+            yield from self._run_item(sim, item, proc, issue, network,
+                                      locks, kind)
+
+    def _worker_body(self, sim, queue: Store, proc: int, issue, network,
+                     locks, kind: str):
+        costs = self.spec.costs_for(kind)
+        while True:
+            ok, item = queue.try_get()
+            if not ok:
+                return
+            # synchronized queue pop: one full/empty access
+            yield issue[proc].submit(costs.sync_cycles,
+                                     cap=self._stream_cap(1.0))
+            for it in item.items:
+                yield from self._run_item(sim, it, proc, issue, network,
+                                          locks, kind)
+
+    def _run_item(self, sim, item, proc, issue, network, locks, kind):
+        if isinstance(item, Compute):
+            yield from self._run_phase(sim, item.phase, proc, issue,
+                                       network)
+        elif isinstance(item, Critical):
+            costs = self.spec.costs_for(kind)
+            lock = self._lock(sim, locks, item.lock)
+            grant = yield lock.acquire()
+            try:
+                # full/empty-bit acquisition: one cycle
+                yield issue[proc].submit(costs.sync_cycles,
+                                         cap=self._stream_cap(1.0))
+                yield from self._run_phase(sim, item.phase, proc, issue,
+                                           network)
+            finally:
+                lock.release(grant)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown thread item {item!r}")
+
+    def _run_phase(self, sim, phase: Phase, proc: int, issue, network):
+        spec = self.spec
+        ops = phase.ops
+        words = ops.mem_ops
+        # LIW packing: up to `ops_per_instruction` ops per bundle, but a
+        # bundle has a single memory slot, so the instruction count can
+        # never drop below the number of memory references.
+        instr = max(ops.total / spec.ops_per_instruction, words)
+        if instr <= 0 and phase.serial_cycles <= 0:
+            return
+        memf = words / instr if instr > 0 else 0.0
+        stream_rate = self._stream_cap(memf)
+        p = phase.parallelism
+        slices = self.slices_per_phase
+
+        if p <= 1:
+            # one stream on this thread's processor
+            cap = stream_rate
+            per_slice_instr = instr / slices
+            per_slice_words = words / slices
+            for _ in range(slices):
+                events = []
+                if per_slice_instr > 0:
+                    events.append(issue[proc].submit(per_slice_instr,
+                                                     cap=cap))
+                if per_slice_words > 0:
+                    events.append(network.submit(per_slice_words))
+                if events:
+                    yield AllOf(sim, events)
+        else:
+            # fine-grained phase: spread over all processors
+            n_proc = spec.n_processors
+            per_proc_streams = min(p / n_proc, spec.streams_per_processor)
+            cap = per_proc_streams * stream_rate
+            per_slice_instr = instr / (slices * n_proc)
+            per_slice_words = words / slices
+            for _ in range(slices):
+                events = [
+                    issue[q].submit(per_slice_instr, cap=cap)
+                    for q in range(n_proc)
+                    if per_slice_instr > 0
+                ]
+                if per_slice_words > 0:
+                    events.append(network.submit(per_slice_words))
+                if events:
+                    yield AllOf(sim, events)
+
+        if phase.serial_cycles > 0:
+            yield sim.timeout(phase.serial_cycles / spec.clock_hz)

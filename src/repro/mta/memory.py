@@ -1,0 +1,161 @@
+"""Interleaved memory with full/empty bits (cycle-level model).
+
+The MTA's memory is flat -- no caches -- and 64-way interleaved by
+word.  Each word carries a full/empty tag; synchronized accesses that
+find the wrong state are retried by the memory hardware.  The model:
+
+* a request occupies its bank for one cycle (bank conflicts queue);
+* the loaded round trip (injection + bank + return network) is
+  ``latency_cycles``;
+* ``sync_load`` waits-until-full then reads-and-sets-empty;
+  ``sync_store`` waits-until-empty then writes-and-sets-full; blocked
+  requests retry every ``retry_interval_cycles`` (consuming a bank slot
+  per retry, as the real hardware's forwarding/retry logic does);
+* plain ``load``/``store`` ignore the tag (and ``store`` sets full, the
+  normal data-initialisation convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class _Word:
+    value: object = 0
+    full: bool = False
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """One memory reference in flight."""
+
+    kind: str
+    addr: int
+    value: object = None
+    #: called as callback(completion_cycle, loaded_value)
+    on_complete: Optional[Callable[[float, object], None]] = None
+
+
+class InterleavedMemory:
+    """Banked memory with full/empty semantics and retry."""
+
+    def __init__(self, n_banks: int = 64, latency_cycles: float = 140.0,
+                 retry_interval_cycles: float = 8.0):
+        if n_banks < 1:
+            raise ValueError("n_banks must be >= 1")
+        if latency_cycles < 1:
+            raise ValueError("latency_cycles must be >= 1")
+        if retry_interval_cycles < 1:
+            raise ValueError("retry_interval_cycles must be >= 1")
+        self.n_banks = n_banks
+        self.latency_cycles = latency_cycles
+        self.retry_interval_cycles = retry_interval_cycles
+        self._words: dict[int, _Word] = {}
+        self._bank_free: list[float] = [0.0] * n_banks
+        # statistics
+        self.requests = 0
+        self.retries = 0
+        self.bank_conflict_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    def word(self, addr: int) -> _Word:
+        if addr < 0:
+            raise ValueError("negative address")
+        w = self._words.get(addr)
+        if w is None:
+            w = _Word()
+            self._words[addr] = w
+        return w
+
+    def peek(self, addr: int) -> object:
+        return self.word(addr).value
+
+    def is_full(self, addr: int) -> bool:
+        return self.word(addr).full
+
+    def poke(self, addr: int, value: object, full: bool = True) -> None:
+        """Debug/initialisation write, no timing."""
+        w = self.word(addr)
+        w.value = value
+        w.full = full
+
+    # ------------------------------------------------------------------
+    def _bank_of(self, addr: int) -> int:
+        return addr % self.n_banks
+
+    def _claim_bank(self, addr: int, cycle: float) -> float:
+        """Serialise on the bank; returns the service cycle."""
+        b = self._bank_of(addr)
+        service = max(cycle, self._bank_free[b])
+        self.bank_conflict_cycles += service - cycle
+        self._bank_free[b] = service + 1.0
+        return service
+
+    def issue(self, req: MemRequest, cycle: float) -> Optional[float]:
+        """Issue a request at ``cycle``.
+
+        Returns the completion cycle if it can be determined now, or
+        ``None`` if the request blocked on a full/empty tag -- in that
+        case the eventual completion is delivered via ``on_complete``
+        after hardware retries succeed.  (For uniformity the completion
+        callback is invoked in both cases.)
+        """
+        self.requests += 1
+        return self._attempt(req, cycle, first=True)
+
+    def _attempt(self, req: MemRequest, cycle: float,
+                 first: bool) -> Optional[float]:
+        service = self._claim_bank(req.addr, cycle)
+        w = self.word(req.addr)
+        kind = req.kind
+        if kind == "load":
+            value = w.value
+        elif kind == "store":
+            w.value = req.value
+            w.full = True
+            value = None
+        elif kind == "sync_load":
+            if not w.full:
+                return self._schedule_retry(req, service)
+            value = w.value
+            w.full = False
+        elif kind == "sync_store":
+            if w.full:
+                return self._schedule_retry(req, service)
+            w.value = req.value
+            w.full = True
+            value = None
+        else:
+            raise ValueError(f"not a memory op: {kind!r}")
+
+        done = service + self.latency_cycles
+        if req.on_complete is not None:
+            req.on_complete(done, value)
+        return done
+
+    # Deferred retries are collected and replayed by the system driver;
+    # the memory itself is passive between cycles.
+    def _schedule_retry(self, req: MemRequest, service: float
+                        ) -> Optional[float]:
+        self.retries += 1
+        self._pending_retries.append(
+            (service + self.retry_interval_cycles, req))
+        return None
+
+    @property
+    def _pending_retries(self) -> list[tuple[float, MemRequest]]:
+        if not hasattr(self, "_retries_list"):
+            self._retries_list: list[tuple[float, MemRequest]] = []
+        return self._retries_list
+
+    def drain_retries(self) -> list[tuple[float, MemRequest]]:
+        """Hand pending retries to the driver (clears the list)."""
+        out = self._pending_retries[:]
+        self._retries_list = []
+        return out
+
+    def retry(self, req: MemRequest, cycle: float) -> Optional[float]:
+        """Re-attempt a previously blocked request."""
+        return self._attempt(req, cycle, first=False)

@@ -1,0 +1,46 @@
+"""Cycle-level MTA processor: issue arbitration across streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mta.stream import Stream
+
+
+@dataclass
+class CycleProcessor:
+    """One MTA processor at cycle fidelity.
+
+    The processor issues at most one instruction per cycle, drawn from
+    whichever resident stream is ready (the hardware switches streams
+    every cycle at no cost).  ``next_free`` is the next cycle with a
+    free issue slot.
+    """
+
+    pid: int
+    max_streams: int
+    streams: list[Stream] = field(default_factory=list)
+    next_free: float = 0.0
+    issued: int = 0
+
+    def add_stream(self, stream: Stream) -> None:
+        if len(self.streams) >= self.max_streams:
+            raise ValueError(
+                f"processor {self.pid}: all {self.max_streams} hardware "
+                f"streams are occupied")
+        self.streams.append(stream)
+
+    def take_slot(self, ready_cycle: float) -> float:
+        """Allocate the earliest issue slot at or after ``ready_cycle``."""
+        slot = max(ready_cycle, self.next_free)
+        self.next_free = slot + 1.0
+        self.issued += 1
+        return slot
+
+    def utilization(self, cycles: float) -> float:
+        """Fraction of issue slots used over ``cycles`` cycles."""
+        return self.issued / cycles if cycles > 0 else 0.0
+
+    @property
+    def done(self) -> bool:
+        return all(s.done for s in self.streams)

@@ -1,0 +1,119 @@
+"""Tera MTA system parameters.
+
+The numbers trace to Section 2 of the paper and the MTA-1 literature:
+
+* 255 MHz clock, up to 256 processors (the SDSC prototype had 2);
+* 128 hardware streams per processor, 1-cycle stream switching;
+* a single stream can issue at most one instruction per pipeline pass
+  -- 21 cycles -- which is the paper's "one instruction every 21
+  cycles, roughly 5% utilization" figure;
+* each instruction is a LIW bundle (memory + arithmetic + control
+  slots); ``ops_per_instruction`` is the effective packing our abstract
+  op counts assume the Tera compiler achieves on these loop kernels;
+* no caches: every reference crosses the network to one of the 64-way
+  interleaved memory units; ``mem_latency_cycles`` is the average
+  loaded round trip, of which a stream's explicit-dependence lookahead
+  can cover ``lookahead * 21`` cycles before the issue slot stalls;
+* the prototype network ("development status", the paper's repeated
+  caveat for its sub-ideal 2-processor speedups) delivers
+  ``network_words_per_cycle`` per processor at 1 processor and scales
+  as ``P ** network_scaling_exponent``;
+* thread costs from Section 2: compiler-created hardware streams cost
+  2 cycles, programmer-created software threads 50-100 (we use 75),
+  synchronization 1 cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.machines.spec import ThreadCosts
+
+
+@dataclass(frozen=True)
+class MtaSpec:
+    """A Tera MTA configuration."""
+
+    name: str = "Tera MTA"
+    n_processors: int = 2
+    clock_hz: float = 255e6
+    streams_per_processor: int = 128
+    issue_interval_cycles: float = 21.0
+    lookahead: int = 5
+    mem_latency_cycles: float = 135.0
+    ops_per_instruction: float = 3.0
+    network_words_per_cycle: float = 0.45
+    network_scaling_exponent: float = 0.54
+    #: installed physical memory (Table 1: the SDSC prototype had 2 GB)
+    memory_bytes: float = 2.0 * 1024 ** 3
+    thread_costs: dict[str, ThreadCosts] = field(default_factory=lambda: {
+        "hw": ThreadCosts(create_cycles=2.0, sync_cycles=1.0),
+        "sw": ThreadCosts(create_cycles=75.0, sync_cycles=1.0),
+        # an "os"-kind region on the MTA still maps to software threads
+        "os": ThreadCosts(create_cycles=100.0, sync_cycles=1.0),
+    })
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1 or self.n_processors > 256:
+            raise ValueError("the MTA supports 1..256 processors")
+        if self.streams_per_processor < 1:
+            raise ValueError("streams_per_processor must be >= 1")
+        if self.issue_interval_cycles < 1:
+            raise ValueError("issue_interval_cycles must be >= 1")
+        if self.lookahead < 0:
+            raise ValueError("lookahead must be >= 0")
+        if self.ops_per_instruction <= 0:
+            raise ValueError("ops_per_instruction must be positive")
+        if self.network_words_per_cycle <= 0:
+            raise ValueError("network_words_per_cycle must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def visible_stall_cycles(self) -> float:
+        """Memory latency a *single* stream cannot hide.
+
+        The lookahead field lets a stream keep ``lookahead`` instructions
+        in flight, covering ``lookahead * issue_interval`` cycles of a
+        reference's latency; the rest stalls the stream (but not the
+        processor -- other streams fill the slots).
+        """
+        return max(0.0, self.mem_latency_cycles
+                   - self.lookahead * self.issue_interval_cycles)
+
+    def stream_interval_cycles(self, mem_fraction: float) -> float:
+        """Mean cycles between issues of one stream executing a mix in
+        which ``mem_fraction`` of instructions reference memory."""
+        if not 0.0 <= mem_fraction <= 1.0:
+            raise ValueError("mem_fraction must be in [0, 1]")
+        return (self.issue_interval_cycles
+                + mem_fraction * self.visible_stall_cycles)
+
+    def stream_issue_rate(self, mem_fraction: float = 0.0) -> float:
+        """One stream's instruction rate (instructions per second)."""
+        return self.clock_hz / self.stream_interval_cycles(mem_fraction)
+
+    def network_capacity_words_per_s(self, n_processors: int | None = None
+                                     ) -> float:
+        """Aggregate memory-reference throughput of the network."""
+        p = self.n_processors if n_processors is None else n_processors
+        if p < 1:
+            raise ValueError("n_processors must be >= 1")
+        return (self.network_words_per_cycle * self.clock_hz
+                * p ** self.network_scaling_exponent)
+
+    def with_processors(self, n: int) -> "MtaSpec":
+        return replace(self, n_processors=n, name=f"{self.name}[{n}p]")
+
+    def costs_for(self, kind: str) -> ThreadCosts:
+        if kind not in self.thread_costs:
+            raise KeyError(f"{self.name}: no thread cost table for {kind!r}")
+        return self.thread_costs[kind]
+
+
+#: The dual-processor prototype installed at SDSC.
+MTA_2 = MtaSpec(name="Tera MTA (SDSC prototype)", n_processors=2)
+
+
+def mta(n_processors: int) -> MtaSpec:
+    """An MTA with ``n_processors`` processors (prototype parameters)."""
+    return MTA_2.with_processors(n_processors)

@@ -1,0 +1,130 @@
+"""Hardware streams and their instructions (cycle-level model).
+
+A :class:`Stream` is one of the 128 per-processor instruction streams:
+a program counter, an issue-interval constraint (one instruction per
+pipeline pass -- 21 cycles), a bounded window of outstanding memory
+references (the explicit-dependence lookahead), and dependence tracking
+so an instruction that consumes a load result cannot issue until the
+load completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Instruction kinds understood by the cycle simulator.
+KINDS = ("alu", "load", "store", "sync_load", "sync_store", "nop")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One (LIW-bundle) instruction of a stream's program.
+
+    ``depends_on`` is the index of an earlier instruction in the same
+    stream whose *completion* gates this one's issue (e.g. an ALU op
+    consuming a load's result, or a pointer-chasing load).  ``value``
+    is written by stores; loads deposit the memory value into the
+    stream's ``results`` for inspection by tests.
+    """
+
+    kind: str
+    addr: int = 0
+    depends_on: Optional[int] = None
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown instruction kind {self.kind!r}")
+        if self.addr < 0:
+            raise ValueError("negative address")
+        if self.depends_on is not None and self.depends_on < 0:
+            raise ValueError("depends_on must be a prior index")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in ("load", "store", "sync_load", "sync_store")
+
+
+@dataclass
+class Stream:
+    """Cycle-level state of one hardware stream."""
+
+    sid: int
+    program: list[Instruction]
+    pc: int = 0
+    last_issue: float = float("-inf")
+    #: instruction index -> completion cycle (or None while in flight)
+    completion: dict[int, Optional[float]] = field(default_factory=dict)
+    #: values returned by loads, by instruction index
+    results: dict[int, object] = field(default_factory=dict)
+    issued: int = 0
+
+    def __post_init__(self) -> None:
+        for i, ins in enumerate(self.program):
+            if ins.depends_on is not None and ins.depends_on >= i:
+                raise ValueError(
+                    f"stream {self.sid}: instruction {i} depends on a "
+                    f"later or same instruction {ins.depends_on}")
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.program) and not self.in_flight
+
+    @property
+    def in_flight(self) -> int:
+        """Number of memory references currently outstanding."""
+        return sum(1 for c in self.completion.values() if c is None)
+
+    def next_instruction(self) -> Optional[Instruction]:
+        if self.pc < len(self.program):
+            return self.program[self.pc]
+        return None
+
+    def can_issue_at(self, cycle: float, issue_interval: float,
+                     lookahead: int) -> tuple[bool, Optional[float]]:
+        """Whether the next instruction can issue at ``cycle``.
+
+        Returns ``(ready, earliest)``: if not ready, ``earliest`` is the
+        cycle at which to re-check, or ``None`` if blocked on an
+        in-flight completion whose time is not yet known (the caller
+        re-evaluates on completion events).
+        """
+        ins = self.next_instruction()
+        if ins is None:
+            return False, None
+        earliest = self.last_issue + issue_interval
+        if ins.depends_on is not None:
+            dep = self.completion.get(ins.depends_on)
+            if dep is None:
+                if ins.depends_on in self.completion:
+                    return False, None  # in flight, unknown finish
+                raise RuntimeError(
+                    f"stream {self.sid}: dependence on an instruction "
+                    f"that never issued")
+            earliest = max(earliest, dep)
+        if ins.is_memory and self.in_flight >= lookahead:
+            return False, None  # window full; re-check on a completion
+        if cycle >= earliest:
+            return True, earliest
+        return False, earliest
+
+    def note_issue(self, cycle: float) -> int:
+        """Record the issue of the next instruction; returns its index."""
+        idx = self.pc
+        ins = self.program[idx]
+        self.last_issue = cycle
+        self.pc += 1
+        self.issued += 1
+        if ins.is_memory:
+            self.completion[idx] = None          # in flight
+        else:
+            self.completion[idx] = cycle + 1.0   # ALU completes next cycle
+        return idx
+
+    def note_completion(self, idx: int, cycle: float,
+                        value: object = None) -> None:
+        self.completion[idx] = cycle
+        if self.program[idx].kind in ("load", "sync_load"):
+            self.results[idx] = value

@@ -1,0 +1,186 @@
+"""Cycle-accurate MTA system: processors + interleaved memory + driver.
+
+This is the micro-fidelity model backing the unit tests and the
+Section 7 micro-claims benchmark.  It executes real instruction lists
+(:class:`~repro.mta.stream.Instruction`) with exact issue-interval,
+lookahead, full/empty and bank-conflict behaviour.  Whole benchmarks
+run on the macro model (:class:`~repro.mta.machine.MtaMachine`)
+instead -- at paper scale they would need ~10^10 cycles here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mta.memory import InterleavedMemory, MemRequest
+from repro.mta.processor import CycleProcessor
+from repro.mta.spec import MtaSpec
+from repro.mta.stream import Instruction, Stream
+
+
+@dataclass(frozen=True)
+class CycleStats:
+    """Outcome of a cycle-level run."""
+
+    cycles: float
+    total_issued: int
+    per_processor_issued: tuple[int, ...]
+    per_processor_utilization: tuple[float, ...]
+    memory_requests: int
+    memory_retries: int
+    completed: bool  # False if max_cycles hit first
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        u = self.per_processor_utilization
+        return sum(u) / len(u) if u else 0.0
+
+
+class MtaSystem:
+    """Driver binding cycle-level processors to one shared memory."""
+
+    def __init__(self, spec: MtaSpec,
+                 memory: Optional[InterleavedMemory] = None):
+        self.spec = spec
+        self.memory = memory if memory is not None else InterleavedMemory(
+            n_banks=64, latency_cycles=spec.mem_latency_cycles)
+        self.processors = [
+            CycleProcessor(pid=p, max_streams=spec.streams_per_processor)
+            for p in range(spec.n_processors)
+        ]
+        self._streams: list[tuple[Stream, CycleProcessor]] = []
+        self._next_sid = 0
+
+    # ------------------------------------------------------------------
+    def add_stream(self, program: list[Instruction],
+                   processor: int = 0) -> Stream:
+        """Load a program onto a hardware stream of ``processor``."""
+        proc = self.processors[processor]
+        stream = Stream(sid=self._next_sid, program=list(program))
+        self._next_sid += 1
+        proc.add_stream(stream)
+        self._streams.append((stream, proc))
+        return stream
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: float = 10_000_000.0) -> CycleStats:
+        """Run until every stream finishes (or ``max_cycles``)."""
+        spec = self.spec
+        mem = self.memory
+        heap: list[tuple[float, int, str, object]] = []
+        seq = 0
+
+        def push(cycle: float, kind: str, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (cycle, seq, kind, payload))
+            seq += 1
+
+        last_activity = 0.0
+        for stream, _proc in self._streams:
+            push(0.0, "check", stream)
+
+        proc_of = {s.sid: p for s, p in self._streams}
+
+        def issue_memory(stream: Stream, idx: int, ins: Instruction,
+                         slot: float) -> None:
+            def on_complete(done: float, value: object,
+                            _s=stream, _i=idx) -> None:
+                _s.note_completion(_i, done, value)
+                push(done, "check", _s)
+
+            req = MemRequest(kind=ins.kind, addr=ins.addr, value=ins.value,
+                             on_complete=on_complete)
+            mem.issue(req, slot)
+            for when, retry_req in mem.drain_retries():
+                push(when, "retry", retry_req)
+
+        while heap:
+            cycle, _s, kind, payload = heapq.heappop(heap)
+            if cycle > max_cycles:
+                break
+            if kind == "retry":
+                result = mem.retry(payload, cycle)
+                if result is None:
+                    for when, retry_req in mem.drain_retries():
+                        push(when, "retry", retry_req)
+                else:
+                    last_activity = max(last_activity, result)
+                continue
+
+            stream: Stream = payload
+            proc = proc_of[stream.sid]
+            ready, earliest = stream.can_issue_at(
+                cycle, spec.issue_interval_cycles, spec.lookahead)
+            if not ready:
+                if earliest is not None and earliest > cycle:
+                    push(earliest, "check", stream)
+                # else: blocked on an unknown completion; a completion
+                # event will re-check
+                continue
+
+            slot = proc.take_slot(cycle)
+            idx = stream.note_issue(slot)
+            ins = stream.program[idx]
+            last_activity = max(last_activity, slot + 1.0)
+            if ins.is_memory:
+                issue_memory(stream, idx, ins, slot)
+            if stream.next_instruction() is not None:
+                push(slot + spec.issue_interval_cycles, "check", stream)
+
+        completed = all(s.done for s, _p in self._streams)
+        # elapsed cycles: until the last issue/completion
+        for stream, _p in self._streams:
+            for c in stream.completion.values():
+                if c is not None:
+                    last_activity = max(last_activity, c)
+        cycles = last_activity
+        return CycleStats(
+            cycles=cycles,
+            total_issued=sum(p.issued for p in self.processors),
+            per_processor_issued=tuple(p.issued for p in self.processors),
+            per_processor_utilization=tuple(
+                p.utilization(cycles) for p in self.processors),
+            memory_requests=mem.requests,
+            memory_retries=mem.retries,
+            completed=completed,
+            stats={"bank_conflict_cycles": mem.bank_conflict_cycles},
+        )
+
+
+# ----------------------------------------------------------------------
+# Kernel generators for the micro-claims benchmarks and tests
+# ----------------------------------------------------------------------
+
+def alu_kernel(n: int) -> list[Instruction]:
+    """Pure-ALU kernel: independent instructions, issue-interval bound."""
+    return [Instruction("alu") for _ in range(n)]
+
+
+def independent_load_kernel(n: int, stride: int = 8, base: int = 0
+                            ) -> list[Instruction]:
+    """Loads with no consumer: latency fully hidden by lookahead."""
+    return [Instruction("load", addr=base + i * stride) for i in range(n)]
+
+
+def dependent_load_kernel(n: int, stride: int = 8, base: int = 0
+                          ) -> list[Instruction]:
+    """Pointer-chase style: each load waits for the previous one."""
+    prog: list[Instruction] = []
+    for i in range(n):
+        dep = i - 1 if i > 0 else None
+        prog.append(Instruction("load", addr=base + i * stride,
+                                depends_on=dep))
+    return prog
+
+
+def load_use_kernel(n_pairs: int, stride: int = 8, base: int = 0
+                    ) -> list[Instruction]:
+    """Alternating load / consuming-ALU pairs: the typical inner loop."""
+    prog: list[Instruction] = []
+    for i in range(n_pairs):
+        prog.append(Instruction("load", addr=base + i * stride))
+        prog.append(Instruction("alu", depends_on=len(prog) - 1))
+    return prog

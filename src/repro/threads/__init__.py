@@ -1,0 +1,35 @@
+"""Programming systems layered on the machine models.
+
+Three surfaces, mirroring how each platform was programmed in the paper:
+
+* :mod:`~repro.threads.sthreads` -- the Caltech Sthreads library
+  (coarse threads + locks over Win32, used on the Pentium Pro): an
+  explicit create/join/lock API whose operations carry OS-thread costs.
+* :mod:`~repro.threads.pragmas` -- Exemplar / Tera parallel-loop
+  pragmas: helpers that turn a loop described as phases into the
+  :class:`~repro.workload.Job` parallel regions the machine models run.
+* :mod:`~repro.threads.costs` -- the Section 7 cost comparison (thread
+  creation and synchronization, platform by platform), as data.
+
+Tera futures and sync variables live in :mod:`repro.mta.runtime`.
+"""
+
+from repro.threads.sthreads import SthreadsRuntime, Sthread, SthreadLock
+from repro.threads.pragmas import (
+    chunked_loop_job,
+    parallel_region,
+    work_queue_job,
+)
+from repro.threads.costs import COST_TABLE, PlatformCosts, cost_ratio
+
+__all__ = [
+    "COST_TABLE",
+    "PlatformCosts",
+    "Sthread",
+    "SthreadLock",
+    "SthreadsRuntime",
+    "chunked_loop_job",
+    "cost_ratio",
+    "parallel_region",
+    "work_queue_job",
+]

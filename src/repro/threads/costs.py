@@ -1,0 +1,65 @@
+"""The Section 7 thread-cost comparison, as data.
+
+    "On conventional multiprocessors with operating system support for
+    threads, thread creation costs tens of thousands to hundreds of
+    thousands of cycles and thread synchronization costs hundreds to
+    thousands of cycles.  On the Tera MTA, thread creation and
+    synchronization cost only a few cycles."
+
+This table consolidates the platform cost rows used by the machine
+models, so the micro-claims benchmark (and documentation) can cite a
+single source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.catalog import EXEMPLAR_16, PPRO_SMP_4
+from repro.mta.spec import MTA_2
+
+
+@dataclass(frozen=True)
+class PlatformCosts:
+    platform: str
+    thread_kind: str
+    create_cycles: float
+    sync_cycles: float
+
+
+COST_TABLE: tuple[PlatformCosts, ...] = (
+    PlatformCosts("Pentium Pro / Windows NT (Win32 threads)", "os",
+                  PPRO_SMP_4.costs_for("os").create_cycles,
+                  PPRO_SMP_4.costs_for("os").sync_cycles),
+    PlatformCosts("HP Exemplar / SPP-UX (pthreads)", "os",
+                  EXEMPLAR_16.costs_for("os").create_cycles,
+                  EXEMPLAR_16.costs_for("os").sync_cycles),
+    PlatformCosts("Tera MTA (software threads / futures)", "sw",
+                  MTA_2.costs_for("sw").create_cycles,
+                  MTA_2.costs_for("sw").sync_cycles),
+    PlatformCosts("Tera MTA (compiler-created hardware streams)", "hw",
+                  MTA_2.costs_for("hw").create_cycles,
+                  MTA_2.costs_for("hw").sync_cycles),
+)
+
+
+def cost_ratio(metric: str = "create_cycles") -> float:
+    """How many times cheaper the cheapest MTA row is than the most
+    expensive conventional row -- 'many orders of magnitude' per the
+    paper."""
+    conventional = [getattr(c, metric) for c in COST_TABLE
+                    if "Tera" not in c.platform]
+    tera = [getattr(c, metric) for c in COST_TABLE if "Tera" in c.platform]
+    return max(conventional) / min(tera)
+
+
+def render_cost_table() -> str:
+    """The cost comparison as an aligned text table."""
+    lines = [
+        f"{'Platform':<48} {'create (cycles)':>16} {'sync (cycles)':>14}",
+        "-" * 80,
+    ]
+    for row in COST_TABLE:
+        lines.append(f"{row.platform:<48} {row.create_cycles:>16,.0f} "
+                     f"{row.sync_cycles:>14,.0f}")
+    return "\n".join(lines)

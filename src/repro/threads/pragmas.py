@@ -1,0 +1,90 @@
+"""Parallel-loop pragmas as job transformers.
+
+The Exemplar's shared-memory programming pragmas and the Tera's
+``#pragma multithreaded`` both turn an annotated loop into a parallel
+region.  These helpers perform the same transformation on workload
+descriptions: given the loop's per-iteration phases, they build the
+:class:`~repro.workload.Job` regions that the machine models execute.
+The C3I multithreaded program variants are assembled with them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workload.phase import Phase
+from repro.workload.task import (
+    Compute,
+    ParallelRegion,
+    ThreadProgram,
+    WorkItem,
+    WorkQueueRegion,
+)
+
+
+def parallel_region(iteration_phases: Sequence[Sequence[Phase]],
+                    thread_kind: str = "os",
+                    name: str = "iter") -> ParallelRegion:
+    """One thread per iteration, each running its list of phases.
+
+    ``iteration_phases[i]`` is the phase list of iteration ``i``.
+    """
+    if not iteration_phases:
+        raise ValueError("parallel region needs at least one iteration")
+    threads = [
+        ThreadProgram(f"{name}-{i}",
+                      tuple(Compute(p) for p in phases))
+        for i, phases in enumerate(iteration_phases)
+    ]
+    return ParallelRegion(tuple(threads), thread_kind=thread_kind)
+
+
+def chunked_loop_job(iteration_phases: Sequence[Sequence[Phase]],
+                     n_chunks: int,
+                     thread_kind: str = "os",
+                     name: str = "chunk") -> ParallelRegion:
+    """Block-distribute iterations over ``n_chunks`` threads.
+
+    Chunk ``c`` gets iterations ``[c*n/k, (c+1)*n/k)`` -- the same
+    formula as Program 2 (``first_threat``/``last_threat``).
+    """
+    n = len(iteration_phases)
+    if n == 0:
+        raise ValueError("cannot chunk an empty loop")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    threads = []
+    for c in range(n_chunks):
+        first = (c * n) // n_chunks
+        last = ((c + 1) * n) // n_chunks
+        items = tuple(
+            Compute(p)
+            for i in range(first, last)
+            for p in iteration_phases[i]
+        )
+        threads.append(ThreadProgram(f"{name}-{c}", items))
+    # chunks can be empty when n_chunks > n; keep them (they model the
+    # idle threads the runtime still creates)
+    return ParallelRegion(tuple(threads), thread_kind=thread_kind)
+
+
+def work_queue_job(item_phases: Sequence[Sequence[object]],
+                   n_threads: int,
+                   thread_kind: str = "os",
+                   name: str = "item") -> WorkQueueRegion:
+    """Dynamic scheduling: ``n_threads`` workers pull iterations from a
+    queue (Program 4's "while (unprocessed threats)").
+
+    Each entry of ``item_phases`` is a list of thread items
+    (:class:`~repro.workload.task.Compute` /
+    :class:`~repro.workload.task.Critical`) or bare phases.
+    """
+    items = []
+    for i, entries in enumerate(item_phases):
+        normalized = tuple(
+            e if not isinstance(e, Phase) else Compute(e)
+            for e in entries
+        )
+        items.append(WorkItem(f"{name}-{i}", normalized))
+    return WorkQueueRegion(tuple(items), n_threads=n_threads,
+                           thread_kind=thread_kind)

@@ -1,0 +1,129 @@
+"""Caltech Sthreads: structured multithreading over OS threads.
+
+The paper's Pentium Pro ports used the Sthreads library [Thornley,
+Chandy, Ishii 1998] -- a thin, structured layer over Win32 threads.
+This model reproduces its API shape (create/join, locks) on the DES,
+with OS-thread costs: creation costs tens of thousands of cycles and
+lock operations hundreds, so the idioms that are free on the Tera MTA
+are visibly expensive here.
+
+Programs are DES process generators, as with
+:class:`~repro.mta.runtime.TeraRuntime`::
+
+    rt = SthreadsRuntime(PPRO_SMP_4)
+
+    def worker(rt, wid):
+        yield rt.compute_cycles(1_000_000)
+        with (yield rt.locked(lock)) as _:
+            ...
+
+    threads = [rt.create(worker, i) for i in range(4)]
+    rt.join_all(threads)
+    rt.run()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.des import AllOf, Event, Process, SimLock, Simulator
+from repro.machines.spec import MachineSpec
+
+
+class SthreadLock:
+    """A mutex with OS-level synchronization costs."""
+
+    def __init__(self, runtime: "SthreadsRuntime", name: str = "lock"):
+        self._rt = runtime
+        self._lock = SimLock(runtime.sim, name=name)
+
+    def acquire(self):
+        """Process-style acquire: ``grant = yield from lock.acquire()``."""
+        grant = yield self._lock.acquire()
+        yield self._rt.compute_cycles(self._rt.sync_cycles)
+        return grant
+
+    def release(self, grant) -> None:
+        self._lock.release(grant)
+
+    @property
+    def locked(self) -> bool:
+        return self._lock.locked
+
+    @property
+    def total_wait_time(self) -> float:
+        return self._lock.total_wait_time
+
+
+class Sthread:
+    """Handle to a created thread (joinable)."""
+
+    def __init__(self, process: Process):
+        self._process = process
+
+    @property
+    def is_done(self) -> bool:
+        return self._process.triggered
+
+    def result(self) -> object:
+        return self._process.value
+
+
+class SthreadsRuntime:
+    """Structured coarse-grained threading with OS-thread costs."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        self.sim = Simulator()
+        self._cycle_s = 1.0 / spec.core.clock_hz
+        costs = spec.costs_for("os")
+        self.create_cycles = costs.create_cycles
+        self.sync_cycles = costs.sync_cycles
+        self._threads: list[Process] = []
+
+    # ------------------------------------------------------------------
+    def compute_cycles(self, n: float) -> Event:
+        """Simulated busy work of ``n`` cycles on one CPU.
+
+        (This simple runtime does not model CPU contention -- use the
+        full :class:`~repro.machines.machine.ConventionalMachine` for
+        that; Sthreads programs here demonstrate API semantics and
+        thread-cost magnitudes.)
+        """
+        return self.sim.timeout(n * self._cycle_s)
+
+    @property
+    def now_cycles(self) -> float:
+        return self.sim.now / self._cycle_s
+
+    # ------------------------------------------------------------------
+    def create(self, body: Callable[..., Generator], *args: object,
+               name: Optional[str] = None) -> Sthread:
+        """Create an OS thread: pays the (large) creation cost."""
+        def wrapper():
+            yield self.compute_cycles(self.create_cycles)
+            result = yield from body(self, *args)
+            return result
+
+        p = self.sim.process(wrapper(), name=name or body.__name__)
+        self._threads.append(p)
+        return Sthread(p)
+
+    def join(self, thread: Sthread) -> Event:
+        """An event firing when the thread finishes (+ sync cost)."""
+        return thread._process
+
+    def join_all(self, threads: list[Sthread]) -> Event:
+        return AllOf(self.sim, [t._process for t in threads])
+
+    def lock(self, name: str = "lock") -> SthreadLock:
+        return SthreadLock(self, name=name)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float | Event] = None) -> float:
+        """Run the simulation; returns elapsed cycles."""
+        self.sim.run(until)
+        for p in self._threads:
+            if p.triggered and not p.ok:
+                p.value  # re-raise
+        return self.now_cycles

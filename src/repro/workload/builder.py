@@ -1,0 +1,117 @@
+"""Fluent builders for thread programs and jobs.
+
+The C3I workload generators construct hundreds of thread programs; the
+builders keep that code readable::
+
+    prog = (ThreadProgramBuilder("chunk-3")
+            .compute("scan", ops=OpCounts(ialu=1e6, load=3e5),
+                     unique_bytes=64e3)
+            .critical("intervals-lock", "append",
+                      ops=OpCounts(store=100, sync=2))
+            .build())
+"""
+
+from __future__ import annotations
+
+from repro.workload.ops import OpCounts
+from repro.workload.phase import AccessPattern, MemoryProfile, Phase
+from repro.workload.task import (
+    Compute,
+    Critical,
+    Job,
+    ParallelRegion,
+    SerialStep,
+    ThreadItem,
+    ThreadProgram,
+    WorkItem,
+    WorkQueueRegion,
+)
+
+
+def make_phase(name: str, ops: OpCounts,
+               unique_bytes: float = 0.0,
+               pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+               shared_fraction: float = 0.0,
+               access_bytes: float = 8.0,
+               parallelism: float = 1.0,
+               serial_cycles: float = 0.0) -> Phase:
+    """Convenience constructor assembling a Phase and its MemoryProfile."""
+    return Phase(
+        name=name,
+        ops=ops,
+        memory=MemoryProfile(unique_bytes=unique_bytes, pattern=pattern,
+                             shared_fraction=shared_fraction,
+                             access_bytes=access_bytes),
+        parallelism=parallelism,
+        serial_cycles=serial_cycles,
+    )
+
+
+class ThreadProgramBuilder:
+    """Accumulates thread items and produces a ThreadProgram."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._items: list[ThreadItem] = []
+
+    def compute(self, name: str, ops: OpCounts, **phase_kwargs: object
+                ) -> "ThreadProgramBuilder":
+        self._items.append(Compute(make_phase(name, ops, **phase_kwargs)))
+        return self
+
+    def phase(self, phase: Phase) -> "ThreadProgramBuilder":
+        self._items.append(Compute(phase))
+        return self
+
+    def critical(self, lock: str, name: str, ops: OpCounts,
+                 **phase_kwargs: object) -> "ThreadProgramBuilder":
+        self._items.append(
+            Critical(lock, make_phase(name, ops, **phase_kwargs)))
+        return self
+
+    def critical_phase(self, lock: str, phase: Phase
+                       ) -> "ThreadProgramBuilder":
+        self._items.append(Critical(lock, phase))
+        return self
+
+    def build(self) -> ThreadProgram:
+        return ThreadProgram(self.name, tuple(self._items))
+
+    def build_work_item(self) -> WorkItem:
+        return WorkItem(self.name, tuple(self._items))
+
+
+class JobBuilder:
+    """Accumulates job steps and produces a Job."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._steps: list[object] = []
+
+    def serial(self, name: str, ops: OpCounts, **phase_kwargs: object
+               ) -> "JobBuilder":
+        self._steps.append(SerialStep(make_phase(name, ops, **phase_kwargs)))
+        return self
+
+    def serial_phase(self, phase: Phase) -> "JobBuilder":
+        self._steps.append(SerialStep(phase))
+        return self
+
+    def parallel(self, threads: list[ThreadProgram],
+                 thread_kind: str = "os") -> "JobBuilder":
+        self._steps.append(ParallelRegion(tuple(threads), thread_kind))
+        return self
+
+    def work_queue(self, items: list[WorkItem], n_threads: int,
+                   thread_kind: str = "os") -> "JobBuilder":
+        self._steps.append(
+            WorkQueueRegion(tuple(items), n_threads, thread_kind))
+        return self
+
+    def build(self) -> Job:
+        return Job(self.name, tuple(self._steps))
+
+
+def single_thread_job(name: str, phases: list[Phase]) -> Job:
+    """A purely sequential job from a list of phases."""
+    return Job(name, tuple(SerialStep(p) for p in phases))

@@ -1,0 +1,78 @@
+"""Human-readable summaries of workload descriptions.
+
+``describe_job`` prints what a machine model is about to execute --
+step kinds, thread counts, op totals, memory character -- which is the
+first thing to look at when a simulated time surprises you.
+"""
+
+from __future__ import annotations
+
+from repro.workload.ops import OpCounts
+from repro.workload.task import (
+    Job,
+    ParallelRegion,
+    SerialStep,
+    WorkQueueRegion,
+)
+
+
+def _fmt_ops(ops: OpCounts) -> str:
+    return (f"{ops.total:,.3g} ops "
+            f"({ops.mem_fraction:.0%} memory, "
+            f"{ops.falu / ops.total:.0%} float)" if ops.total else
+            "0 ops")
+
+
+def describe_job(job: Job) -> str:
+    """A multi-line structural summary of a job."""
+    lines = [f"job '{job.name}': {len(job.steps)} steps, "
+             f"{_fmt_ops(job.total_ops)}"]
+    for i, step in enumerate(job.steps):
+        if isinstance(step, SerialStep):
+            p = step.phase
+            extra = ""
+            if p.parallelism > 1:
+                extra += f", parallelism {p.parallelism:.0f}"
+            if p.serial_cycles:
+                extra += f", {p.serial_cycles:,.0f} serial cycles"
+            lines.append(
+                f"  [{i}] serial '{p.name}': {_fmt_ops(p.ops)}, "
+                f"footprint {p.memory.unique_bytes / 1024:,.0f} KB"
+                f"{extra}")
+        elif isinstance(step, ParallelRegion):
+            ops = OpCounts()
+            for t in step.threads:
+                ops = ops + t.total_ops
+            works = [t.total_ops.total for t in step.threads]
+            mean = sum(works) / len(works)
+            imbalance = max(works) / mean if mean else 1.0
+            lines.append(
+                f"  [{i}] parallel region: {step.n_threads} "
+                f"{step.thread_kind}-threads, {_fmt_ops(ops)}, "
+                f"imbalance {imbalance:.2f}")
+        elif isinstance(step, WorkQueueRegion):
+            ops = OpCounts()
+            n_crit = 0
+            for item in step.items:
+                for it in item.items:
+                    ops = ops + it.phase.ops
+                    from repro.workload.task import Critical
+                    if isinstance(it, Critical):
+                        n_crit += 1
+            lines.append(
+                f"  [{i}] work queue: {len(step.items)} items on "
+                f"{step.n_threads} {step.thread_kind}-threads, "
+                f"{_fmt_ops(ops)}, {n_crit} critical sections")
+    return "\n".join(lines)
+
+
+def job_summary(job: Job) -> dict[str, float]:
+    """Machine-readable totals (for assertions and dashboards)."""
+    total = job.total_ops
+    return {
+        "steps": float(len(job.steps)),
+        "total_ops": total.total,
+        "mem_ops": total.mem_ops,
+        "mem_fraction": total.mem_fraction,
+        "max_parallel_threads": float(job.max_parallel_threads),
+    }

@@ -1,0 +1,56 @@
+"""Operation counters for instrumenting the real benchmark kernels.
+
+The C3I algorithms in :mod:`repro.c3i` do real computation; as they run
+they tick an :class:`OpCounter`, which is later converted to
+:class:`~repro.workload.ops.OpCounts` for the machine models.  Counting
+is kept out of inner loops by ticking per structural event (per time
+step, per ring point) with a per-event op recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workload.ops import OpCounts
+
+
+@dataclass
+class OpCounter:
+    """Accumulates abstract operation counts during a kernel run."""
+
+    ialu: float = 0.0
+    falu: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+    branch: float = 0.0
+    sync: float = 0.0
+    #: free-form structural event counts (time steps, ring points, ...)
+    events: dict[str, float] = field(default_factory=dict)
+
+    def tick(self, recipe: OpCounts, times: float = 1.0) -> None:
+        """Add ``times`` repetitions of a per-event op recipe."""
+        self.ialu += recipe.ialu * times
+        self.falu += recipe.falu * times
+        self.load += recipe.load * times
+        self.store += recipe.store * times
+        self.branch += recipe.branch * times
+        self.sync += recipe.sync * times
+
+    def add(self, **counts: float) -> None:
+        for name, v in counts.items():
+            if name in ("ialu", "falu", "load", "store", "branch", "sync"):
+                setattr(self, name, getattr(self, name) + v)
+            else:
+                raise AttributeError(f"unknown op class {name!r}")
+
+    def event(self, name: str, times: float = 1.0) -> None:
+        self.events[name] = self.events.get(name, 0.0) + times
+
+    def to_ops(self) -> OpCounts:
+        return OpCounts(ialu=self.ialu, falu=self.falu, load=self.load,
+                        store=self.store, branch=self.branch, sync=self.sync)
+
+    def merge(self, other: "OpCounter") -> None:
+        self.tick(other.to_ops())
+        for name, v in other.events.items():
+            self.event(name, v)

@@ -1,0 +1,94 @@
+"""Abstract machine operations and operation-count vectors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+
+#: Machine word size in bytes (all four platforms in the study are
+#: 64-bit-word machines for our purposes; the MTA natively so).
+WORD_BYTES = 8
+
+
+class OpClass(enum.Enum):
+    """The operation vocabulary shared by every machine model."""
+
+    IALU = "ialu"      #: integer ALU op (add, compare, index arithmetic)
+    FALU = "falu"      #: floating-point op (add/mul/div lumped together)
+    LOAD = "load"      #: memory read of one word
+    STORE = "store"    #: memory write of one word
+    BRANCH = "branch"  #: control transfer
+    SYNC = "sync"      #: synchronized memory op (full/empty, atomic, lock)
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """A vector of operation counts.
+
+    Counts are floats so they can be scaled (e.g. extrapolating an
+    instrumented reduced-size run to paper-size inputs).
+    """
+
+    ialu: float = 0.0
+    falu: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+    branch: float = 0.0
+    sync: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if v < 0:
+                raise ValueError(f"negative op count {f.name}={v}")
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Total instructions issued."""
+        return (self.ialu + self.falu + self.load + self.store
+                + self.branch + self.sync)
+
+    @property
+    def mem_ops(self) -> float:
+        """Operations that touch memory."""
+        return self.load + self.store + self.sync
+
+    @property
+    def mem_bytes(self) -> float:
+        """Bytes referenced (word-granularity accesses)."""
+        return self.mem_ops * WORD_BYTES
+
+    @property
+    def mem_fraction(self) -> float:
+        """Fraction of instructions that reference memory."""
+        t = self.total
+        return self.mem_ops / t if t > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(*(getattr(self, f.name) + getattr(other, f.name)
+                          for f in fields(self)))
+
+    def __mul__(self, k: float) -> "OpCounts":
+        if k < 0:
+            raise ValueError("cannot scale op counts by a negative factor")
+        return OpCounts(*(getattr(self, f.name) * k for f in fields(self)))
+
+    __rmul__ = __mul__
+
+    def replace(self, **kwargs: float) -> "OpCounts":
+        vals = {f.name: getattr(self, f.name) for f in fields(self)}
+        vals.update(kwargs)
+        return OpCounts(**vals)
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def from_dict(d: dict[str, float]) -> "OpCounts":
+        return OpCounts(**d)
+
+    def weighted_cycles(self, weights: dict[str, float]) -> float:
+        """Dot product with a per-op-class cycle-cost table."""
+        return sum(getattr(self, name) * w for name, w in weights.items())

@@ -1,0 +1,82 @@
+"""Tests for the C3IPBS suite framework."""
+
+import pytest
+
+from repro.c3i.suite import (
+    SuiteProblem,
+    get_problem,
+    list_problems,
+    register_problem,
+    run_problem,
+)
+
+
+def test_builtin_problems_registered():
+    names = list_problems()
+    assert "threat-analysis" in names
+    assert "terrain-masking" in names
+
+
+def test_get_problem():
+    p = get_problem("threat-analysis")
+    assert "ballistic" in p.description
+    assert len(p.variants) == 3
+    with pytest.raises(KeyError):
+        get_problem("sar-imaging")
+
+
+def test_run_threat_analysis_problem():
+    report = run_problem("threat-analysis", scale=0.01)
+    assert report.correct
+    assert report.n_scenarios == 5
+    names = [v.name for v in report.variants]
+    assert names[0] == "sequential (reference)"
+    assert any("256 chunks" in n for n in names)
+    assert all(v.kernel_seconds >= 0 for v in report.variants)
+
+
+def test_run_terrain_masking_problem():
+    report = run_problem("terrain-masking", scale=0.025)
+    assert report.correct
+    assert report.n_scenarios == 5
+    assert any("Tera variant" in v.name for v in report.variants)
+
+
+def test_run_problem_alternative_universe():
+    report = run_problem("threat-analysis", scale=0.01, seed_offset=3)
+    assert report.correct
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_problem(SuiteProblem(
+            name="threat-analysis", description="dup",
+            make_scenarios=lambda **kw: [],
+            reference=lambda sc: None))
+
+
+def test_custom_problem_with_failing_variant():
+    """The suite driver reports validation failures per variant."""
+    register_problem(SuiteProblem(
+        name="toy-problem",
+        description="a toy",
+        make_scenarios=lambda scale=1.0, seed_offset=0: [1, 2, 3],
+        reference=lambda sc: sc * 10,
+        variants={
+            "good": lambda sc: sc * 10,
+            "bad": lambda sc: sc * 10 + 1,
+        },
+        validate=lambda sc, ref, vname, res: (
+            None if res == ref else (_ for _ in ()).throw(
+                AssertionError(f"{vname} mismatch"))),
+    ))
+    try:
+        report = run_problem("toy-problem")
+        by_name = {v.name: v for v in report.variants}
+        assert by_name["good"].correct
+        assert not by_name["bad"].correct
+        assert "mismatch" in by_name["bad"].detail
+        assert not report.correct
+    finally:
+        from repro.c3i import suite
+        suite._REGISTRY.pop("toy-problem", None)

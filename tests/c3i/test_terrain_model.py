@@ -1,0 +1,202 @@
+"""Unit and property tests for the Terrain Masking model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.c3i.terrain import (
+    GroundThreat,
+    generate_terrain,
+    masking_for_threat,
+    ring_offsets,
+)
+from repro.c3i.terrain.model import region_window
+
+
+RNG = np.random.default_rng(42)
+
+
+def flat_terrain(n=64, height=100.0):
+    return np.full((n, n), height)
+
+
+# ----------------------------------------------------------------------
+# terrain generation
+# ----------------------------------------------------------------------
+
+def test_terrain_shape_and_determinism():
+    a = generate_terrain(128, np.random.default_rng(7))
+    b = generate_terrain(128, np.random.default_rng(7))
+    assert a.shape == (128, 128)
+    assert np.array_equal(a, b)
+    assert a.min() >= 0.0
+
+
+def test_terrain_has_relief():
+    t = generate_terrain(256, np.random.default_rng(3), relief=300.0)
+    assert t.max() - t.min() > 50.0
+    assert t.max() <= 300.0 * 1.1
+
+
+def test_terrain_too_small_rejected():
+    with pytest.raises(ValueError):
+        generate_terrain(4, RNG)
+
+
+def test_terrain_is_smooth():
+    """Neighbouring cells differ far less than the total relief."""
+    t = generate_terrain(256, np.random.default_rng(5), relief=300.0)
+    grad = np.abs(np.diff(t, axis=0)).max()
+    assert grad < 100.0
+
+
+# ----------------------------------------------------------------------
+# threats / ring geometry
+# ----------------------------------------------------------------------
+
+def test_threat_validation():
+    with pytest.raises(ValueError):
+        GroundThreat(x=0, y=0, range_cells=0)
+    with pytest.raises(ValueError):
+        GroundThreat(x=0, y=0, range_cells=5, sensor_height=-1)
+
+
+def test_ring_offsets_structure():
+    rings = ring_offsets(5)
+    assert len(rings) == 5
+    for k, (dx, dy, pdx, pdy) in enumerate(rings, start=1):
+        assert (np.maximum(np.abs(dx), np.abs(dy)) == k).all()
+        assert (dx * dx + dy * dy <= 25).all()
+        # parents are exactly one Chebyshev ring in
+        assert (np.maximum(np.abs(pdx), np.abs(pdy)) == k - 1).all()
+
+
+def test_ring_offsets_cover_disc():
+    r = 7
+    rings = ring_offsets(r)
+    cells = {(0, 0)}
+    for dx, dy, _p, _q in rings:
+        cells.update(zip(dx.tolist(), dy.tolist()))
+    expect = {(i, j) for i in range(-r, r + 1) for j in range(-r, r + 1)
+              if i * i + j * j <= r * r}
+    assert cells == expect
+
+
+def test_ring_offsets_validation():
+    with pytest.raises(ValueError):
+        ring_offsets(0)
+
+
+def test_region_window_clipping():
+    t = GroundThreat(x=2, y=60, range_cells=10)
+    w = region_window(t, 64)
+    assert (w.x0, w.x1) == (0, 13)
+    assert (w.y0, w.y1) == (50, 64)
+    assert w.n_cells == 13 * 14
+
+
+# ----------------------------------------------------------------------
+# masking physics
+# ----------------------------------------------------------------------
+
+def test_flat_terrain_fully_exposed():
+    """On a flat plain nothing shadows anything: the safe altitude is
+    the terrain itself everywhere in range."""
+    terrain = flat_terrain(64, height=100.0)
+    t = GroundThreat(x=32, y=32, range_cells=10, sensor_height=15.0)
+    window, alt, stats = masking_for_threat(terrain, t)
+    in_disc = np.isfinite(alt)
+    assert np.allclose(alt[in_disc], 100.0)
+    assert stats.n_rings == 10
+
+
+def test_wall_casts_a_shadow():
+    """A ridge between the threat and a cell raises the safe altitude
+    behind it (you can hide below the grazing ray)."""
+    terrain = flat_terrain(64, height=0.0)
+    terrain[36, 32] = 200.0  # a spike 4 cells east of the threat
+    t = GroundThreat(x=32, y=32, range_cells=20, sensor_height=10.0)
+    _w, alt, _s = masking_for_threat(terrain, t)
+    # behind the spike (x > 36, same y) the shadow grows with distance
+    behind_near = alt[36 + 2 - 12, 32 - 12]  # window coords: x0=12,y0=12
+    behind_far = alt[36 + 10 - 12, 32 - 12]
+    assert behind_near > 0.0
+    assert behind_far > behind_near
+    # in front of the spike, still exposed at ground level
+    assert alt[34 - 12, 32 - 12] == pytest.approx(0.0)
+
+
+def test_shadow_altitude_is_grazing_ray():
+    """The safe altitude behind an obstruction equals the ray through
+    its top, by similar triangles."""
+    terrain = flat_terrain(64, height=0.0)
+    terrain[36, 32] = 100.0
+    t = GroundThreat(x=32, y=32, range_cells=20, sensor_height=0.0)
+    _w, alt, _s = masking_for_threat(terrain, t)
+    # obstruction at distance 4, height 100 -> at distance 8 the ray is
+    # at 200
+    got = alt[40 - 12, 32 - 12]
+    assert got == pytest.approx(200.0, rel=0.1)
+
+
+def test_masking_never_below_terrain():
+    rng = np.random.default_rng(11)
+    terrain = generate_terrain(96, rng)
+    t = GroundThreat(x=48, y=48, range_cells=30)
+    window, alt, _s = masking_for_threat(terrain, t)
+    sx, sy = window.slices()
+    local = terrain[sx, sy]
+    finite = np.isfinite(alt)
+    assert (alt[finite] >= local[finite] - 1e-9).all()
+
+
+def test_threat_cell_is_grazed():
+    terrain = flat_terrain(32, height=50.0)
+    t = GroundThreat(x=16, y=16, range_cells=5)
+    window, alt, _s = masking_for_threat(terrain, t)
+    assert alt[16 - window.x0, 16 - window.y0] == pytest.approx(50.0)
+
+
+def test_outside_disc_is_unconstrained():
+    terrain = flat_terrain(64)
+    t = GroundThreat(x=32, y=32, range_cells=10)
+    _w, alt, _s = masking_for_threat(terrain, t)
+    # the window corner is sqrt(200) > 10 away: outside the disc
+    assert np.isinf(alt[0, 0])
+
+
+def test_threat_off_terrain_rejected():
+    with pytest.raises(ValueError):
+        masking_for_threat(flat_terrain(32),
+                           GroundThreat(x=40, y=0, range_cells=3))
+    with pytest.raises(ValueError):
+        masking_for_threat(np.zeros((4, 8)),
+                           GroundThreat(x=1, y=1, range_cells=2))
+
+
+def test_clipped_region_at_edge():
+    terrain = flat_terrain(64, height=10.0)
+    t = GroundThreat(x=1, y=1, range_cells=10)
+    window, alt, stats = masking_for_threat(terrain, t)
+    assert window.x0 == 0 and window.y0 == 0
+    assert stats.n_ring_cells < sum(
+        len(r[0]) for r in ring_offsets(10))  # some cells clipped
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=3, max_value=12),
+       st.integers(min_value=0, max_value=63),
+       st.integers(min_value=0, max_value=63))
+def test_masking_bounds_property(r, x, y):
+    """For any threat placement: finite values only inside the disc,
+    all values >= local terrain, threat cell grazed."""
+    rng = np.random.default_rng(r * 64 + x)
+    terrain = generate_terrain(64, rng)
+    t = GroundThreat(x=x, y=y, range_cells=r)
+    window, alt, _s = masking_for_threat(terrain, t)
+    sx, sy = window.slices()
+    local = terrain[sx, sy]
+    finite = np.isfinite(alt)
+    assert (alt[finite] >= local[finite] - 1e-9).all()
+    assert alt[t.x - window.x0, t.y - window.y0] == pytest.approx(
+        float(terrain[t.x, t.y]))

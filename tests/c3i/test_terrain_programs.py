@@ -1,0 +1,183 @@
+"""Tests for the Terrain Masking program variants and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.c3i.terrain import (
+    benchmark_scenarios,
+    check_blocked,
+    check_finegrained,
+    check_masking,
+    make_scenario,
+    run_blocked,
+    run_finegrained,
+    run_sequential,
+)
+from repro.c3i.terrain.blocked import block_of, blocks_overlapping
+from repro.c3i.terrain.model import region_window
+from repro.c3i.terrain.validate import ValidationError
+
+
+SCALE = 0.04  # 128x128 grid: fast but non-trivial
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_scenario(0, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def reference(scenario):
+    return run_sequential(scenario)
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+
+def test_scenarios_deterministic_and_distinct():
+    a = make_scenario(1, scale=SCALE)
+    b = make_scenario(1, scale=SCALE)
+    c = make_scenario(2, scale=SCALE)
+    assert np.array_equal(a.terrain, b.terrain)
+    assert a.threats == b.threats
+    assert not np.array_equal(a.terrain, c.terrain)
+
+
+def test_five_scenarios_sixty_threats():
+    """60 threats per scenario (Section 7 of the paper)."""
+    scenarios = benchmark_scenarios(scale=SCALE)
+    assert len(scenarios) == 5
+    for sc in scenarios:
+        assert sc.n_threats == 60
+
+
+def test_region_at_most_5_percent(scenario):
+    """'the region of influence of each threat is up to 5% of the total
+    terrain' (Section 6)."""
+    n = scenario.grid_n
+    for t in scenario.threats:
+        disc = np.pi * t.range_cells ** 2
+        assert disc <= 0.055 * n * n  # small slack for rounding
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        make_scenario(0, scale=0.0)
+    with pytest.raises(ValueError):
+        make_scenario(0, scale=2.0)
+
+
+# ----------------------------------------------------------------------
+# sequential program
+# ----------------------------------------------------------------------
+
+def test_sequential_output_invariants(scenario, reference):
+    check_masking(scenario, reference.masking)
+    assert reference.n_rings_total > 0
+    assert reference.ring_cells_total > 0
+    assert len(reference.per_threat) == scenario.n_threats
+
+
+def test_sequential_masking_is_min_over_threats(scenario, reference):
+    """Each cell equals the min over per-threat maskings (+inf where no
+    threat reaches)."""
+    from repro.c3i.terrain.model import masking_for_threat
+    n = scenario.grid_n
+    expected = np.full((n, n), np.inf)
+    for t in scenario.threats:
+        window, alt, _s = masking_for_threat(scenario.terrain, t)
+        sx, sy = window.slices()
+        expected[sx, sy] = np.minimum(expected[sx, sy], alt)
+    assert np.array_equal(expected, reference.masking)
+
+
+def test_adding_threats_only_lowers_masking(scenario):
+    """Monotonicity: more threats never raise the safe altitude."""
+    import dataclasses
+    fewer = dataclasses.replace(scenario, threats=scenario.threats[:20])
+    more = dataclasses.replace(scenario, threats=scenario.threats[:40])
+    m_few = run_sequential(fewer).masking
+    m_more = run_sequential(more).masking
+    assert (m_more <= m_few + 1e-12).all()
+
+
+# ----------------------------------------------------------------------
+# blocked program
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_threads,num_blocks", [(1, 10), (4, 10),
+                                                  (16, 10), (4, 3)])
+def test_blocked_matches_sequential(scenario, reference, n_threads,
+                                    num_blocks):
+    blocked = run_blocked(scenario, n_threads=n_threads,
+                          num_blocks=num_blocks)
+    check_blocked(reference, blocked)
+
+
+def test_blocked_lock_statistics(scenario):
+    res = run_blocked(scenario, n_threads=4, num_blocks=10)
+    assert res.n_lock_acquisitions >= scenario.n_threats
+    assert res.max_block_sharing >= 2  # regions overlap
+    assert len(res.per_threat_blocks) == scenario.n_threats
+
+
+def test_blocked_validation_catches_corruption(scenario, reference):
+    blocked = run_blocked(scenario, n_threads=2)
+    blocked.masking[0, 0] = -1.0
+    with pytest.raises(ValidationError):
+        check_blocked(reference, blocked)
+
+
+def test_blocked_invalid_params(scenario):
+    with pytest.raises(ValueError):
+        run_blocked(scenario, n_threads=0)
+    with pytest.raises(ValueError):
+        run_blocked(scenario, n_threads=1, num_blocks=0)
+
+
+def test_blocks_overlapping_tile_window(scenario):
+    """Block overlap slices partition each region window exactly."""
+    n = scenario.grid_n
+    for t in scenario.threats[:10]:
+        window = region_window(t, n)
+        tiles = blocks_overlapping(window, n, 10)
+        covered = np.zeros(window.shape, dtype=int)
+        for _bid, (sx, sy) in tiles:
+            lx = slice(sx.start - window.x0, sx.stop - window.x0)
+            ly = slice(sy.start - window.y0, sy.stop - window.y0)
+            covered[lx, ly] += 1
+        assert (covered == 1).all()
+
+
+def test_block_of_consistent_with_overlap(scenario):
+    n = scenario.grid_n
+    t = scenario.threats[0]
+    window = region_window(t, n)
+    for bid, (sx, sy) in blocks_overlapping(window, n, 10):
+        assert block_of(sx.start, sy.start, n, 10) == bid
+        assert block_of(sx.stop - 1, sy.stop - 1, n, 10) == bid
+
+
+# ----------------------------------------------------------------------
+# fine-grained program
+# ----------------------------------------------------------------------
+
+def test_finegrained_matches_sequential(scenario, reference):
+    fine = run_finegrained(scenario)
+    check_finegrained(reference, fine)
+
+
+def test_finegrained_parallelism_profile(scenario):
+    fine = run_finegrained(scenario)
+    assert len(fine.ring_profile) == scenario.n_threats
+    assert fine.mean_ring_width > 4  # rings are tens of cells wide
+    assert fine.max_ring_width > fine.mean_ring_width
+
+
+def test_finegrained_validation_catches_corruption(scenario, reference):
+    fine = run_finegrained(scenario)
+    fine.masking = fine.masking.copy()
+    fine.masking[3, 3] = 0.0
+    with pytest.raises(ValidationError):
+        check_finegrained(reference, fine)

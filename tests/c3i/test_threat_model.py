@@ -1,0 +1,169 @@
+"""Unit and property tests for the Threat Analysis model and kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.c3i.common import contiguous_runs
+from repro.c3i.threat import (
+    Interval,
+    Threat,
+    Weapon,
+    feasible_mask,
+    threat_positions,
+)
+from repro.c3i.threat.model import pair_intervals
+
+
+def simple_threat(**kw):
+    defaults = dict(launch_x=0.0, launch_y=0.0, impact_x=100.0,
+                    impact_y=0.0, launch_time=0.0, impact_time=100.0,
+                    apex_alt=100.0, detect_fraction=0.1)
+    defaults.update(kw)
+    return Threat(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Threat
+# ----------------------------------------------------------------------
+
+def test_threat_validation():
+    with pytest.raises(ValueError):
+        simple_threat(impact_time=0.0)
+    with pytest.raises(ValueError):
+        simple_threat(apex_alt=0.0)
+    with pytest.raises(ValueError):
+        simple_threat(detect_fraction=1.0)
+
+
+def test_threat_endpoints():
+    t = simple_threat()
+    assert t.position(0.0) == (0.0, 0.0, 0.0)
+    x, y, alt = t.position(100.0)
+    assert (x, y) == (100.0, 0.0)
+    assert alt == pytest.approx(0.0)
+
+
+def test_threat_apex_at_midpoint():
+    t = simple_threat()
+    _x, _y, alt = t.position(50.0)
+    assert alt == pytest.approx(100.0)
+
+
+def test_threat_detection_time():
+    t = simple_threat()
+    assert t.detection_time == pytest.approx(10.0)
+
+
+def test_positions_grid_shape_and_bounds():
+    t = simple_threat()
+    times, pos = threat_positions(t, 64)
+    assert times.shape == (64,)
+    assert pos.shape == (64, 3)
+    assert times[0] == pytest.approx(t.detection_time)
+    assert times[-1] == pytest.approx(t.impact_time)
+    assert (pos[:, 2] >= -1e-9).all()
+    assert pos[:, 2].max() <= 100.0 + 1e-9
+
+
+def test_positions_need_two_steps():
+    with pytest.raises(ValueError):
+        threat_positions(simple_threat(), 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=1.0, max_value=1e4),
+       st.floats(min_value=1.0, max_value=1e3))
+def test_altitude_never_exceeds_apex(flight, apex):
+    t = simple_threat(impact_time=flight, apex_alt=apex)
+    _times, pos = threat_positions(t, 97)
+    assert pos[:, 2].max() <= apex + 1e-6
+    assert pos[:, 2].min() >= -1e-6
+
+
+# ----------------------------------------------------------------------
+# Weapon / feasibility
+# ----------------------------------------------------------------------
+
+def test_weapon_validation():
+    with pytest.raises(ValueError):
+        Weapon(x=0, y=0, slant_range=0, min_alt=0, max_alt=10)
+    with pytest.raises(ValueError):
+        Weapon(x=0, y=0, slant_range=10, min_alt=10, max_alt=10)
+
+
+def test_feasible_mask_range_gate():
+    t = simple_threat()
+    times, pos = threat_positions(t, 1001)
+    near = Weapon(x=50.0, y=0.0, slant_range=1e6, min_alt=0.0,
+                  max_alt=1e6)
+    far = Weapon(x=1e5, y=1e5, slant_range=10.0, min_alt=0.0, max_alt=1e6)
+    assert feasible_mask(pos, near).all()
+    assert not feasible_mask(pos, far).any()
+
+
+def test_arc_through_altitude_band_gives_two_intervals():
+    """The arc passes through a mid-altitude band on ascent and again
+    on descent: two interception windows for one pair."""
+    t = simple_threat(apex_alt=200.0)
+    times, pos = threat_positions(t, 2001)
+    w = Weapon(x=50.0, y=0.0, slant_range=1e6, min_alt=100.0,
+               max_alt=180.0)
+    ivs = pair_intervals(times, pos, w, 0, 0)
+    assert len(ivs) == 2
+    assert ivs[0].t_last < ivs[1].t_first
+
+
+def test_zero_intervals_when_out_of_reach():
+    t = simple_threat()
+    times, pos = threat_positions(t, 101)
+    w = Weapon(x=1e6, y=1e6, slant_range=5.0, min_alt=0.0, max_alt=10.0)
+    assert pair_intervals(times, pos, w, 0, 0) == []
+
+
+def test_single_interval_when_always_in_envelope():
+    t = simple_threat(apex_alt=40.0)
+    times, pos = threat_positions(t, 101)
+    w = Weapon(x=50.0, y=0.0, slant_range=1e6, min_alt=0.0, max_alt=1e6)
+    ivs = pair_intervals(times, pos, w, 3, 7)
+    assert len(ivs) == 1
+    assert ivs[0].threat == 3 and ivs[0].weapon == 7
+    assert ivs[0].t_first == pytest.approx(t.detection_time)
+    assert ivs[0].t_last == pytest.approx(t.impact_time)
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        Interval(threat=0, weapon=0, t_first=5.0, t_last=4.0)
+
+
+# ----------------------------------------------------------------------
+# contiguous_runs
+# ----------------------------------------------------------------------
+
+def test_contiguous_runs_basic():
+    mask = np.array([0, 1, 1, 0, 1, 0, 1, 1, 1], dtype=bool)
+    assert contiguous_runs(mask) == [(1, 2), (4, 4), (6, 8)]
+
+
+def test_contiguous_runs_edges():
+    assert contiguous_runs(np.array([], dtype=bool)) == []
+    assert contiguous_runs(np.zeros(5, dtype=bool)) == []
+    assert contiguous_runs(np.ones(4, dtype=bool)) == [(0, 3)]
+    with pytest.raises(ValueError):
+        contiguous_runs(np.zeros((2, 2), dtype=bool))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=60))
+def test_contiguous_runs_reconstruct(bits):
+    mask = np.array(bits, dtype=bool)
+    runs = contiguous_runs(mask)
+    rebuilt = np.zeros_like(mask)
+    for a, b in runs:
+        assert a <= b
+        rebuilt[a:b + 1] = True
+    assert (rebuilt == mask).all()
+    # runs are disjoint, ordered, and separated by gaps
+    for (a1, b1), (a2, _b2) in zip(runs, runs[1:]):
+        assert b1 + 1 < a2

@@ -1,0 +1,174 @@
+"""Tests for the Threat Analysis program variants and scenarios."""
+
+import pytest
+
+from repro.c3i.threat import (
+    benchmark_scenarios,
+    check_chunked,
+    check_finegrained,
+    check_intervals,
+    make_scenario,
+    run_chunked,
+    run_finegrained,
+    run_sequential,
+)
+from repro.c3i.threat.chunked import chunk_bounds
+from repro.c3i.threat.validate import ValidationError
+
+
+SCALE = 0.03  # 30 threats, ~480 steps: fast but non-trivial
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_scenario(0, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def reference(scenario):
+    return run_sequential(scenario)
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+
+def test_scenarios_are_deterministic():
+    a = make_scenario(2, scale=SCALE)
+    b = make_scenario(2, scale=SCALE)
+    assert a.threats == b.threats
+    assert a.weapons == b.weapons
+
+
+def test_scenarios_are_distinct():
+    a = make_scenario(0, scale=SCALE)
+    b = make_scenario(1, scale=SCALE)
+    assert a.threats != b.threats
+
+
+def test_five_benchmark_scenarios():
+    scenarios = benchmark_scenarios(scale=SCALE)
+    assert len(scenarios) == 5
+    assert [s.index for s in scenarios] == [0, 1, 2, 3, 4]
+
+
+def test_full_scale_parameters_match_paper():
+    """1000 threats per scenario (Section 5)."""
+    from repro.c3i.threat.scenarios import FULL_SCALE
+    assert FULL_SCALE.n_threats == 1000
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        make_scenario(0, scale=0.0)
+    with pytest.raises(ValueError):
+        make_scenario(0, scale=1.5)
+
+
+def test_extrapolation_factor(scenario):
+    from repro.c3i.threat.scenarios import FULL_SCALE
+    full = FULL_SCALE.n_threats * FULL_SCALE.n_weapons * FULL_SCALE.n_steps
+    here = scenario.n_threats * scenario.n_weapons * scenario.n_steps
+    assert scenario.extrapolation_factor == pytest.approx(full / here)
+
+
+# ----------------------------------------------------------------------
+# sequential program
+# ----------------------------------------------------------------------
+
+def test_sequential_produces_intervals(scenario, reference):
+    assert reference.n_intervals > 0
+    check_intervals(scenario, reference.intervals)
+
+
+def test_sequential_structural_counts(scenario, reference):
+    assert reference.n_pairs == scenario.n_threats * scenario.n_weapons
+    assert reference.n_pairs_scanned > 0
+    assert reference.n_pairs_skipped > 0  # the range screen does work
+    assert reference.n_steps_total == (reference.n_pairs_scanned
+                                       * scenario.n_steps)
+    assert len(reference.steps_per_threat) == scenario.n_threats
+    assert len(reference.intervals_per_threat) == scenario.n_threats
+    assert sum(reference.intervals_per_threat) == reference.n_intervals
+
+
+def test_sequential_interval_order_is_threat_major(reference):
+    keys = [(iv.threat, iv.weapon, iv.t_first) for iv in reference.intervals]
+    assert keys == sorted(keys)
+
+
+def test_some_pair_has_multiple_intervals():
+    """The benchmark's 'zero, one, or more intervals' property should
+    actually occur in the synthetic scenarios."""
+    counts = {}
+    for idx in range(5):
+        sc = make_scenario(idx, scale=SCALE)
+        res = run_sequential(sc)
+        for iv in res.intervals:
+            counts[(idx, iv.threat, iv.weapon)] = counts.get(
+                (idx, iv.threat, iv.weapon), 0) + 1
+    assert max(counts.values()) >= 2
+
+
+# ----------------------------------------------------------------------
+# chunked program
+# ----------------------------------------------------------------------
+
+def test_chunk_bounds_cover_exactly():
+    for n, k in ((10, 3), (1000, 256), (5, 8), (7, 7)):
+        seen = []
+        for c in range(k):
+            first, last = chunk_bounds(n, k, c)
+            seen.extend(range(first, last + 1))
+        assert seen == list(range(n))
+
+
+@pytest.mark.parametrize("n_chunks", [1, 2, 5, 16])
+def test_chunked_matches_sequential(scenario, reference, n_chunks):
+    chunked = run_chunked(scenario, n_chunks)
+    check_chunked(reference, chunked)
+
+
+def test_chunked_imbalance_reported(scenario, reference):
+    res = run_chunked(scenario, 8)
+    assert res.imbalance >= 1.0
+    # only pairs that pass the range screen are scanned
+    assert sum(res.pairs_per_chunk) == reference.n_pairs_scanned
+
+
+def test_chunked_validation_catches_corruption(scenario, reference):
+    chunked = run_chunked(scenario, 4)
+    chunked.intervals_per_chunk[0] = chunked.intervals_per_chunk[0][1:]
+    with pytest.raises(ValidationError):
+        check_chunked(reference, chunked)
+
+
+def test_chunked_invalid_chunks(scenario):
+    with pytest.raises(ValueError):
+        run_chunked(scenario, 0)
+
+
+# ----------------------------------------------------------------------
+# fine-grained program
+# ----------------------------------------------------------------------
+
+def test_finegrained_same_set_different_order(scenario, reference):
+    fine = run_finegrained(scenario, schedule_seed=7)
+    check_finegrained(reference, fine)
+    assert fine.order_differs  # nondeterministic ordering, as the paper
+    assert fine.n_sync_ops == 2 * fine.n_intervals
+
+
+def test_finegrained_schedules_differ_but_agree(scenario, reference):
+    a = run_finegrained(scenario, schedule_seed=1)
+    b = run_finegrained(scenario, schedule_seed=2)
+    check_finegrained(reference, a)
+    check_finegrained(reference, b)
+    assert a.intervals != b.intervals  # different interleavings
+
+
+def test_finegrained_validation_catches_loss(scenario, reference):
+    fine = run_finegrained(scenario)
+    fine.intervals.pop()
+    with pytest.raises(ValidationError):
+        check_finegrained(reference, fine)

@@ -1,0 +1,82 @@
+"""Tests for the advisory (suggestion) machinery."""
+
+import pytest
+
+from repro.compiler import (
+    AdvisoryKind,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    ForLoop,
+    Program,
+    VarRef,
+    generate_advisories,
+    mechanical_fixes_exist,
+    parallelize,
+    render_advisories,
+    terrain_sequential_ir,
+    threat_sequential_ir,
+)
+
+
+def v(name):
+    return VarRef(name)
+
+
+def test_paper_programs_have_no_mechanical_fix():
+    """The paper's conclusion: "It is unreasonable to expect a compiler
+    to ... automatically develop an alternative algorithm"."""
+    for prog in (threat_sequential_ir(), terrain_sequential_ir()):
+        result = parallelize(prog)
+        assert not mechanical_fixes_exist(result)
+        text = render_advisories(result)
+        assert "no mechanical transformation applies" in text
+
+
+def test_threat_advisories_name_the_counter():
+    result = parallelize(threat_sequential_ir())
+    advisories = generate_advisories(result)
+    counter = [a for a in advisories if "num_intervals" in a.message]
+    assert counter
+    assert all(a.kind == AdvisoryKind.RESTRUCTURING for a in counter)
+    assert any("Program 2" in a.message for a in counter)
+
+
+def test_while_loop_advisory_is_inherent():
+    result = parallelize(threat_sequential_ir())
+    advisories = generate_advisories(result)
+    whiles = [a for a in advisories if "while" in a.loop_label]
+    assert whiles
+    assert all(a.kind == AdvisoryKind.INHERENT for a in whiles)
+
+
+def test_distance_dependence_gets_mechanical_advisory():
+    # a[i] = a[i-1]: a wavefront; skewing/pipelining is a known remedy
+    loop = ForLoop(var="i", lower=Const(0), upper=v("n"), body=(
+        Assign(ArrayRef("a", (v("i"),)),
+               ArrayRef("a", (BinOp("-", v("i"), Const(1)),))),))
+    prog = Program("wavefront", ("n", "a"), (loop,))
+    result = parallelize(prog)
+    advisories = generate_advisories(result)
+    assert advisories
+    assert all(a.kind == AdvisoryKind.MECHANICAL for a in advisories)
+    assert mechanical_fixes_exist(result)
+
+
+def test_parallelized_program_has_no_advisories():
+    loop = ForLoop(var="i", lower=Const(0), upper=v("n"), body=(
+        Assign(ArrayRef("a", (v("i"),)), Const(0)),))
+    result = parallelize(Program("doall", ("n", "a"), (loop,)))
+    assert generate_advisories(result) == []
+    assert not mechanical_fixes_exist(result)
+    assert "nothing to suggest" in render_advisories(result)
+
+
+def test_render_advisories_lists_every_failing_loop():
+    result = parallelize(terrain_sequential_ir())
+    text = render_advisories(result)
+    failing = [r for r in result.reports if not r.parallelized]
+    # every failing loop label appears at least once
+    for r in failing:
+        assert r.label in text

@@ -1,0 +1,123 @@
+"""The paper's auto-parallelization outcome, mechanically reproduced.
+
+Section 5/6: "the manufacturer-supplied automatic parallelizing
+compilers were unable to identify any practical opportunities for
+parallelization" of either sequential program -- and could not even
+parallelize the manually transformed programs without the explicit
+pragmas.
+"""
+
+import pytest
+
+from repro.compiler import (
+    Assign,
+    ArrayRef,
+    Const,
+    ForLoop,
+    Program,
+    VarRef,
+    parallelize,
+    render_feedback,
+    terrain_blocked_ir,
+    terrain_sequential_ir,
+    threat_chunked_ir,
+    threat_sequential_ir,
+)
+
+
+def test_threat_sequential_not_parallelized():
+    result = parallelize(threat_sequential_ir())
+    assert result.n_loops >= 3          # threat, weapon, while
+    assert result.n_parallelized == 0
+    assert not result.found_any_parallelism
+
+
+def test_threat_sequential_reasons_match_paper():
+    """The outer loop fails on the shared num_intervals counter and the
+    opaque calls; the inner while is inherently sequential."""
+    result = parallelize(threat_sequential_ir())
+    by_label = {r.label: r for r in result.reports}
+    outer = by_label["for threat"]
+    reasons = " ".join(outer.reasons)
+    assert "num_intervals" in reasons
+    assert "call" in reasons
+    inner = by_label["while (weapon can intercept threat)"]
+    assert any("loop-carried" in r for r in inner.reasons)
+
+
+def test_threat_chunked_parallelized_only_by_pragma():
+    with_pragma = parallelize(threat_chunked_ir(with_pragma=True))
+    assert with_pragma.n_parallelized == 1
+    chunk = with_pragma.parallelized_loops[0]
+    assert chunk.by_pragma
+    assert chunk.label == "for chunk"
+    assert with_pragma.n_auto_parallelized == 0
+
+    without = parallelize(threat_chunked_ir(with_pragma=False))
+    assert without.n_parallelized == 0
+
+
+def test_terrain_sequential_not_parallelized():
+    result = parallelize(terrain_sequential_ir())
+    assert result.n_loops >= 5
+    assert result.n_parallelized == 0
+
+
+def test_terrain_sequential_outer_loop_reasons():
+    result = parallelize(terrain_sequential_ir())
+    outer = next(r for r in result.reports if r.label == "for threat")
+    assert not outer.parallelized
+    reasons = " ".join(outer.reasons)
+    # the overlapping-region writes and the opaque bounds/altitude calls
+    assert "masking" in reasons or "call" in reasons
+
+
+def test_terrain_blocked_parallelized_only_by_pragma():
+    with_pragma = parallelize(terrain_blocked_ir(with_pragma=True))
+    assert with_pragma.n_parallelized == 1
+    assert with_pragma.parallelized_loops[0].by_pragma
+    without = parallelize(terrain_blocked_ir(with_pragma=False))
+    assert without.n_parallelized == 0
+
+
+def test_auto_parallelizable_loop_is_found():
+    """Sanity: the pass is not a rubber stamp -- a clean DOALL loop is
+    parallelized automatically."""
+    prog = Program(
+        name="daxpy", params=("n", "a", "x", "y"),
+        body=(ForLoop(
+            var="i", lower=Const(0), upper=VarRef("n"),
+            body=(Assign(ArrayRef("y", (VarRef("i"),)),
+                         ArrayRef("x", (VarRef("i"),))),)),))
+    result = parallelize(prog)
+    assert result.n_auto_parallelized == 1
+    assert not result.reports[0].by_pragma
+
+
+def test_feedback_rendering_sequential():
+    result = parallelize(threat_sequential_ir())
+    text = render_feedback(result)
+    assert "ThreatAnalysis" in text
+    assert "NOT parallelized" in text
+    assert "no practical opportunities" in text
+    assert "PARALLELIZED" not in text.replace("NOT parallelized", "")
+
+
+def test_feedback_rendering_pragma():
+    result = parallelize(threat_chunked_ir())
+    text = render_feedback(result)
+    assert "explicit pragma" in text
+    assert "1/" in text  # summary line counts one parallelized loop
+
+
+def test_feedback_rendering_empty_program():
+    result = parallelize(Program(name="empty", params=(), body=()))
+    assert "no loops found" in render_feedback(result)
+
+
+def test_loop_listing_order_outermost_first():
+    result = parallelize(threat_sequential_ir())
+    depths = [r.depth for r in result.reports]
+    assert depths[0] == 0
+    assert all(d >= 0 for d in depths)
+    assert max(depths) >= 2

@@ -1,0 +1,209 @@
+"""Unit tests for the dependence analysis on hand-built loops."""
+
+import pytest
+
+from repro.compiler import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    DependenceKind,
+    ForLoop,
+    VarRef,
+    WhileLoop,
+    analyze_loop,
+)
+from repro.compiler.dependence import affine_form
+
+
+def v(name):
+    return VarRef(name)
+
+
+def loop(body, var="i", pragma=False):
+    return ForLoop(var=var, lower=Const(0), upper=v("n"), body=tuple(body),
+                   pragma_parallel=pragma)
+
+
+# ----------------------------------------------------------------------
+# affine_form
+# ----------------------------------------------------------------------
+
+def test_affine_const():
+    a = affine_form(Const(5), "i", set())
+    assert (a.coef, a.base_var, a.base_num, a.opaque) == (0, None, 5, False)
+
+
+def test_affine_loop_var():
+    a = affine_form(v("i"), "i", set())
+    assert (a.coef, a.base_num) == (1, 0)
+
+
+def test_affine_linear_combination():
+    # 2*i + k - 3
+    e = BinOp("-", BinOp("+", BinOp("*", Const(2), v("i")), v("k")),
+              Const(3))
+    a = affine_form(e, "i", set())
+    assert a.coef == 2 and a.base_var == "k" and a.base_num == -3
+    assert not a.opaque
+
+
+def test_affine_mutated_scalar_is_opaque():
+    a = affine_form(v("count"), "i", {"count"})
+    assert a.opaque
+
+
+def test_affine_two_symbols_is_opaque():
+    a = affine_form(BinOp("+", v("a"), v("b")), "i", set())
+    assert a.opaque
+
+
+def test_affine_call_is_opaque():
+    a = affine_form(Call("f", (v("i"),)), "i", set())
+    assert a.opaque
+
+
+def test_affine_nonlinear_is_opaque():
+    a = affine_form(BinOp("*", v("i"), v("i")), "i", set())
+    assert a.opaque
+
+
+# ----------------------------------------------------------------------
+# loop verdicts
+# ----------------------------------------------------------------------
+
+def test_disjoint_writes_parallelizable():
+    # a[i] = b[i] + 1
+    l = loop([Assign(ArrayRef("a", (v("i"),)),
+                     BinOp("+", ArrayRef("b", (v("i"),)), Const(1)))])
+    assert analyze_loop(l) == []
+
+
+def test_offset_write_read_carries():
+    # a[i] = a[i-1]: distance-1 flow dependence
+    l = loop([Assign(ArrayRef("a", (v("i"),)),
+                     ArrayRef("a", (BinOp("-", v("i"), Const(1)),)))])
+    deps = analyze_loop(l)
+    assert any(d.kind == DependenceKind.ARRAY and d.distance in (-1.0, 1.0)
+               for d in deps)
+
+
+def test_stride_two_versus_odd_constant_independent():
+    # a[2i] = a[2i+1]: even vs odd elements never collide
+    l = loop([Assign(ArrayRef("a", (BinOp("*", Const(2), v("i")),)),
+                     ArrayRef("a", (BinOp("+", BinOp("*", Const(2), v("i")),
+                                          Const(1)),)))])
+    assert analyze_loop(l) == []
+
+
+def test_gcd_test_rules_out_dependence():
+    # a[2i] = a[4i+1]: gcd(2,4)=2 does not divide 1
+    l = loop([Assign(ArrayRef("a", (BinOp("*", Const(2), v("i")),)),
+                     ArrayRef("a", (BinOp("+", BinOp("*", Const(4), v("i")),
+                                          Const(1)),)))])
+    assert analyze_loop(l) == []
+
+
+def test_same_element_every_iteration_is_dependent():
+    # s[0] = s[0] + a[i]: ZIV dependence (a scalar reduction in disguise)
+    l = loop([Assign(ArrayRef("s", (Const(0),)),
+                     BinOp("+", ArrayRef("s", (Const(0),)),
+                           ArrayRef("a", (v("i"),))))])
+    deps = analyze_loop(l)
+    assert any(d.kind == DependenceKind.ARRAY for d in deps)
+
+
+def test_opaque_subscript_assumed_dependent():
+    # a[idx] = i where idx is mutated in the loop
+    l = loop([
+        Assign(ArrayRef("a", (v("idx"),)), v("i")),
+        Assign(v("idx"), BinOp("+", v("idx"), Const(1))),
+    ])
+    deps = analyze_loop(l)
+    kinds = {d.kind for d in deps}
+    assert DependenceKind.SCALAR in kinds      # idx itself
+    # single write to a[idx]: no pair, but idx is carried
+
+
+def test_opaque_write_read_pair_assumed():
+    # a[f(i)] = a[i]: call subscript defeats analysis
+    l = loop([Assign(ArrayRef("a", (Call("f", (v("i"),), pure=True),)),
+                     ArrayRef("a", (v("i"),)))])
+    deps = analyze_loop(l)
+    assert any(d.kind == DependenceKind.ASSUMED for d in deps)
+
+
+def test_leading_dimension_disjointness_wins():
+    # a[i][anything] = a[i][other]: dim 0 proves independence
+    l = loop([Assign(ArrayRef("a", (v("i"), v("idx"))),
+                     ArrayRef("a", (v("i"), v("jdx"))))])
+    assert analyze_loop(l) == []
+
+
+def test_scalar_read_then_write_carries():
+    # acc = acc + 1 style
+    l = loop([Assign(v("acc"), BinOp("+", v("acc"), Const(1)))])
+    deps = analyze_loop(l)
+    assert any(d.kind == DependenceKind.SCALAR and d.variable == "acc"
+               for d in deps)
+
+
+def test_privatizable_scalar_is_fine():
+    # t = a[i]; b[i] = t  (t written before read)
+    l = loop([
+        Assign(v("t"), ArrayRef("a", (v("i"),))),
+        Assign(ArrayRef("b", (v("i"),)), v("t")),
+    ])
+    assert analyze_loop(l) == []
+
+
+def test_impure_call_bars_parallelization():
+    l = loop([CallStmt("do_stuff", (v("i"),))])
+    deps = analyze_loop(l)
+    assert any(d.kind == DependenceKind.CALL for d in deps)
+
+
+def test_pure_call_does_not_bar():
+    l = loop([Assign(ArrayRef("a", (v("i"),)),
+                     Call("sin", (v("i"),), pure=True))])
+    assert analyze_loop(l) == []
+
+
+def test_while_loop_is_sequential():
+    w = WhileLoop(cond=v("go"), body=(Assign(v("x"), Const(1)),))
+    deps = analyze_loop(w)
+    assert len(deps) == 1
+    assert deps[0].kind == DependenceKind.CONTROL
+
+
+def test_inner_loop_sweep_not_disjoint_across_outer():
+    # for i: for j in 0..m: a[j] = i  -- same a[j] every outer iteration
+    inner = ForLoop(var="j", lower=Const(0), upper=v("m"),
+                    body=(Assign(ArrayRef("a", (v("j"),)), v("i")),))
+    outer = ForLoop(var="i", lower=Const(0), upper=v("n"), body=(inner,))
+    deps = analyze_loop(outer)
+    assert deps, "outer loop must not be parallelizable"
+
+
+def test_inner_loop_with_outer_offset_is_disjoint():
+    # for i: for j: a[i][j] = 0 -- dim 0 separates outer iterations
+    inner = ForLoop(var="j", lower=Const(0), upper=v("m"),
+                    body=(Assign(ArrayRef("a", (v("i"), v("j"))),
+                                 Const(0)),))
+    outer = ForLoop(var="i", lower=Const(0), upper=v("n"), body=(inner,))
+    # single write, no (write, other) pair at all
+    assert analyze_loop(outer) == []
+
+
+def test_inner_var_pair_assumed_dependent():
+    # for i: for j: a[j] = a[j] + 1 -- rewrites the same elements
+    inner = ForLoop(var="j", lower=Const(0), upper=v("m"),
+                    body=(Assign(ArrayRef("a", (v("j"),)),
+                                 BinOp("+", ArrayRef("a", (v("j"),)),
+                                       Const(1))),))
+    outer = ForLoop(var="i", lower=Const(0), upper=v("n"), body=(inner,))
+    deps = analyze_loop(outer)
+    assert any(d.kind in (DependenceKind.ASSUMED, DependenceKind.ARRAY)
+               for d in deps)

@@ -1,0 +1,200 @@
+"""The dependence analyzer against a gallery of classic loop patterns.
+
+These are the kernels a downstream user of the compiler model would
+try: stencils, transposes, histograms, reductions, triangular loops.
+Each test documents what the model should conclude and why -- useful
+both as regression coverage and as executable documentation of the
+analyzer's strength and (deliberate) conservatism.
+"""
+
+import pytest
+
+from repro.compiler import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    DependenceKind,
+    ForLoop,
+    IfStmt,
+    Program,
+    VarRef,
+    analyze_loop,
+    parallelize,
+)
+
+
+def v(name):
+    return VarRef(name)
+
+
+def loop(var, body, lower=Const(0), upper=None, pragma=False):
+    return ForLoop(var=var, lower=lower,
+                   upper=upper if upper is not None else v("n"),
+                   body=tuple(body), pragma_parallel=pragma)
+
+
+# ----------------------------------------------------------------------
+# DOALL patterns the analyzer must accept
+# ----------------------------------------------------------------------
+
+def test_vector_add_parallelizes():
+    l = loop("i", [Assign(ArrayRef("c", (v("i"),)),
+                          BinOp("+", ArrayRef("a", (v("i"),)),
+                                ArrayRef("b", (v("i"),))))])
+    assert analyze_loop(l) == []
+
+
+def test_saxpy_with_invariant_scalar_parallelizes():
+    # y[i] = a*x[i] + y[i]: 'a' is read-only
+    l = loop("i", [Assign(
+        ArrayRef("y", (v("i"),)),
+        BinOp("+", BinOp("*", v("a"), ArrayRef("x", (v("i"),))),
+              ArrayRef("y", (v("i"),))))])
+    assert analyze_loop(l) == []
+
+
+def test_outer_loop_of_matmul_parallelizes():
+    # for i: for j: for k: c[i][j] += a[i][k]*b[k][j]
+    inner_k = loop("k", [Assign(
+        ArrayRef("c", (v("i"), v("j"))),
+        BinOp("+", ArrayRef("c", (v("i"), v("j"))),
+              BinOp("*", ArrayRef("a", (v("i"), v("k"))),
+                    ArrayRef("b", (v("k"), v("j"))))))],
+        upper=v("n"))
+    inner_j = loop("j", [inner_k])
+    outer = loop("i", [inner_j])
+    # dim 0 of the only written array is 'i': iterations are disjoint
+    assert analyze_loop(outer) == []
+
+
+def test_independent_shift_parallelizes():
+    # b[i] = a[i+1]: reading a different array is never a dependence
+    l = loop("i", [Assign(ArrayRef("b", (v("i"),)),
+                          ArrayRef("a", (BinOp("+", v("i"), Const(1)),)))])
+    assert analyze_loop(l) == []
+
+
+def test_guarded_assignment_parallelizes():
+    # if (a[i] > 0) b[i] = a[i]
+    l = loop("i", [IfStmt(
+        BinOp(">", ArrayRef("a", (v("i"),)), Const(0)),
+        (Assign(ArrayRef("b", (v("i"),)), ArrayRef("a", (v("i"),))),))])
+    assert analyze_loop(l) == []
+
+
+# ----------------------------------------------------------------------
+# sequential patterns the analyzer must reject
+# ----------------------------------------------------------------------
+
+def test_prefix_sum_rejected():
+    # a[i] = a[i-1] + b[i]: the classic loop-carried recurrence
+    l = loop("i", [Assign(
+        ArrayRef("a", (v("i"),)),
+        BinOp("+", ArrayRef("a", (BinOp("-", v("i"), Const(1)),)),
+              ArrayRef("b", (v("i"),))))],
+        lower=Const(1))
+    deps = analyze_loop(l)
+    assert any(d.kind == DependenceKind.ARRAY for d in deps)
+
+
+def test_stencil_in_place_rejected():
+    # a[i] = (a[i-1] + a[i+1]) / 2 -- in-place Jacobi is carried
+    l = loop("i", [Assign(
+        ArrayRef("a", (v("i"),)),
+        BinOp("/", BinOp("+",
+                         ArrayRef("a", (BinOp("-", v("i"), Const(1)),)),
+                         ArrayRef("a", (BinOp("+", v("i"), Const(1)),))),
+              Const(2)))],
+        lower=Const(1))
+    deps = analyze_loop(l)
+    assert deps
+
+
+def test_out_of_place_stencil_parallelizes():
+    # b[i] = (a[i-1] + a[i+1]) / 2 -- the fix: double buffering
+    l = loop("i", [Assign(
+        ArrayRef("b", (v("i"),)),
+        BinOp("/", BinOp("+",
+                         ArrayRef("a", (BinOp("-", v("i"), Const(1)),)),
+                         ArrayRef("a", (BinOp("+", v("i"), Const(1)),))),
+              Const(2)))],
+        lower=Const(1))
+    assert analyze_loop(l) == []
+
+
+def test_histogram_rejected():
+    # h[bin[i]] += 1: indirect subscript defeats the analysis
+    l = loop("i", [Assign(
+        ArrayRef("h", (ArrayRef("bin", (v("i"),)),)),
+        BinOp("+", ArrayRef("h", (ArrayRef("bin", (v("i"),)),)),
+              Const(1)))])
+    deps = analyze_loop(l)
+    assert any(d.kind == DependenceKind.ASSUMED for d in deps)
+
+
+def test_scalar_max_reduction_rejected():
+    # best = max(best, a[i]) as if + assignment
+    l = loop("i", [IfStmt(
+        BinOp(">", ArrayRef("a", (v("i"),)), v("best")),
+        (Assign(v("best"), ArrayRef("a", (v("i"),))),))])
+    deps = analyze_loop(l)
+    assert any(d.kind == DependenceKind.SCALAR and d.variable == "best"
+               for d in deps)
+
+
+def test_linked_list_walk_rejected():
+    # p = next(p): both a call and a carried scalar
+    l = loop("i", [Assign(v("p"), Call("next_node", (v("p"),)))])
+    deps = analyze_loop(l)
+    kinds = {d.kind for d in deps}
+    assert DependenceKind.CALL in kinds
+    assert DependenceKind.SCALAR in kinds
+
+
+def test_triangular_write_pattern():
+    # for i: for j in 0..i: a[j] = i -- inner range grows with i;
+    # the same a[j] cells are rewritten across iterations
+    inner = ForLoop(var="j", lower=Const(0), upper=v("i"),
+                    body=(Assign(ArrayRef("a", (v("j"),)), v("i")),))
+    outer = loop("i", [inner])
+    assert analyze_loop(outer)
+
+
+def test_transpose_blocked_by_symmetry():
+    # a[i][j] = a[j][i] inside for i / for j: the analyzer cannot
+    # prove i != j ordering safety -> conservative rejection
+    inner = loop("j", [Assign(ArrayRef("a", (v("i"), v("j"))),
+                              ArrayRef("a", (v("j"), v("i"))))])
+    outer = loop("i", [inner])
+    deps = analyze_loop(outer)
+    assert deps
+
+
+# ----------------------------------------------------------------------
+# whole-program behaviour
+# ----------------------------------------------------------------------
+
+def test_program_with_mixed_loops():
+    init = loop("i", [Assign(ArrayRef("a", (v("i"),)), Const(0))])
+    scan = loop("i", [Assign(
+        ArrayRef("a", (v("i"),)),
+        BinOp("+", ArrayRef("a", (BinOp("-", v("i"), Const(1)),)),
+              Const(1)))], lower=Const(1))
+    prog = Program("mixed", ("n", "a"), (init, scan))
+    result = parallelize(prog)
+    assert result.n_loops == 2
+    assert result.n_auto_parallelized == 1  # init yes, scan no
+
+
+def test_pragma_overrides_even_a_provable_dependence():
+    """The pragma is the programmer's assertion; the compiler obeys --
+    which is why the paper stresses the nondeterminacy risk."""
+    scan = loop("i", [Assign(
+        ArrayRef("a", (v("i"),)),
+        ArrayRef("a", (BinOp("-", v("i"), Const(1)),)))],
+        lower=Const(1), pragma=True)
+    result = parallelize(Program("forced", ("n", "a"), (scan,)))
+    assert result.n_parallelized == 1
+    assert result.reports[0].by_pragma

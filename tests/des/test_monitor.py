@@ -1,0 +1,87 @@
+"""Tests for simulation instrumentation (TimeSeries, Monitor)."""
+
+import pytest
+
+from repro.des import Monitor, Simulator, TimeSeries
+
+
+def test_time_series_records_changes():
+    sim = Simulator()
+    ts = TimeSeries(sim, initial=2.0)
+
+    def body(sim):
+        yield sim.timeout(10)
+        ts.record(4.0)
+        yield sim.timeout(10)
+        ts.add(-3.0)
+
+    sim.process(body(sim))
+    sim.run()
+    assert ts.current == 1.0
+    assert ts.values == [2.0, 4.0, 1.0]
+    assert ts.times == [0.0, 10.0, 20.0]
+
+
+def test_time_average_weighted_by_duration():
+    sim = Simulator()
+    ts = TimeSeries(sim, initial=0.0)
+
+    def body(sim):
+        yield sim.timeout(10)   # 0 for 10s
+        ts.record(10.0)
+        yield sim.timeout(10)   # 10 for 10s
+        ts.record(0.0)
+        yield sim.timeout(20)   # 0 for 20s
+
+    sim.process(body(sim))
+    sim.run()
+    # average over [0, 40]: (0*10 + 10*10 + 0*20)/40 = 2.5
+    assert ts.time_average() == pytest.approx(2.5)
+    assert ts.maximum() == 10.0
+
+
+def test_time_average_partial_window():
+    sim = Simulator()
+    ts = TimeSeries(sim, initial=4.0)
+
+    def body(sim):
+        yield sim.timeout(5)
+        ts.record(0.0)
+        yield sim.timeout(100)
+
+    sim.process(body(sim))
+    sim.run()
+    assert ts.time_average(until=10.0) == pytest.approx(
+        (4.0 * 5 + 0.0 * 5) / 10)
+
+
+def test_time_average_at_time_zero():
+    sim = Simulator()
+    ts = TimeSeries(sim, initial=7.0)
+    assert ts.time_average() == 7.0
+
+
+def test_monitor_counters_and_gauges():
+    sim = Simulator()
+    mon = Monitor(sim)
+    mon.count("events")
+    mon.count("events", 4)
+    g = mon.gauge("queue", initial=1.0)
+
+    def body(sim):
+        yield sim.timeout(10)
+        g.add(3.0)
+        yield sim.timeout(10)
+
+    sim.process(body(sim))
+    sim.run()
+    snap = mon.snapshot()
+    assert snap["events"] == 5
+    assert snap["queue.avg"] == pytest.approx((1 * 10 + 4 * 10) / 20)
+    assert snap["queue.max"] == 4.0
+
+
+def test_monitor_gauge_is_memoized():
+    sim = Simulator()
+    mon = Monitor(sim)
+    assert mon.gauge("x") is mon.gauge("x")

@@ -1,0 +1,117 @@
+"""Property-based tests for the DES kernel (hypothesis).
+
+Invariants: work conservation in the fair-share server, capacity
+ceilings, FIFO fairness of resources, determinism of whole simulations.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des import FairShareServer, Resource, SimLock, Simulator
+
+
+job_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0),   # arrival offset
+        st.floats(min_value=0.1, max_value=100.0),  # demand
+        st.one_of(st.none(),
+                  st.floats(min_value=0.1, max_value=10.0)),  # cap
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def run_fairshare(jobs, capacity, default_cap=None):
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=capacity,
+                          per_customer_cap=default_cap)
+    done = {}
+
+    def proc(sim, idx, start, demand, cap):
+        if start:
+            yield sim.timeout(start)
+        start_t = sim.now
+        yield srv.submit(demand, cap=cap)
+        done[idx] = (start_t, sim.now, demand, cap)
+
+    for i, (start, demand, cap) in enumerate(jobs):
+        sim.process(proc(sim, i, start, demand, cap))
+    sim.run()
+    return sim, srv, done
+
+
+@settings(max_examples=60, deadline=None)
+@given(job_lists, st.floats(min_value=0.5, max_value=20.0))
+def test_fairshare_conserves_work(jobs, capacity):
+    _sim, srv, done = run_fairshare(jobs, capacity)
+    assert len(done) == len(jobs)  # everything completes
+    total_demand = sum(d for _s, d, _c in jobs)
+    assert srv.total_served == pytest.approx(total_demand, rel=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(job_lists, st.floats(min_value=0.5, max_value=20.0))
+def test_fairshare_never_exceeds_capacity(jobs, capacity):
+    sim, srv, _done = run_fairshare(jobs, capacity)
+    # served work can never exceed capacity x elapsed busy time
+    assert srv.total_served <= capacity * sim.now * (1 + 1e-9) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(job_lists, st.floats(min_value=0.5, max_value=20.0))
+def test_fairshare_respects_per_job_caps(jobs, capacity):
+    _sim, _srv, done = run_fairshare(jobs, capacity)
+    for start_t, end_t, demand, cap in done.values():
+        elapsed = end_t - start_t
+        best_rate = min(capacity, cap) if cap is not None else capacity
+        # a job can never finish faster than its own rate ceiling
+        assert elapsed >= demand / best_rate - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(job_lists, st.floats(min_value=0.5, max_value=20.0))
+def test_fairshare_deterministic(jobs, capacity):
+    sim1, _s1, done1 = run_fairshare(jobs, capacity)
+    sim2, _s2, done2 = run_fairshare(jobs, capacity)
+    assert sim1.now == sim2.now
+    assert done1 == done2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.1, max_value=10.0),
+                min_size=2, max_size=12),
+       st.integers(min_value=1, max_value=4))
+def test_resource_serves_in_fifo_order(holds, capacity):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    grant_order = []
+
+    def user(sim, idx, hold):
+        with res.request() as req:
+            yield req
+            grant_order.append(idx)
+            yield sim.timeout(hold)
+
+    for i, h in enumerate(holds):
+        sim.process(user(sim, i, h))
+    sim.run()
+    assert grant_order == sorted(grant_order)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.1, max_value=5.0),
+                min_size=1, max_size=10))
+def test_lock_serializes_total_time(holds):
+    """Total elapsed >= sum of critical-section lengths."""
+    sim = Simulator()
+    lock = SimLock(sim)
+
+    def user(sim, hold):
+        grant = yield lock.acquire()
+        yield sim.timeout(hold)
+        lock.release(grant)
+
+    for h in holds:
+        sim.process(user(sim, h))
+    sim.run()
+    assert sim.now == pytest.approx(sum(holds), rel=1e-9)

@@ -1,0 +1,330 @@
+"""Unit tests for Resource and FairShareServer."""
+
+import pytest
+
+from repro.des import DesError, FairShareServer, Resource, Simulator
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    log = []
+
+    def user(sim, tag, hold):
+        with res.request() as req:
+            yield req
+            log.append(("acq", tag, sim.now))
+            yield sim.timeout(hold)
+        log.append(("rel", tag, sim.now))
+
+    for tag, hold in [("a", 5), ("b", 5), ("c", 5)]:
+        sim.process(user(sim, tag, hold))
+    sim.run()
+    acquires = {tag: t for op, tag, t in log if op == "acq"}
+    assert acquires["a"] == 0 and acquires["b"] == 0
+    assert acquires["c"] == 5  # had to wait for a release
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(sim, tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield sim.timeout(1)
+
+    for tag in "abcde":
+        sim.process(user(sim, tag))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_resource_release_via_context_manager_on_error():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def bad(sim):
+        with res.request() as req:
+            yield req
+            raise RuntimeError("die holding the lock")
+
+    def good(sim):
+        yield sim.timeout(0)
+        with res.request() as req:
+            yield req
+            return "got it"
+
+    sim.process(bad(sim))
+    p = sim.process(good(sim))
+    with pytest.raises(RuntimeError):
+        sim.run()
+    sim.run()  # continue; resource was released by __exit__
+    assert p.value == "got it"
+
+
+def test_resource_wait_statistics():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user(sim, hold):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(hold)
+
+    sim.process(user(sim, 10))
+    sim.process(user(sim, 10))
+    sim.run()
+    assert res.total_waits == 1
+    assert res.total_wait_time == 10.0
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_release_unknown_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    other = Resource(sim, capacity=1)
+    req = other.request()
+    with pytest.raises(DesError):
+        res.release(req)
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.request()    # granted
+    second = res.request()   # queued
+    res.release(second)      # cancel while queued: allowed, no grant
+    assert res.queue_length == 0
+    res.release(first)
+    assert res.count == 0
+
+
+# ----------------------------------------------------------------------
+# FairShareServer
+# ----------------------------------------------------------------------
+
+def run_jobs(server, sim, jobs):
+    """Submit (start_time, demand) jobs; return dict of completion times."""
+    done_at = {}
+
+    def job(sim, idx, start, demand):
+        if start:
+            yield sim.timeout(start)
+        yield server.submit(demand)
+        done_at[idx] = sim.now
+
+    for idx, (start, demand) in enumerate(jobs):
+        sim.process(job(sim, idx, start, demand))
+    sim.run()
+    return done_at
+
+
+def test_single_job_runs_at_full_capacity():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+    done = run_jobs(srv, sim, [(0, 50.0)])
+    assert done[0] == pytest.approx(5.0)
+
+
+def test_two_equal_jobs_share_capacity():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+    done = run_jobs(srv, sim, [(0, 50.0), (0, 50.0)])
+    # each runs at 5 units/s -> both finish at t=10
+    assert done[0] == pytest.approx(10.0)
+    assert done[1] == pytest.approx(10.0)
+
+
+def test_short_job_departure_speeds_up_long_job():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+    done = run_jobs(srv, sim, [(0, 10.0), (0, 90.0)])
+    # Phase 1: both at rate 5 until short job finishes at t=2 (10/5).
+    # Phase 2: long job has 80 left, runs at 10 -> finishes at t=10.
+    assert done[0] == pytest.approx(2.0)
+    assert done[1] == pytest.approx(10.0)
+
+
+def test_late_arrival_slows_existing_job():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+    done = run_jobs(srv, sim, [(0, 100.0), (5, 25.0)])
+    # t in [0,5): job0 alone at rate 10, serves 50, 50 left.
+    # t >= 5: both at rate 5. job1 needs 5s -> done at 10.
+    # job0: 50 left at t=5, serves 25 by t=10, then alone: 25 left at
+    # rate 10 -> done at 12.5.
+    assert done[1] == pytest.approx(10.0)
+    assert done[0] == pytest.approx(12.5)
+
+
+def test_per_customer_cap_limits_lone_job():
+    sim = Simulator()
+    # MTA-style: aggregate 21 units/s but each customer capped at 1.
+    srv = FairShareServer(sim, capacity=21.0, per_customer_cap=1.0)
+    done = run_jobs(srv, sim, [(0, 10.0)])
+    assert done[0] == pytest.approx(10.0)  # NOT 10/21
+
+
+def test_per_customer_cap_aggregate_saturation():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=21.0, per_customer_cap=1.0)
+    # 42 customers, 10 work each: rate = 21/42 = 0.5 each -> 20 s.
+    done = run_jobs(srv, sim, [(0, 10.0)] * 42)
+    for idx in range(42):
+        assert done[idx] == pytest.approx(20.0)
+
+
+def test_per_customer_cap_below_saturation_runs_at_cap():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=21.0, per_customer_cap=1.0)
+    # 7 customers: each at the cap (1.0), since 21/7 = 3 > cap.
+    done = run_jobs(srv, sim, [(0, 10.0)] * 7)
+    for idx in range(7):
+        assert done[idx] == pytest.approx(10.0)
+
+
+def test_zero_demand_completes_immediately():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=1.0)
+    done = run_jobs(srv, sim, [(3, 0.0)])
+    assert done[0] == pytest.approx(3.0)
+
+
+def test_negative_demand_rejected():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=1.0)
+    with pytest.raises(ValueError):
+        srv.submit(-1.0)
+
+
+def test_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FairShareServer(sim, capacity=0.0)
+    with pytest.raises(ValueError):
+        FairShareServer(sim, capacity=1.0, per_customer_cap=0.0)
+
+
+def test_utilization_accounting():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+    run_jobs(srv, sim, [(0, 50.0)])
+    # 50 units served over 5 s at capacity 10 -> utilization 1.0
+    assert srv.utilization() == pytest.approx(1.0)
+
+
+def test_utilization_with_idle_period():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+
+    def body(sim):
+        yield srv.submit(50.0)       # busy [0, 5]
+        yield sim.timeout(5.0)       # idle [5, 10]
+
+    sim.process(body(sim))
+    sim.run()
+    assert srv.utilization() == pytest.approx(0.5)
+
+
+def test_sequential_submissions_by_one_process():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=2.0)
+
+    def body(sim):
+        yield srv.submit(4.0)
+        yield srv.submit(6.0)
+
+    p = sim.process(body(sim))
+    sim.run_all(p)
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_many_staggered_jobs_conserve_work():
+    """Total served work must equal total demand (conservation law)."""
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=3.0, per_customer_cap=2.0)
+    jobs = [(i * 0.7, 5.0 + (i % 3)) for i in range(25)]
+    run_jobs(srv, sim, jobs)
+    assert srv.total_served == pytest.approx(sum(d for _s, d in jobs))
+
+
+# ----------------------------------------------------------------------
+# Water-filling with heterogeneous per-job caps
+# ----------------------------------------------------------------------
+
+def test_waterfill_capped_job_leftover_redistributed():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+    done_at = {}
+
+    def job(sim, idx, demand, cap):
+        yield srv.submit(demand, cap=cap)
+        done_at[idx] = sim.now
+
+    # job0 capped at 2, job1 uncapped: rates are 2 and 8.
+    sim.process(job(sim, 0, 20.0, 2.0))
+    sim.process(job(sim, 1, 80.0, None))
+    sim.run()
+    assert done_at[0] == pytest.approx(10.0)
+    assert done_at[1] == pytest.approx(10.0)
+
+
+def test_waterfill_parallel_phase_gets_multiple_shares():
+    """A job with cap p*stream_rate models a phase with parallelism p."""
+    sim = Simulator()
+    clock = 21.0
+    srv = FairShareServer(sim, capacity=clock, per_customer_cap=1.0)
+    done_at = {}
+
+    def job(sim, idx, demand, cap=None):
+        yield srv.submit(demand, cap=cap)
+        done_at[idx] = sim.now
+
+    # One "parallelism 7" job against 3 plain streams: caps 7,1,1,1.
+    sim.process(job(sim, "wide", 70.0, 7.0))
+    for i in range(3):
+        sim.process(job(sim, i, 10.0))
+    sim.run()
+    # Total cap demand 10 < capacity 21, so everyone runs at cap.
+    assert done_at["wide"] == pytest.approx(10.0)
+    for i in range(3):
+        assert done_at[i] == pytest.approx(10.0)
+
+
+def test_waterfill_saturation_with_wide_job():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0, per_customer_cap=1.0)
+    done_at = {}
+
+    def job(sim, idx, demand, cap=None):
+        yield srv.submit(demand, cap=cap)
+        done_at[idx] = sim.now
+
+    # Wide job cap 20 > capacity; 5 plain jobs capped at 1 each.
+    # Plain jobs: share = 10/6 = 1.67 > 1 -> rate 1. Wide gets 10-5=5.
+    sim.process(job(sim, "wide", 50.0, 20.0))
+    for i in range(5):
+        sim.process(job(sim, i, 10.0))
+    sim.run()
+    for i in range(5):
+        assert done_at[i] == pytest.approx(10.0)
+    assert done_at["wide"] == pytest.approx(10.0)
+
+
+def test_waterfill_invalid_cap_rejected():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+    with pytest.raises(ValueError):
+        srv.submit(1.0, cap=0.0)

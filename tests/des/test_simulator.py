@@ -1,0 +1,387 @@
+"""Unit tests for the DES event loop and process model."""
+
+import pytest
+
+from repro.des import (
+    AllOf,
+    AnyOf,
+    DesError,
+    Interrupt,
+    Simulator,
+    SimulationDeadlock,
+)
+
+
+def test_empty_simulation_runs_to_exhaustion():
+    sim = Simulator()
+    assert sim.run() is None
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(2.5)
+        yield sim.timeout(1.5)
+
+    sim.process(body(sim))
+    sim.run()
+    assert sim.now == 4.0
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def body(sim):
+        got.append((yield sim.timeout(1, value="hello")))
+
+    sim.process(body(sim))
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_process_return_value_is_event_value():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3)
+        return 42
+
+    p = sim.process(child(sim))
+    sim.run()
+    assert p.triggered and p.ok
+    assert p.value == 42
+
+
+def test_fork_join():
+    sim = Simulator()
+
+    def child(sim, d):
+        yield sim.timeout(d)
+        return d
+
+    def parent(sim):
+        a = sim.process(child(sim, 5))
+        b = sim.process(child(sim, 3))
+        ra = yield a
+        rb = yield b
+        return ra + rb
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == 8
+    assert sim.now == 5
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        return "done"
+
+    def parent(sim):
+        c = sim.process(child(sim))
+        yield sim.timeout(10)
+        got = yield c  # c finished long ago
+        return got
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "done"
+    assert sim.now == 10
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(100)
+
+    sim.process(body(sim))
+    sim.run(until=40)
+    assert sim.now == 40
+
+
+def test_run_until_event_returns_its_value():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(7)
+        return "v"
+
+    p = sim.process(body(sim))
+    assert sim.run(until=p) == "v"
+    assert sim.now == 7
+
+
+def test_run_until_event_that_never_fires_deadlocks():
+    sim = Simulator()
+    ev = sim.event()
+
+    def body(sim):
+        yield sim.timeout(1)
+
+    sim.process(body(sim))
+    with pytest.raises(SimulationDeadlock):
+        sim.run(until=ev)
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(10)
+
+    sim.process(body(sim))
+    sim.run(until=5)
+    with pytest.raises(ValueError):
+        sim.run(until=1)
+
+
+def test_deterministic_tie_break_by_creation_order():
+    sim = Simulator()
+    order = []
+
+    def body(sim, tag):
+        yield sim.timeout(1)
+        order.append(tag)
+
+    for tag in "abcd":
+        sim.process(body(sim, tag))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_yield_non_event_raises_inside_process():
+    sim = Simulator()
+
+    def body(sim):
+        yield 17  # not an event
+
+    p = sim.process(body(sim))
+    with pytest.raises(DesError):
+        sim.run()
+    assert p.triggered and not p.ok
+
+
+def test_unhandled_process_exception_surfaces():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("boom")
+
+    sim.process(body(sim))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_exception_handled_by_joiner_is_defused():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("child failed")
+
+    def parent(sim):
+        c = sim.process(child(sim))
+        try:
+            yield c
+        except RuntimeError:
+            return "handled"
+        return "not handled"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter(sim):
+        got.append((yield ev))
+
+    def firer(sim):
+        yield sim.timeout(4)
+        ev.succeed("fired")
+
+    sim.process(waiter(sim))
+    sim.process(firer(sim))
+    sim.run()
+    assert got == ["fired"]
+    assert sim.now == 4
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(DesError):
+        ev.succeed(2)
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+
+    def child(sim, d):
+        yield sim.timeout(d)
+        return d
+
+    def parent(sim):
+        ps = [sim.process(child(sim, d)) for d in (2, 5, 3)]
+        results = yield AllOf(sim, ps)
+        return sorted(results.values())
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == [2, 3, 5]
+    assert sim.now == 5
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+
+    def child(sim, d):
+        yield sim.timeout(d)
+        return d
+
+    def parent(sim):
+        ps = [sim.process(child(sim, d)) for d in (9, 4, 7)]
+        results = yield AnyOf(sim, ps)
+        return list(results.values())
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == [4]
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+
+    def parent(sim):
+        results = yield AllOf(sim, [])
+        return results
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == {}
+    assert sim.now == 0
+
+
+def test_allof_propagates_failure():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise ValueError("nope")
+
+    def ok(sim):
+        yield sim.timeout(5)
+
+    def parent(sim):
+        ps = [sim.process(bad(sim)), sim.process(ok(sim))]
+        try:
+            yield AllOf(sim, ps)
+        except ValueError:
+            return "caught"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100)
+        except Interrupt as i:
+            return ("interrupted", i.cause, sim.now)
+
+    def interrupter(sim, victim):
+        yield sim.timeout(10)
+        victim.interrupt(cause="wake up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert victim.value == ("interrupted", "wake up", 10)
+
+
+def test_interrupt_dead_process_rejected():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(DesError):
+        p.interrupt()
+
+
+def test_step_on_empty_heap_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationDeadlock):
+        sim.step()
+
+
+def test_run_all_reports_unfinished_process():
+    sim = Simulator()
+    never = sim.event()
+
+    def stuck(sim):
+        yield never
+
+    p = sim.process(stuck(sim))
+    with pytest.raises(SimulationDeadlock):
+        sim.run_all(p)
+
+
+def test_active_process_visible_during_step():
+    sim = Simulator()
+    seen = []
+
+    def body(sim):
+        seen.append(sim.active_process)
+        yield sim.timeout(1)
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert seen == [p]
+    assert sim.active_process is None
+
+
+def test_clock_is_monotonic_across_many_processes():
+    sim = Simulator()
+    times = []
+
+    def body(sim, delays):
+        for d in delays:
+            yield sim.timeout(d)
+            times.append(sim.now)
+
+    sim.process(body(sim, [3, 1, 4]))
+    sim.process(body(sim, [1, 5]))
+    sim.process(body(sim, [2, 2, 2]))
+    sim.run()
+    assert times == sorted(times)

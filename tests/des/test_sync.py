@@ -1,0 +1,394 @@
+"""Unit tests for locks, semaphores, barriers and full/empty cells."""
+
+import pytest
+
+from repro.des import (
+    DesError,
+    FullEmptyCell,
+    SimBarrier,
+    SimLock,
+    SimSemaphore,
+    Simulator,
+    Store,
+)
+
+
+# ----------------------------------------------------------------------
+# SimLock
+# ----------------------------------------------------------------------
+
+def test_lock_mutual_exclusion():
+    sim = Simulator()
+    lock = SimLock(sim)
+    inside = []
+    max_inside = []
+
+    def worker(sim, tag):
+        grant = yield lock.acquire()
+        inside.append(tag)
+        max_inside.append(len(inside))
+        yield sim.timeout(2)
+        inside.remove(tag)
+        lock.release(grant)
+
+    for tag in range(5):
+        sim.process(worker(sim, tag))
+    sim.run()
+    assert max(max_inside) == 1
+    assert sim.now == 10  # fully serialized
+
+
+def test_lock_wait_statistics():
+    sim = Simulator()
+    lock = SimLock(sim)
+
+    def worker(sim):
+        grant = yield lock.acquire()
+        yield sim.timeout(3)
+        lock.release(grant)
+
+    for _ in range(3):
+        sim.process(worker(sim))
+    sim.run()
+    assert lock.total_waits == 2
+    assert lock.total_wait_time == pytest.approx(3 + 6)
+
+
+def test_lock_state_flags():
+    sim = Simulator()
+    lock = SimLock(sim)
+    assert not lock.locked
+
+    def holder(sim):
+        grant = yield lock.acquire()
+        yield sim.timeout(5)
+        lock.release(grant)
+
+    sim.process(holder(sim))
+    sim.run(until=1)
+    assert lock.locked
+    sim.run()
+    assert not lock.locked
+
+
+# ----------------------------------------------------------------------
+# SimSemaphore
+# ----------------------------------------------------------------------
+
+def test_semaphore_counts():
+    sim = Simulator()
+    sem = SimSemaphore(sim, value=2)
+    active = []
+    peak = []
+
+    def worker(sim, tag):
+        yield sem.acquire()
+        active.append(tag)
+        peak.append(len(active))
+        yield sim.timeout(1)
+        active.remove(tag)
+        sem.release()
+
+    for tag in range(6):
+        sim.process(worker(sim, tag))
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == 3
+
+
+def test_semaphore_release_without_waiters_increments():
+    sim = Simulator()
+    sem = SimSemaphore(sim, value=0)
+    sem.release()
+    assert sem.value == 1
+
+
+def test_semaphore_negative_initial_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        SimSemaphore(sim, value=-1)
+
+
+# ----------------------------------------------------------------------
+# SimBarrier
+# ----------------------------------------------------------------------
+
+def test_barrier_releases_all_at_once():
+    sim = Simulator()
+    bar = SimBarrier(sim, parties=3)
+    release_times = []
+
+    def worker(sim, delay):
+        yield sim.timeout(delay)
+        yield bar.wait()
+        release_times.append(sim.now)
+
+    for d in (1, 5, 9):
+        sim.process(worker(sim, d))
+    sim.run()
+    assert release_times == [9, 9, 9]
+    assert bar.generations == 1
+
+
+def test_barrier_is_reusable():
+    sim = Simulator()
+    bar = SimBarrier(sim, parties=2)
+    log = []
+
+    def worker(sim, tag, delays):
+        for d in delays:
+            yield sim.timeout(d)
+            gen = yield bar.wait()
+            log.append((tag, gen, sim.now))
+
+    sim.process(worker(sim, "a", [1, 1]))
+    sim.process(worker(sim, "b", [3, 3]))
+    sim.run()
+    gens = sorted(set(g for _t, g, _n in log))
+    assert gens == [1, 2]
+    assert [t for _tag, _g, t in log] == [3, 3, 6, 6]
+
+
+def test_barrier_invalid_parties():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        SimBarrier(sim, parties=0)
+
+
+# ----------------------------------------------------------------------
+# FullEmptyCell
+# ----------------------------------------------------------------------
+
+def test_cell_write_then_read():
+    sim = Simulator()
+    cell = FullEmptyCell(sim)
+    got = []
+
+    def producer(sim):
+        yield sim.timeout(3)
+        yield cell.write_ef("payload")
+
+    def consumer(sim):
+        got.append((yield cell.read_fe()))
+        got.append(sim.now)
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == ["payload", 3]
+    assert not cell.is_full
+
+
+def test_cell_read_blocks_until_full():
+    sim = Simulator()
+    cell = FullEmptyCell(sim)
+
+    def consumer(sim):
+        v = yield cell.read_fe()
+        return (v, sim.now)
+
+    def producer(sim):
+        yield sim.timeout(10)
+        yield cell.write_ef(99)
+
+    c = sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert c.value == (99, 10)
+    assert cell.total_blocked_reads == 1
+
+
+def test_cell_write_blocks_until_empty():
+    sim = Simulator()
+    cell = FullEmptyCell(sim, value=1, full=True)
+
+    def writer(sim):
+        yield cell.write_ef(2)
+        return sim.now
+
+    def reader(sim):
+        yield sim.timeout(5)
+        v = yield cell.read_fe()
+        return v
+
+    w = sim.process(writer(sim))
+    r = sim.process(reader(sim))
+    sim.run()
+    assert r.value == 1          # reader got the original value
+    assert w.value == 5          # writer unblocked by the read
+    assert cell.peek() == 2      # then stored its own
+    assert cell.is_full
+    assert cell.total_blocked_writes == 1
+
+
+def test_cell_producer_consumer_pipeline():
+    """Classic MTA idiom: full/empty cell as a 1-deep channel."""
+    sim = Simulator()
+    cell = FullEmptyCell(sim)
+    received = []
+
+    def producer(sim):
+        for i in range(5):
+            yield cell.write_ef(i)
+
+    def consumer(sim):
+        for _ in range(5):
+            received.append((yield cell.read_fe()))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_cell_read_ff_leaves_full():
+    sim = Simulator()
+    cell = FullEmptyCell(sim)
+    got = []
+
+    def reader(sim, tag):
+        v = yield cell.read_ff()
+        got.append((tag, v))
+
+    def writer(sim):
+        yield sim.timeout(2)
+        yield cell.write_ef("x")
+
+    sim.process(reader(sim, "a"))
+    sim.process(writer(sim))
+    sim.run()
+    assert got == [("a", "x")]
+    assert cell.is_full  # ff read did not empty the cell
+
+
+def test_cell_write_ff_overwrites():
+    sim = Simulator()
+    cell = FullEmptyCell(sim, value="old", full=True)
+
+    def body(sim):
+        yield cell.write_ff("new")
+
+    sim.process(body(sim))
+    sim.run()
+    assert cell.peek() == "new"
+    assert cell.is_full
+
+
+def test_cell_reset_empty():
+    sim = Simulator()
+    cell = FullEmptyCell(sim, value=1, full=True)
+    cell.reset_empty()
+    assert not cell.is_full
+
+
+def test_cell_reset_with_waiters_rejected():
+    sim = Simulator()
+    cell = FullEmptyCell(sim)
+
+    def reader(sim):
+        yield cell.read_fe()
+
+    sim.process(reader(sim))
+    sim.run()
+    with pytest.raises(DesError):
+        cell.reset_empty()
+
+
+def test_cell_as_atomic_counter():
+    """int_fetch_add idiom: read_fe / write_ef around an increment is
+    atomic even with many contending threads."""
+    sim = Simulator()
+    cell = FullEmptyCell(sim, value=0, full=True)
+
+    def incrementer(sim, times):
+        for _ in range(times):
+            v = yield cell.read_fe()
+            # interleave with other work: atomicity must still hold
+            yield sim.timeout(0.1)
+            yield cell.write_ef(v + 1)
+
+    procs = [sim.process(incrementer(sim, 10)) for _ in range(7)]
+    sim.run_all(*procs)
+    assert cell.peek() == 70
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+
+def test_store_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim):
+        for i in range(4):
+            yield store.put(i)
+            yield sim.timeout(1)
+
+    def consumer(sim):
+        for _ in range(4):
+            got.append((yield store.get()))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer(sim):
+        v = yield store.get()
+        return (v, sim.now)
+
+    def producer(sim):
+        yield sim.timeout(6)
+        yield store.put("item")
+
+    c = sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert c.value == ("item", 6)
+
+
+def test_store_bounded_put_blocks():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+
+    def producer(sim):
+        yield store.put("a")
+        yield store.put("b")  # blocks until "a" is taken
+        return sim.now
+
+    def consumer(sim):
+        yield sim.timeout(8)
+        yield store.get()
+
+    p = sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert p.value == 8
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    ok, item = store.try_get()
+    assert not ok and item is None
+
+    def body(sim):
+        yield store.put("x")
+
+    sim.process(body(sim))
+    sim.run()
+    ok, item = store.try_get()
+    assert ok and item == "x"
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)

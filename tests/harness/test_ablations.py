@@ -1,0 +1,136 @@
+"""Tests for the ablation studies and the scaling projection."""
+
+import pytest
+
+from repro.harness import BenchmarkData, run_experiment
+
+
+@pytest.fixture(scope="module")
+def data():
+    return BenchmarkData(threat_scale=0.01, terrain_scale=0.03)
+
+
+ABLATIONS = ("scaling", "ablation-finegrained-smp", "ablation-network",
+             "ablation-issue", "ablation-cache", "threat-alternative")
+
+
+@pytest.mark.parametrize("eid", ABLATIONS)
+def test_ablation_shape_checks_pass(eid, data):
+    res = run_experiment(eid, data)
+    failed = [str(c) for c in res.checks if not c.passed]
+    assert not failed, f"{eid}: {failed}"
+
+
+def test_scaling_monotonic_in_processors(data):
+    res = run_experiment("scaling", data)
+    for bench in ("Threat", "Terrain"):
+        for net in ("prototype net", "mature net"):
+            times = [res.row(f"{bench}, {p}p ({net})").simulated
+                     for p in (1, 2, 4, 8, 16)]
+            assert times == sorted(times, reverse=True), (
+                f"{bench} on {net} not monotone: {times}")
+
+
+def test_mature_network_never_slower(data):
+    res = run_experiment("scaling", data)
+    for bench in ("Threat", "Terrain"):
+        for p in (2, 4, 8, 16):
+            proto = res.row(f"{bench}, {p}p (prototype net)").simulated
+            mature = res.row(f"{bench}, {p}p (mature net)").simulated
+            assert mature <= proto * 1.0001
+
+
+def test_network_exponent_rows_match_table_values(data):
+    """At the calibrated exponent, the ablation reproduces the paper's
+    two-processor speedups."""
+    res = run_experiment("ablation-network", data)
+    st = res.row("Threat 2p speedup, exponent 0.54").simulated
+    sm = res.row("Terrain 2p speedup, exponent 0.54").simulated
+    assert st == pytest.approx(1.78, abs=0.15)
+    assert sm == pytest.approx(1.41, abs=0.15)
+
+
+def test_issue_ablation_orders_the_mechanisms(data):
+    """Both mechanisms must be removed for conventional-class speed."""
+    res = run_experiment("ablation-issue", data)
+    real = res.row(
+        "real MTA (21-cycle issue, unhidden latency)").simulated
+    fast = res.row("1-cycle issue, latency still unhidden").simulated
+    hidden = res.row(
+        "21-cycle issue, latency hidden (cache-like)").simulated
+    both = res.row("1-cycle issue + latency hidden").simulated
+    assert both < fast < real
+    assert both < hidden < real
+
+
+def test_finegrained_smp_is_worse_than_mta(data):
+    res = run_experiment("ablation-finegrained-smp", data)
+    mta = res.row("MTA 1p, fine-grained").simulated
+    smp = res.row(
+        "Exemplar 16p, fine-grained with sw-thread costs").simulated
+    assert smp > mta
+
+
+def test_sensitivity_experiment(data):
+    res = run_experiment("sensitivity", data)
+    assert res.all_checks_pass()
+    assert len(res.rows) == 20  # 5 parameters x 4 outputs
+
+
+def test_sensitivity_parameters_hit_the_right_outputs(data):
+    """Each knob must move its own subsystem and leave the other
+    machine's results untouched."""
+    from repro.harness.sensitivity import run_sensitivity
+    rows = {(r.parameter, r.output): r for r in run_sensitivity(data)}
+    # Exemplar knobs never move MTA outputs
+    for knob in ("Exemplar memory bandwidth", "Exemplar miss latency"):
+        for out in ("threat MTA 1p (s)", "threat MTA 2p speedup",
+                    "terrain MTA 2p speedup"):
+            assert rows[(knob, out)].swing_pct < 0.5
+        assert rows[(knob, "terrain Exemplar 16p speedup")].swing_pct > 3
+    # MTA knobs never move the Exemplar output
+    for knob in ("MTA network words/cycle", "MTA memory latency",
+                 "MTA LIW packing"):
+        assert rows[(knob, "terrain Exemplar 16p speedup")].swing_pct < 0.5
+
+
+def test_temp_memory_experiment(data):
+    res = run_experiment("ablation-temp-memory", data)
+    assert res.all_checks_pass()
+    fp16 = res.row("Program 4 footprint, 16 threads (GB)").simulated
+    fp500 = res.row("Program 4 footprint, 500 threads (GB)").simulated
+    assert fp500 > fp16 * 5  # storage grows with threads
+
+
+def test_blocked_footprint_monotone_and_validated():
+    from repro.c3i.terrain import blocked_memory_footprint, make_scenario
+    import pytest as _pytest
+    sc = make_scenario(1, scale=0.04)
+    prev = 0.0
+    for n in (1, 4, 16, 64, 256):
+        fp = blocked_memory_footprint(sc, n)
+        assert fp > prev
+        prev = fp
+    with _pytest.raises(ValueError):
+        blocked_memory_footprint(sc, 0)
+
+
+def test_seed_robustness_experiment(data):
+    res = run_experiment("seed-robustness", data)
+    assert res.all_checks_pass()
+    # three universes x three outputs
+    assert len(res.rows) == 9
+
+
+def test_seed_offset_changes_scenarios_but_not_scale():
+    from repro.c3i import terrain as TE
+    from repro.c3i import threat as TH
+    import numpy as np
+    a = TH.make_scenario(0, scale=0.01, seed_offset=0)
+    b = TH.make_scenario(0, scale=0.01, seed_offset=5)
+    assert a.threats != b.threats
+    assert a.n_threats == b.n_threats
+    ta = TE.make_scenario(0, scale=0.025, seed_offset=0)
+    tb = TE.make_scenario(0, scale=0.025, seed_offset=5)
+    assert not np.array_equal(ta.terrain, tb.terrain)
+    assert ta.grid_n == tb.grid_n

@@ -1,0 +1,71 @@
+"""Tests for experiment result containers and rendering."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentResult,
+    Row,
+    ShapeCheck,
+    render_comparison_table,
+    render_speedup_figure,
+)
+
+
+def test_row_ratio_and_error():
+    r = Row("x", paper=100.0, simulated=110.0)
+    assert r.ratio == pytest.approx(1.1)
+    assert r.error_pct == pytest.approx(10.0)
+    assert Row("y", paper=None, simulated=5.0).ratio is None
+    assert Row("z", paper=0.0, simulated=5.0).error_pct is None
+
+
+def test_shape_check_str():
+    ok = ShapeCheck("works", True, "detail")
+    bad = ShapeCheck("broken", False)
+    assert "PASS" in str(ok) and "detail" in str(ok)
+    assert "FAIL" in str(bad)
+
+
+def test_experiment_result_accessors():
+    rows = (Row("a", 1.0, 1.1), Row("b", 2.0, 1.9))
+    res = ExperimentResult("t", "Title", rows,
+                           (ShapeCheck("c1", True),))
+    assert res.all_checks_pass()
+    assert res.row("a").simulated == 1.1
+    with pytest.raises(KeyError):
+        res.row("missing")
+    text = res.render()
+    assert "Title" in text and "PASS" in text
+
+
+def test_experiment_result_failing_check():
+    res = ExperimentResult("t", "T", (Row("a", 1.0, 9.0),),
+                           (ShapeCheck("c", False),))
+    assert not res.all_checks_pass()
+    assert "FAIL" in res.render()
+
+
+def test_render_comparison_table_alignment():
+    rows = (Row("short", 100.0, 105.0),
+            Row("a much longer label here", None, 5.0))
+    text = render_comparison_table(rows)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "+5.0" in text
+    assert "-" in lines[3]  # missing paper value rendered as dash
+
+
+def test_render_speedup_figure():
+    fig = render_speedup_figure("Figure 1", [1, 2, 4], [1.0, 1.9, 3.6],
+                                paper_speedups=[1.0, 2.0, 3.9])
+    assert "Figure 1" in fig
+    body = fig.splitlines()[3:]  # skip title/rule/legend
+    assert sum(line.count("*") for line in body) == 3
+    assert any("|" in line for line in body)
+
+
+def test_render_speedup_figure_validation():
+    with pytest.raises(ValueError):
+        render_speedup_figure("t", [1, 2], [1.0])
+    with pytest.raises(ValueError):
+        render_speedup_figure("t", [1], [1.0], paper_speedups=[1.0, 2.0])

@@ -1,0 +1,66 @@
+"""Golden-number regression tests.
+
+These freeze the headline simulated values at the default kernel
+scales.  They are deliberately tighter than the paper-shape checks:
+an accidental change to any model constant or mechanism that moves a
+headline number by more than a few percent should fail loudly here,
+not silently shift EXPERIMENTS.md.
+
+If you *intend* to re-calibrate, update these numbers together with
+harness/calibration.py and the regenerated EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.harness import BenchmarkData
+
+
+@pytest.fixture(scope="module")
+def data():
+    # the default calibration scales
+    return BenchmarkData(threat_scale=0.02, terrain_scale=0.05)
+
+
+GOLDEN = {
+    # (job, machine) -> expected seconds at default scales
+    "threat-seq-alpha": 188.7,
+    "threat-seq-ppro": 465.0,
+    "threat-seq-exemplar": 348.4,
+    "threat-seq-mta": 2561.0,
+    "threat-mt-mta1": 80.6,
+    "threat-mt-mta2": 44.7,
+    "terrain-seq-alpha": 146.2,
+    "terrain-seq-exemplar": 223.0,
+    "terrain-seq-mta": 1027.0,
+    "terrain-fg-mta1": 48.7,
+    "terrain-fg-mta2": 34.8,
+}
+
+
+def measured(data):
+    tj = data.threat_sequential_job()
+    cj = data.threat_chunked_job(256, thread_kind="hw")
+    sj = data.terrain_sequential_job()
+    fj = data.terrain_finegrained_job()
+    return {
+        "threat-seq-alpha": data.alpha(tj),
+        "threat-seq-ppro": data.ppro(1, tj),
+        "threat-seq-exemplar": data.exemplar(1, tj),
+        "threat-seq-mta": data.run_mta(1, tj),
+        "threat-mt-mta1": data.run_mta(1, cj),
+        "threat-mt-mta2": data.run_mta(2, cj),
+        "terrain-seq-alpha": data.alpha(sj),
+        "terrain-seq-exemplar": data.exemplar(1, sj),
+        "terrain-seq-mta": data.run_mta(1, sj),
+        "terrain-fg-mta1": data.run_mta(1, fj),
+        "terrain-fg-mta2": data.run_mta(2, fj),
+    }
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_value(key, data):
+    got = measured(data)[key]
+    assert got == pytest.approx(GOLDEN[key], rel=0.03), (
+        f"{key}: measured {got:.1f}s vs golden {GOLDEN[key]:.1f}s -- "
+        f"if this change is an intentional re-calibration, update "
+        f"tests/harness/test_golden.py and EXPERIMENTS.md together")

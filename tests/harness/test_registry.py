@@ -1,0 +1,115 @@
+"""Integration tests: the full experiment registry against the paper.
+
+These run the complete pipeline (scenario generation -> real kernels ->
+workload extraction -> machine simulation) at reduced kernel scale and
+assert the paper's shape properties.  They are the reproduction's
+acceptance tests.
+"""
+
+import pytest
+
+from repro.harness import (
+    EXPERIMENT_IDS,
+    BenchmarkData,
+    default_data,
+    list_experiments,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    # smaller kernels than the default for test speed
+    return BenchmarkData(threat_scale=0.015, terrain_scale=0.04)
+
+
+def test_list_experiments_contains_all_tables():
+    ids = list_experiments()
+    for t in range(2, 13):
+        assert f"table{t}" in ids
+    for f in range(1, 5):
+        assert f"fig{f}" in ids
+    assert "autopar" in ids and "micro" in ids
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+def test_figure_aliases_resolve(data):
+    a = run_experiment("fig1", data)
+    b = run_experiment("table3", data)
+    assert a.experiment_id == b.experiment_id == "table3"
+
+
+#: the paper's own tables/figures; ablations are covered (at smaller
+#: scale) in test_ablations.py
+PAPER_EXPERIMENTS = tuple(e for e in EXPERIMENT_IDS
+                          if e.startswith("table") or e in ("autopar",
+                                                            "micro"))
+
+
+@pytest.mark.parametrize("eid", PAPER_EXPERIMENTS)
+def test_every_experiment_passes_its_shape_checks(eid, data):
+    res = run_experiment(eid, data)
+    assert res.rows, f"{eid} produced no rows"
+    failed = [str(c) for c in res.checks if not c.passed]
+    assert not failed, f"{eid}: {failed}"
+
+
+def test_table2_sequential_ordering(data):
+    res = run_experiment("table2", data)
+    alpha = res.row("Alpha").simulated
+    tera = res.row("Tera").simulated
+    assert tera > 10 * alpha
+
+
+def test_table5_vs_table6_consistency(data):
+    """Table 5's 2-processor run is Table 6's 256-chunk row."""
+    t5 = run_experiment("table5", data)
+    t6 = run_experiment("table6", data)
+    assert t5.row("2 processors").simulated == pytest.approx(
+        t6.row("256 chunks").simulated, rel=1e-9)
+
+
+def test_summary_tables_are_consistent(data):
+    """Table 7 aggregates the other threat tables verbatim."""
+    t7 = run_experiment("table7", data)
+    t5 = run_experiment("table5", data)
+    assert t7.row("manual / Tera (1p)").simulated == pytest.approx(
+        t5.row("1 processor").simulated, rel=1e-9)
+    t2 = run_experiment("table2", data)
+    assert t7.row("none / Alpha").simulated == pytest.approx(
+        t2.row("Alpha").simulated, rel=1e-9)
+
+
+def test_cross_benchmark_claim_tera_vs_alpha(data):
+    """Section 7: multithreaded single-processor MTA is 2-3.5x faster
+    than the sequential Alpha for both benchmarks."""
+    t7 = run_experiment("table7", data)
+    ratio_threat = (t7.row("none / Alpha").simulated
+                    / t7.row("manual / Tera (1p)").simulated)
+    t12 = run_experiment("table12", data)
+    ratio_terrain = (t12.row("none / Alpha").simulated
+                     / t12.row("manual / Tera (1p)").simulated)
+    assert 1.8 <= ratio_threat <= 3.8
+    assert 1.8 <= ratio_terrain <= 3.8
+
+
+def test_absolute_times_within_tolerance(data):
+    """Beyond shape: the calibrated model lands within 25% of every
+    paper cell in the headline tables."""
+    for eid in ("table2", "table5", "table8", "table11"):
+        res = run_experiment(eid, data)
+        for row in res.rows:
+            if row.paper is None or row.unit != "s":
+                continue
+            assert abs(row.error_pct) <= 25.0, (
+                f"{eid}/{row.label}: {row.error_pct:+.1f}%")
+
+
+def test_default_data_is_cached():
+    a = default_data()
+    b = default_data()
+    assert a is b

@@ -1,0 +1,37 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.harness.report import generate
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate(threat_scale=0.01, terrain_scale=0.025)
+
+
+def test_report_contains_every_table(report_text):
+    for t in range(2, 13):
+        assert f"## table{t}" in report_text
+    assert "## autopar" in report_text
+    assert "## micro" in report_text
+
+
+def test_report_figures_attached_to_tables(report_text):
+    assert "table3 / Figure 1" in report_text
+    assert "table10 / Figure 4" in report_text
+
+
+def test_report_summarizes_checks(report_text):
+    # 'N/N shape checks pass' with N == total check boxes
+    import re
+    m = re.search(r"\*\*(\d+)/(\d+) shape checks pass", report_text)
+    assert m, "summary line missing"
+    boxes = report_text.count("- [x]") + report_text.count("- [ ]")
+    assert int(m.group(2)) == boxes
+    assert int(m.group(1)) >= int(m.group(2)) - 2  # near-total pass
+
+
+def test_report_is_markdown_table_formatted(report_text):
+    assert "| row | paper | simulated | error |" in report_text
+    assert "|---|" in report_text

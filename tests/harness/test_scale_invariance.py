@@ -1,0 +1,56 @@
+"""Scale invariance: the pipeline's most important correctness property.
+
+The harness runs the real kernels at a *reduced* scale and extrapolates
+to paper scale.  If the extrapolation is right, the simulated times
+must be (nearly) independent of the kernel scale used.  Residual drift
+comes only from scenario statistics (different threat subsets, grid
+quantization), so small tolerances apply.
+"""
+
+import pytest
+
+from repro.harness import BenchmarkData
+
+
+@pytest.fixture(scope="module")
+def coarse():
+    return BenchmarkData(threat_scale=0.01, terrain_scale=0.025)
+
+
+@pytest.fixture(scope="module")
+def fine():
+    return BenchmarkData(threat_scale=0.03, terrain_scale=0.06)
+
+
+def test_threat_sequential_time_scale_invariant(coarse, fine):
+    t_c = coarse.alpha(coarse.threat_sequential_job())
+    t_f = fine.alpha(fine.threat_sequential_job())
+    assert t_c == pytest.approx(t_f, rel=0.06)
+
+
+def test_threat_mta_time_scale_invariant(coarse, fine):
+    t_c = coarse.run_mta(1, coarse.threat_chunked_job(256, "hw"))
+    t_f = fine.run_mta(1, fine.threat_chunked_job(256, "hw"))
+    assert t_c == pytest.approx(t_f, rel=0.06)
+
+
+def test_terrain_sequential_time_scale_invariant(coarse, fine):
+    t_c = coarse.exemplar(1, coarse.terrain_sequential_job())
+    t_f = fine.exemplar(1, fine.terrain_sequential_job())
+    assert t_c == pytest.approx(t_f, rel=0.12)
+
+
+def test_terrain_mta_time_scale_invariant(coarse, fine):
+    t_c = coarse.run_mta(2, coarse.terrain_finegrained_job())
+    t_f = fine.run_mta(2, fine.terrain_finegrained_job())
+    assert t_c == pytest.approx(t_f, rel=0.12)
+
+
+def test_speedup_curves_scale_invariant(coarse, fine):
+    """Not just totals: the *shape* (4-CPU PPro terrain speedup) must
+    be stable under kernel scale."""
+    def s4(data):
+        t1 = data.ppro(1, data.terrain_blocked_job(1))
+        t4 = data.ppro(4, data.terrain_blocked_job(4))
+        return t1 / t4
+    assert s4(coarse) == pytest.approx(s4(fine), rel=0.10)

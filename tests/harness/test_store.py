@@ -1,0 +1,67 @@
+"""Tests for JSON serialization of experiment results."""
+
+import json
+
+import pytest
+
+from repro.harness.experiment import ExperimentResult, Row, ShapeCheck
+from repro.harness.store import (
+    SCHEMA_VERSION,
+    dump_results,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+)
+
+
+def sample_result():
+    return ExperimentResult(
+        "tableX", "Some Table",
+        rows=(Row("a", 1.0, 1.1), Row("b", None, 2.0, unit="x")),
+        checks=(ShapeCheck("holds", True, "detail"),
+                ShapeCheck("breaks", False)),
+        notes="a note")
+
+
+def test_round_trip_via_dict():
+    original = sample_result()
+    restored = result_from_dict(result_to_dict(original))
+    assert restored == original
+
+
+def test_round_trip_via_file(tmp_path):
+    path = str(tmp_path / "results.json")
+    a, b = sample_result(), ExperimentResult("t2", "T2", (Row("r", 1, 1),))
+    dump_results([a, b], path)
+    loaded = load_results(path)
+    assert loaded == [a, b]
+    # and it is real JSON
+    with open(path) as fh:
+        payload = json.load(fh)
+    assert payload[0]["schema"] == SCHEMA_VERSION
+
+
+def test_schema_version_checked():
+    payload = result_to_dict(sample_result())
+    payload["schema"] = 999
+    with pytest.raises(ValueError, match="schema"):
+        result_from_dict(payload)
+
+
+def test_load_rejects_non_array(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"not": "an array"}')
+    with pytest.raises(ValueError, match="array"):
+        load_results(str(path))
+
+
+def test_cli_json_output(tmp_path):
+    from repro.__main__ import main
+    out = str(tmp_path / "out.json")
+    code = main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                 "run", "autopar", "--json", out])
+    assert code == 0
+    loaded = load_results(out)
+    assert len(loaded) == 1
+    assert loaded[0].experiment_id == "autopar"
+    assert loaded[0].all_checks_pass()

@@ -1,0 +1,132 @@
+"""Unit and property tests for the trace-level cache simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import SetAssociativeCache
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(0)
+    with pytest.raises(ValueError):
+        SetAssociativeCache(1024, line_bytes=48)  # not a power of two
+    with pytest.raises(ValueError):
+        SetAssociativeCache(1024, line_bytes=64, assoc=0)
+    with pytest.raises(ValueError):
+        # 1024/64 = 16 lines, not divisible into sets of 5
+        SetAssociativeCache(1024, line_bytes=64, assoc=5)
+
+
+def test_cold_miss_then_hit():
+    c = SetAssociativeCache(1024, line_bytes=64, assoc=2)
+    assert not c.access(0)      # cold miss
+    assert c.access(0)          # hit
+    assert c.access(63)         # same line: hit
+    assert not c.access(64)     # next line: miss
+    assert c.hits == 2 and c.misses == 2
+
+
+def test_negative_address_rejected():
+    c = SetAssociativeCache(1024, line_bytes=64, assoc=2)
+    with pytest.raises(ValueError):
+        c.access(-1)
+
+
+def test_lru_eviction_within_set():
+    # direct-mapped-ish: 2 sets, assoc 2, line 64 -> capacity 256
+    c = SetAssociativeCache(256, line_bytes=64, assoc=2)
+    # lines 0, 2, 4 all map to set 0 (line % 2 == 0)
+    c.access(0 * 64)
+    c.access(2 * 64)
+    c.access(4 * 64)   # evicts line 0 (LRU)
+    assert not c.access(0 * 64)   # line 0 was evicted: miss
+    assert c.access(4 * 64)       # line 4 still resident
+
+
+def test_lru_touch_order_respected():
+    c = SetAssociativeCache(256, line_bytes=64, assoc=2)
+    c.access(0 * 64)
+    c.access(2 * 64)
+    c.access(0 * 64)   # touch line 0: line 2 is now LRU
+    c.access(4 * 64)   # evicts line 2
+    assert c.access(0 * 64)
+    assert not c.access(2 * 64)
+
+
+def test_streaming_misses_once_per_line():
+    c = SetAssociativeCache(64 * 1024, line_bytes=64, assoc=4)
+    n_bytes = 32 * 1024
+    misses = c.access_range(0, n_bytes, stride=8)
+    assert misses == n_bytes // 64
+
+
+def test_in_cache_reuse_is_free_after_warmup():
+    c = SetAssociativeCache(64 * 1024, line_bytes=64, assoc=4)
+    footprint = 16 * 1024
+    first = c.access_range(0, footprint, stride=8)
+    second = c.access_range(0, footprint, stride=8)
+    assert first == footprint // 64
+    assert second == 0
+
+
+def test_oversized_working_set_thrashes():
+    c = SetAssociativeCache(4 * 1024, line_bytes=64, assoc=4)
+    footprint = 64 * 1024  # 16x the cache
+    c.access_range(0, footprint, stride=8)
+    c.reset_stats()
+    misses = c.access_range(0, footprint, stride=8)
+    # sequential sweep over 16x cache: every line misses again
+    assert misses == footprint // 64
+
+
+def test_random_pattern_fetches_full_line_per_access():
+    c = SetAssociativeCache(4 * 1024, line_bytes=64, assoc=4)
+    # widely scattered single-word accesses, footprint >> cache
+    import random
+    rng = random.Random(42)
+    addrs = [rng.randrange(0, 1 << 24) & ~7 for _ in range(2000)]
+    for a in addrs:
+        c.access(a)
+    assert c.miss_rate > 0.95
+
+
+def test_stride_equal_to_line_misses_every_access():
+    c = SetAssociativeCache(4 * 1024, line_bytes=64, assoc=4)
+    misses = c.access_range(0, 64 * 1024, stride=64)
+    assert misses == 1024
+
+
+def test_miss_traffic_bytes_property():
+    c = SetAssociativeCache(1024, line_bytes=64, assoc=2)
+    c.access_range(0, 2048, stride=64)
+    assert c.miss_traffic_bytes == c.misses * 64
+
+
+def test_flush_and_reset():
+    c = SetAssociativeCache(1024, line_bytes=64, assoc=2)
+    c.access(0)
+    c.flush()
+    assert c.accesses == 0
+    assert not c.access(0)  # cold again after flush
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                min_size=1, max_size=300))
+def test_hits_plus_misses_equals_accesses(addrs):
+    c = SetAssociativeCache(8 * 1024, line_bytes=64, assoc=2)
+    for a in addrs:
+        c.access(a)
+    assert c.hits + c.misses == len(addrs)
+    assert 0.0 <= c.miss_rate <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                min_size=1, max_size=200))
+def test_immediate_rereference_always_hits(addrs):
+    c = SetAssociativeCache(8 * 1024, line_bytes=64, assoc=2)
+    for a in addrs:
+        c.access(a)
+        assert c.access(a)  # the line was just installed

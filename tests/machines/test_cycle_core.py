@@ -1,0 +1,132 @@
+"""Cycle-level in-order core tests + macro/micro cross-validation."""
+
+import pytest
+
+from repro.machines import (
+    ConventionalMachine,
+    CoreInstruction,
+    InOrderCore,
+    PPRO_SMP_4,
+    compute_kernel,
+    exemplar,
+    random_kernel,
+    resident_kernel,
+    streaming_kernel,
+)
+from repro.workload import OpCounts, make_phase, single_thread_job
+from repro.workload.phase import AccessPattern
+
+
+SPEC = exemplar(1)
+
+
+def test_instruction_validation():
+    with pytest.raises(ValueError):
+        CoreInstruction("simd")
+    with pytest.raises(ValueError):
+        CoreInstruction("load", addr=-8)
+
+
+def test_pure_compute_cpi_matches_weights():
+    core = InOrderCore(SPEC)
+    trace = compute_kernel(1000, falu_ratio=0.5)
+    stats = core.run(trace)
+    expected = (500 * SPEC.core.op_cycles["falu"]
+                + 500 * SPEC.core.op_cycles["ialu"]) / 1000
+    assert stats.cpi == pytest.approx(expected)
+    assert stats.cache_misses == 0
+    assert stats.stall_cycles == 0
+
+
+def test_resident_kernel_hits_after_warmup():
+    core = InOrderCore(SPEC)
+    footprint = 64 * 1024  # well inside the 1 MB cache
+    stats = core.run(resident_kernel(50_000, footprint))
+    assert stats.miss_rate < 0.05
+
+
+def test_streaming_kernel_misses_once_per_line():
+    core = InOrderCore(SPEC)
+    n = 40_000
+    stats = core.run(streaming_kernel(n, stride=8))
+    # one miss per 64B line = per 8 references
+    assert stats.cache_misses == pytest.approx(n / 8, rel=0.01)
+    assert stats.stall_cycles > 0
+
+
+def test_random_kernel_mostly_misses():
+    core = InOrderCore(SPEC)
+    stats = core.run(random_kernel(5_000, span_bytes=256 << 20))
+    assert stats.miss_rate > 0.95
+
+
+def test_miss_penalty_magnitude():
+    core = InOrderCore(SPEC)
+    assert core.miss_penalty == pytest.approx(
+        SPEC.mem.miss_latency_s * SPEC.core.clock_hz)
+
+
+# ----------------------------------------------------------------------
+# macro/micro cross-validation
+# ----------------------------------------------------------------------
+
+def macro_seconds(ops: OpCounts, unique_bytes: float,
+                  pattern=AccessPattern.SEQUENTIAL) -> float:
+    phase = make_phase("p", ops, unique_bytes=unique_bytes,
+                       pattern=pattern)
+    job = single_thread_job("j", [phase])
+    return ConventionalMachine(SPEC).run(job).seconds
+
+
+def test_macro_matches_micro_pure_compute():
+    n = 200_000
+    trace = compute_kernel(n, falu_ratio=0.4)
+    core = InOrderCore(SPEC)
+    t_micro = core.seconds(core.run(trace))
+    t_macro = macro_seconds(OpCounts(falu=0.4 * n, ialu=0.6 * n), 0.0)
+    assert t_macro == pytest.approx(t_micro, rel=0.02)
+
+
+def test_macro_matches_micro_in_cache_reuse():
+    n = 120_000
+    footprint = 64 * 1024
+    trace = resident_kernel(n, footprint)
+    core = InOrderCore(SPEC)
+    t_micro = core.seconds(core.run(trace))
+    t_macro = macro_seconds(OpCounts(load=n, ialu=n), float(footprint))
+    # macro charges compulsory traffic once; micro warms up once: close
+    assert t_macro == pytest.approx(t_micro, rel=0.10)
+
+
+def test_macro_matches_micro_streaming():
+    """The critical case: a memory-bound streaming sweep.
+
+    Macro: traffic = touched bytes, served at line/miss-latency per
+    CPU.  Micro: one full miss penalty per line.  Identical by
+    construction of the calibration -- verify it holds end to end.
+    """
+    n = 120_000
+    trace = streaming_kernel(n, stride=8, alu_per_ref=2)
+    core = InOrderCore(SPEC)
+    t_micro = core.seconds(core.run(trace))
+    t_macro = macro_seconds(OpCounts(load=n, ialu=2 * n),
+                            unique_bytes=n * 8.0)
+    assert t_macro == pytest.approx(t_micro, rel=0.10)
+
+
+def test_macro_micro_agree_on_machine_ordering():
+    """Both fidelity levels must rank PPro vs Exemplar the same way on
+    a streaming workload."""
+    n = 60_000
+    trace = streaming_kernel(n, stride=8, alu_per_ref=2)
+    micro, macro = {}, {}
+    for spec in (exemplar(1), PPRO_SMP_4.with_cpus(1)):
+        core = InOrderCore(spec)
+        micro[spec.name] = core.seconds(core.run(trace))
+        phase = make_phase("p", OpCounts(load=n, ialu=2 * n),
+                           unique_bytes=n * 8.0)
+        macro[spec.name] = ConventionalMachine(spec).run(
+            single_thread_job("j", [phase])).seconds
+    m_names = sorted(micro, key=micro.get)
+    M_names = sorted(macro, key=macro.get)
+    assert m_names == M_names

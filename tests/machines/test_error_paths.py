@@ -1,0 +1,93 @@
+"""Error-path and edge-case coverage for the machine models."""
+
+import pytest
+
+from repro.des import SimulationDeadlock, Simulator
+from repro.machines import ConventionalMachine, exemplar
+from repro.mta import MtaMachine, mta
+from repro.workload import (
+    Job,
+    JobBuilder,
+    OpCounts,
+    ThreadProgramBuilder,
+    make_phase,
+    single_thread_job,
+)
+
+
+def test_empty_job_takes_zero_time():
+    job = Job("empty", ())
+    assert ConventionalMachine(exemplar(4)).run(job).seconds == 0.0
+    assert MtaMachine(mta(1)).run(job).seconds == 0.0
+
+
+def test_zero_ops_phase_is_free():
+    job = single_thread_job("z", [make_phase("p", OpCounts())])
+    assert ConventionalMachine(exemplar(1)).run(job).seconds == 0.0
+    assert MtaMachine(mta(1)).run(job).seconds == 0.0
+
+
+def test_pure_latency_phase():
+    job = single_thread_job("lat", [make_phase(
+        "p", OpCounts(), serial_cycles=180e6)])
+    res = ConventionalMachine(exemplar(1)).run(job)
+    assert res.seconds == pytest.approx(1.0)
+    res_mta = MtaMachine(mta(1)).run(job)
+    assert res_mta.seconds == pytest.approx(180e6 / 255e6)
+
+
+def test_single_item_work_queue():
+    spec = exemplar(8)
+    n_ops = 180e6
+    item = (ThreadProgramBuilder("only")
+            .compute("w", OpCounts(ialu=n_ops))
+            .build_work_item())
+    job = JobBuilder("q1").work_queue([item], n_threads=8).build()
+    res = ConventionalMachine(spec).run(job)
+    # one item: seven workers idle; the work runs on one CPU
+    expected = n_ops * spec.core.op_cycles["ialu"] / spec.core.clock_hz
+    assert res.seconds == pytest.approx(expected, rel=0.05)
+
+
+def test_more_chunks_than_work_on_mta():
+    # 512 threads, many empty: must not deadlock or crash
+    phase = make_phase("w", OpCounts(ialu=2.55e6))
+    threads = [ThreadProgramBuilder(f"t{i}").phase(p).build()
+               for i, p in enumerate(phase.split(8))]
+    threads += [ThreadProgramBuilder(f"empty{i}").build()
+                for i in range(504)]
+    job = JobBuilder("sparse").parallel(threads,
+                                        thread_kind="hw").build()
+    res = MtaMachine(mta(2)).run(job)
+    assert res.seconds > 0
+
+
+def test_huge_parallelism_caps_at_stream_count():
+    spec = mta(1)
+    n_instr = 2.55e6
+    job = single_thread_job("wide", [make_phase(
+        "p", OpCounts(ialu=n_instr * spec.ops_per_instruction),
+        parallelism=1e9)])
+    res = MtaMachine(spec).run(job)
+    # cannot beat 1 instruction/cycle no matter the claimed width
+    assert res.seconds >= n_instr / spec.clock_hz * 0.999
+
+
+def test_deadlock_detection_in_raw_des():
+    sim = Simulator()
+    ev = sim.event()  # never fired
+
+    def stuck(sim):
+        yield ev
+
+    p = sim.process(stuck(sim))
+    with pytest.raises(SimulationDeadlock):
+        sim.run_all(p)
+
+
+def test_results_report_the_machine_name():
+    job = single_thread_job("j", [make_phase("p", OpCounts(ialu=1e6))])
+    res = ConventionalMachine(exemplar(7)).run(job)
+    assert "7p" in res.machine
+    res_mta = MtaMachine(mta(2)).run(job)
+    assert "Tera" in res_mta.machine

@@ -1,0 +1,113 @@
+"""Tests for the macro locality model, cross-validated against the
+trace-level cache simulator on the boundary patterns."""
+
+import pytest
+
+from repro.machines import CacheSpec, SetAssociativeCache, miss_traffic_bytes
+from repro.workload import AccessPattern, OpCounts, make_phase
+
+
+CACHE = CacheSpec(capacity_bytes=64 * 1024, line_bytes=64, assoc=4)
+
+
+def phase_touching(touched_bytes, unique_bytes,
+                   pattern=AccessPattern.SEQUENTIAL, shared=0.0):
+    n_refs = touched_bytes / 8
+    return make_phase(
+        "p", OpCounts(load=n_refs), unique_bytes=unique_bytes,
+        pattern=pattern, shared_fraction=shared)
+
+
+def test_zero_memory_phase_has_no_traffic():
+    p = make_phase("p", OpCounts(ialu=1000))
+    assert miss_traffic_bytes(p, CACHE) == 0.0
+
+
+def test_in_cache_footprint_costs_compulsory_only():
+    # 16 KB footprint referenced 10 times over: one fetch, then hits.
+    p = phase_touching(touched_bytes=160 * 1024, unique_bytes=16 * 1024)
+    assert miss_traffic_bytes(p, CACHE) == pytest.approx(16 * 1024)
+
+
+def test_streaming_footprint_costs_every_byte():
+    # Footprint = touched = 1 MB: single pass, no reuse to lose.
+    p = phase_touching(touched_bytes=1 << 20, unique_bytes=1 << 20)
+    assert miss_traffic_bytes(p, CACHE) == pytest.approx(1 << 20)
+
+
+def test_oversized_reuse_becomes_traffic():
+    # 1 MB footprint swept 4 times over a 64 KB cache: nearly all of
+    # the 4 MB touched turns into traffic.
+    p = phase_touching(touched_bytes=4 << 20, unique_bytes=1 << 20)
+    traffic = miss_traffic_bytes(p, CACHE)
+    assert traffic > 3.5 * (1 << 20)
+    assert traffic <= 4 << 20
+
+
+def test_traffic_monotonic_in_footprint():
+    touched = 8 << 20
+    prev = -1.0
+    for unique in (16 * 1024, 64 * 1024, 256 * 1024, 1 << 20, 8 << 20):
+        t = miss_traffic_bytes(
+            phase_touching(touched, unique), CACHE)
+        assert t >= prev
+        prev = t
+
+
+def test_random_pattern_amplifies_traffic():
+    seq = phase_touching(1 << 20, 1 << 20, AccessPattern.SEQUENTIAL)
+    rnd = phase_touching(1 << 20, 1 << 20, AccessPattern.RANDOM)
+    assert miss_traffic_bytes(rnd, CACHE) == pytest.approx(
+        4 * miss_traffic_bytes(seq, CACHE))
+
+
+def test_traffic_never_exceeds_line_per_reference():
+    # Tiny accesses with random pattern: ceiling is line per reference.
+    p = phase_touching(1024, 1024, AccessPattern.RANDOM)
+    traffic = miss_traffic_bytes(p, CACHE)
+    assert traffic <= (1024 / 8) * CACHE.line_bytes
+
+
+def test_shared_fraction_adds_coherence_traffic():
+    base = phase_touching(1 << 20, 16 * 1024)  # fits in cache
+    shared = phase_touching(1 << 20, 16 * 1024, shared=0.25)
+    assert miss_traffic_bytes(shared, CACHE) == pytest.approx(
+        miss_traffic_bytes(base, CACHE) + 0.25 * (1 << 20))
+
+
+# ----------------------------------------------------------------------
+# Cross-validation against the trace-level simulator
+# ----------------------------------------------------------------------
+
+def test_macro_matches_trace_for_streaming():
+    """Single sequential pass over memory >> cache."""
+    trace = SetAssociativeCache(64 * 1024, line_bytes=64, assoc=4)
+    n_bytes = 512 * 1024
+    trace.access_range(0, n_bytes, stride=8)
+    macro = miss_traffic_bytes(
+        phase_touching(n_bytes, n_bytes), CACHE)
+    assert macro == pytest.approx(trace.miss_traffic_bytes, rel=0.05)
+
+
+def test_macro_matches_trace_for_in_cache_reuse():
+    """Many passes over a footprint that fits: both find ~compulsory."""
+    trace = SetAssociativeCache(64 * 1024, line_bytes=64, assoc=4)
+    footprint = 16 * 1024
+    for _ in range(10):
+        trace.access_range(0, footprint, stride=8)
+    macro = miss_traffic_bytes(
+        phase_touching(10 * footprint, footprint), CACHE)
+    assert macro == pytest.approx(trace.miss_traffic_bytes, rel=0.05)
+
+
+def test_macro_matches_trace_for_thrashing_sweep():
+    """Repeated sweeps over 8x the cache: every pass re-misses."""
+    trace = SetAssociativeCache(64 * 1024, line_bytes=64, assoc=4)
+    footprint = 512 * 1024
+    passes = 4
+    for _ in range(passes):
+        trace.access_range(0, footprint, stride=8)
+    macro = miss_traffic_bytes(
+        phase_touching(passes * footprint, footprint), CACHE)
+    # macro model credits the ~cache-sized resident fraction; allow 15%
+    assert macro == pytest.approx(trace.miss_traffic_bytes, rel=0.15)

@@ -1,0 +1,282 @@
+"""Behavioural tests for the ConventionalMachine model.
+
+These check the *mechanisms* (compute scaling, bus saturation, lock
+serialization, thread-creation overhead) on synthetic workloads; the
+paper-shape integration tests live in tests/integration/.
+"""
+
+import pytest
+
+from repro.machines import (
+    CacheSpec,
+    ConventionalMachine,
+    CoreSpec,
+    MachineSpec,
+    MemSpec,
+    ThreadCosts,
+)
+from repro.workload import (
+    JobBuilder,
+    OpCounts,
+    ThreadProgramBuilder,
+    make_phase,
+    single_thread_job,
+)
+
+
+def toy_spec(n_cpus=4, bandwidth=100e6, clock=100e6, latency=320e-9):
+    return MachineSpec(
+        name=f"toy-{n_cpus}",
+        n_cpus=n_cpus,
+        core=CoreSpec(clock_hz=clock,
+                      op_cycles={"ialu": 1.0, "falu": 1.0, "load": 1.0,
+                                 "store": 1.0, "branch": 1.0, "sync": 10.0}),
+        cache=CacheSpec(capacity_bytes=64 * 1024, line_bytes=64, assoc=4),
+        mem=MemSpec(bandwidth_bytes_per_s=bandwidth, miss_latency_s=latency),
+        thread_costs={
+            "os": ThreadCosts(create_cycles=10_000.0, sync_cycles=100.0),
+            "sw": ThreadCosts(create_cycles=1_000.0, sync_cycles=50.0),
+        },
+    )
+
+
+def compute_phase(name, cycles, clock=100e6):
+    """A pure-compute phase costing `cycles` cycles."""
+    return make_phase(name, OpCounts(ialu=cycles))
+
+
+def memory_phase(name, mbytes):
+    """A streaming phase touching `mbytes` MB with no reuse."""
+    n = mbytes * 1024 * 1024 / 8
+    return make_phase(name, OpCounts(load=n),
+                      unique_bytes=mbytes * 1024 * 1024)
+
+
+def chunked_job(phase, n_threads):
+    threads = [
+        ThreadProgramBuilder(f"t{i}").phase(p).build()
+        for i, p in enumerate(phase.split(n_threads))
+    ]
+    return JobBuilder("job").parallel(threads).build()
+
+
+# ----------------------------------------------------------------------
+# Sequential execution
+# ----------------------------------------------------------------------
+
+def test_sequential_compute_time():
+    m = ConventionalMachine(toy_spec())
+    job = single_thread_job("seq", [compute_phase("p", 200e6)])
+    res = m.run(job)
+    # 200e6 cycles at 100 MHz = 2.0 s
+    assert res.seconds == pytest.approx(2.0, rel=1e-6)
+    assert res.n_threads_peak == 1
+
+
+def test_sequential_memory_time_latency_bound():
+    spec = toy_spec(bandwidth=1e9, latency=640e-9)  # bus not a limit
+    m = ConventionalMachine(spec)
+    job = single_thread_job("seq", [memory_phase("p", 10)])
+    res = m.run(job)
+    # per-CPU ceiling = 64B / 640ns = 100 MB/s -> 10 MB takes 0.1048576 s
+    expected_mem = 10 * 1024 * 1024 / (64 / 640e-9)
+    compute = (10 * 1024 * 1024 / 8) / 100e6
+    assert res.seconds == pytest.approx(expected_mem + compute, rel=0.01)
+
+
+def test_seconds_scale_linearly_with_work():
+    m = ConventionalMachine(toy_spec())
+    t1 = m.run(single_thread_job("a", [compute_phase("p", 100e6)])).seconds
+    t2 = m.run(single_thread_job("b", [compute_phase("p", 300e6)])).seconds
+    assert t2 == pytest.approx(3 * t1, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Parallel compute scaling
+# ----------------------------------------------------------------------
+
+def test_compute_bound_scales_linearly():
+    phase = compute_phase("work", 400e6)
+    times = {}
+    for n in (1, 2, 4):
+        m = ConventionalMachine(toy_spec(n_cpus=4))
+        times[n] = m.run(chunked_job(phase, n)).seconds
+    assert times[1] / times[2] == pytest.approx(2.0, rel=0.02)
+    assert times[1] / times[4] == pytest.approx(4.0, rel=0.02)
+
+
+def test_more_threads_than_cpus_timeslice():
+    phase = compute_phase("work", 400e6)
+    m = ConventionalMachine(toy_spec(n_cpus=2))
+    t2 = m.run(chunked_job(phase, 2)).seconds
+    t8 = m.run(chunked_job(phase, 8)).seconds
+    # 8 threads on 2 CPUs is no faster than 2 threads on 2 CPUs
+    assert t8 >= t2 * 0.999
+
+
+def test_thread_creation_overhead_visible():
+    # tiny work, many threads: creation dominates
+    phase = compute_phase("work", 1e4)
+    m = ConventionalMachine(toy_spec(n_cpus=4))
+    t64 = m.run(chunked_job(phase, 64)).seconds
+    t4 = m.run(chunked_job(phase, 4)).seconds
+    assert t64 > t4 * 3  # 64 x 10k create cycles swamp the work
+
+
+# ----------------------------------------------------------------------
+# Bus saturation (the Terrain Masking effect)
+# ----------------------------------------------------------------------
+
+def test_memory_bound_saturates_on_shared_bus():
+    # per-CPU ceiling 64B/320ns = 200 MB/s; shared bus only 300 MB/s.
+    phase = memory_phase("stream", 64)
+    times = {}
+    for n in (1, 2, 4):
+        m = ConventionalMachine(toy_spec(n_cpus=4, bandwidth=300e6))
+        times[n] = m.run(chunked_job(phase, n)).seconds
+    s2 = times[1] / times[2]
+    s4 = times[1] / times[4]
+    assert s2 < 2.0
+    assert s4 < 2.6          # nowhere near ideal 4.0
+    assert s4 >= s2          # but not *worse* with more CPUs
+
+
+def test_compute_bound_ignores_weak_bus():
+    phase = compute_phase("work", 400e6)
+    m_weak = ConventionalMachine(toy_spec(n_cpus=4, bandwidth=50e6))
+    m_strong = ConventionalMachine(toy_spec(n_cpus=4, bandwidth=1e9))
+    t_weak = m_weak.run(chunked_job(phase, 4)).seconds
+    t_strong = m_strong.run(chunked_job(phase, 4)).seconds
+    assert t_weak == pytest.approx(t_strong, rel=0.01)
+
+
+def test_bus_utilization_reported():
+    phase = memory_phase("stream", 64)
+    m = ConventionalMachine(toy_spec(n_cpus=4, bandwidth=300e6))
+    res = m.run(chunked_job(phase, 4))
+    assert res.bus_utilization > 0.8  # saturated
+    res2 = ConventionalMachine(toy_spec(n_cpus=4)).run(
+        single_thread_job("s", [compute_phase("p", 1e6)]))
+    assert res2.bus_utilization == 0.0
+
+
+# ----------------------------------------------------------------------
+# Locks
+# ----------------------------------------------------------------------
+
+def test_critical_sections_serialize():
+    spec = toy_spec(n_cpus=4)
+    inner = make_phase("cs", OpCounts(ialu=100e6))
+    threads = [
+        ThreadProgramBuilder(f"t{i}")
+        .critical_phase("the-lock", inner)
+        .build()
+        for i in range(4)
+    ]
+    job = JobBuilder("locked").parallel(threads).build()
+    res = ConventionalMachine(spec).run(job)
+    # 4 x 1s critical sections on one lock: fully serialized ~4s
+    assert res.seconds == pytest.approx(4.0, rel=0.05)
+    assert res.lock_wait_seconds > 5.0  # 1+2+3 seconds of waiting
+
+
+def test_disjoint_locks_do_not_serialize():
+    spec = toy_spec(n_cpus=4)
+    inner = make_phase("cs", OpCounts(ialu=100e6))
+    threads = [
+        ThreadProgramBuilder(f"t{i}")
+        .critical_phase(f"lock-{i}", inner)
+        .build()
+        for i in range(4)
+    ]
+    job = JobBuilder("disjoint").parallel(threads).build()
+    res = ConventionalMachine(spec).run(job)
+    assert res.seconds == pytest.approx(1.0, rel=0.05)
+    assert res.lock_wait_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# Work queue regions
+# ----------------------------------------------------------------------
+
+def test_work_queue_dynamic_balancing():
+    spec = toy_spec(n_cpus=4)
+    # 16 items of uneven size: dynamic scheduling balances them
+    items = [
+        ThreadProgramBuilder(f"item{i}")
+        .phase(compute_phase("w", 25e6 * (1 + (i % 3))))
+        .build_work_item()
+        for i in range(16)
+    ]
+    job = JobBuilder("queue").work_queue(items, n_threads=4).build()
+    res = ConventionalMachine(spec).run(job)
+    total_cycles = sum(25e6 * (1 + (i % 3)) for i in range(16))
+    ideal = total_cycles / (4 * 100e6)
+    assert res.seconds < ideal * 1.25
+    assert res.n_threads_peak == 4
+
+
+def test_work_queue_single_thread_processes_all():
+    spec = toy_spec(n_cpus=4)
+    items = [
+        ThreadProgramBuilder(f"item{i}")
+        .phase(compute_phase("w", 50e6))
+        .build_work_item()
+        for i in range(4)
+    ]
+    job = JobBuilder("queue1").work_queue(items, n_threads=1).build()
+    res = ConventionalMachine(spec).run(job)
+    assert res.seconds == pytest.approx(4 * 0.5, rel=0.02)
+
+
+# ----------------------------------------------------------------------
+# Fine-grained parallelism on a conventional machine
+# ----------------------------------------------------------------------
+
+def test_fine_grained_ignored_by_default():
+    spec = toy_spec(n_cpus=4)
+    p = make_phase("fg", OpCounts(ialu=400e6), parallelism=100)
+    res = ConventionalMachine(spec).run(single_thread_job("fg", [p]))
+    assert res.seconds == pytest.approx(4.0, rel=0.01)  # one CPU
+
+
+def test_fine_grained_exploited_pays_creation():
+    spec = toy_spec(n_cpus=4)
+    p = make_phase("fg", OpCounts(ialu=400e6), parallelism=100)
+    res = ConventionalMachine(spec, exploit_fine_grained=True).run(
+        single_thread_job("fg", [p]))
+    # work spreads over 4 CPUs (1s) but pays 100 x 1000 create cycles
+    assert res.seconds < 4.0
+    assert res.seconds > 1.0
+
+
+def test_fine_grained_tiny_work_is_a_disaster_on_smp():
+    """The paper's point: inner-loop threading on an SMP loses badly.
+
+    1e5 cycles of work split 1000 ways: each strand's work (100 cycles)
+    is dwarfed by its creation cost (1000 cycles), and the parent pays
+    the creation serially.
+    """
+    spec = toy_spec(n_cpus=4)
+    p = make_phase("fg", OpCounts(ialu=1e5), parallelism=1000)
+    serial = ConventionalMachine(spec).run(
+        single_thread_job("s", [make_phase("s", OpCounts(ialu=1e5))]))
+    fine = ConventionalMachine(spec, exploit_fine_grained=True).run(
+        single_thread_job("fg", [p]))
+    assert fine.seconds > 5 * serial.seconds
+
+
+# ----------------------------------------------------------------------
+# serial_cycles
+# ----------------------------------------------------------------------
+
+def test_serial_cycles_add_unoverlapped_latency():
+    spec = toy_spec()
+    p = make_phase("p", OpCounts(ialu=100e6), serial_cycles=50e6)
+    res = ConventionalMachine(spec).run(single_thread_job("s", [p]))
+    assert res.seconds == pytest.approx(1.5, rel=0.01)
+
+
+def test_invalid_slices_rejected():
+    with pytest.raises(ValueError):
+        ConventionalMachine(toy_spec(), slices_per_phase=0)

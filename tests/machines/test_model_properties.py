@@ -1,0 +1,157 @@
+"""Property-based and monotonicity tests on the machine models.
+
+These pin down the qualitative laws the reproduction leans on: more
+CPUs never hurt, bigger caches never hurt, more work never takes less
+time, traffic estimates behave monotonically.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import (
+    CacheSpec,
+    ConventionalMachine,
+    exemplar,
+    miss_traffic_bytes,
+)
+from repro.mta import MtaMachine, mta
+from repro.workload import (
+    AccessPattern,
+    JobBuilder,
+    OpCounts,
+    ThreadProgramBuilder,
+    make_phase,
+    single_thread_job,
+)
+
+
+def chunked_job(n_ops, n_threads, unique=0.0):
+    phase = make_phase("w", OpCounts(ialu=n_ops * 0.7, load=n_ops * 0.3),
+                       unique_bytes=unique)
+    threads = [ThreadProgramBuilder(f"t{i}").phase(p).build()
+               for i, p in enumerate(phase.split(n_threads))]
+    return JobBuilder("j").parallel(threads).build()
+
+
+# ----------------------------------------------------------------------
+# locality model properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=1e3, max_value=1e9),    # touched refs
+       st.floats(min_value=64.0, max_value=1e8))   # footprint
+def test_traffic_bounded_by_footprint_and_line_ceiling(n_refs, unique):
+    cache = CacheSpec(capacity_bytes=1 << 20, line_bytes=64, assoc=4)
+    p = make_phase("p", OpCounts(load=n_refs), unique_bytes=unique)
+    t = miss_traffic_bytes(p, cache)
+    assert t >= 0.0
+    assert t <= n_refs * cache.line_bytes  # ceiling: line per reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=1e4, max_value=1e8))
+def test_bigger_cache_never_more_traffic(n_refs):
+    p = make_phase("p", OpCounts(load=n_refs), unique_bytes=8 * n_refs)
+    prev = float("inf")
+    for kb in (16, 64, 256, 1024, 8192):
+        cache = CacheSpec(capacity_bytes=kb * 1024, line_bytes=64,
+                          assoc=4)
+        t = miss_traffic_bytes(p, cache)
+        assert t <= prev + 1e-6
+        prev = t
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=1e4, max_value=1e8),
+       st.floats(min_value=1e3, max_value=1e7))
+def test_traffic_monotone_in_touched(n_refs, unique):
+    cache = CacheSpec(capacity_bytes=256 * 1024, line_bytes=64, assoc=4)
+    small = make_phase("p", OpCounts(load=n_refs), unique_bytes=unique)
+    big = make_phase("p", OpCounts(load=n_refs * 2), unique_bytes=unique)
+    assert (miss_traffic_bytes(big, cache)
+            >= miss_traffic_bytes(small, cache) - 1e-6)
+
+
+def test_random_never_cheaper_than_sequential():
+    cache = CacheSpec(capacity_bytes=256 * 1024, line_bytes=64, assoc=4)
+    for unique in (1e4, 1e6, 1e8):
+        seq = make_phase("p", OpCounts(load=1e6), unique_bytes=unique,
+                         pattern=AccessPattern.SEQUENTIAL)
+        rnd = make_phase("p", OpCounts(load=1e6), unique_bytes=unique,
+                         pattern=AccessPattern.RANDOM)
+        assert (miss_traffic_bytes(rnd, cache)
+                >= miss_traffic_bytes(seq, cache))
+
+
+# ----------------------------------------------------------------------
+# machine monotonicity
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("unique", [0.0, 64e6])
+def test_more_cpus_never_slower(unique):
+    times = []
+    for n in (1, 2, 4, 8, 16):
+        m = ConventionalMachine(exemplar(n))
+        times.append(m.run(chunked_job(4e8, n, unique=unique)).seconds)
+    for a, b in zip(times, times[1:]):
+        assert b <= a * 1.001
+
+
+def test_more_work_takes_longer_conventional():
+    m = ConventionalMachine(exemplar(4))
+    prev = 0.0
+    for ops in (1e7, 1e8, 1e9):
+        t = m.run(chunked_job(ops, 4)).seconds
+        assert t > prev
+        prev = t
+
+
+def test_more_mta_processors_never_slower():
+    job = chunked_job(4.2e8, 256)
+    prev = float("inf")
+    for p in (1, 2, 4, 8):
+        t = MtaMachine(mta(p)).run(job).seconds
+        assert t <= prev * 1.001
+        prev = t
+
+
+def test_more_mta_streams_never_slower():
+    prev = float("inf")
+    for chunks in (4, 16, 64, 256):
+        t = MtaMachine(mta(1)).run(chunked_job(4.2e8, chunks)).seconds
+        assert t <= prev * 1.001
+        prev = t
+
+
+def test_mta_deterministic():
+    job = chunked_job(1e8, 64, unique=1e7)
+    a = MtaMachine(mta(2)).run(job).seconds
+    b = MtaMachine(mta(2)).run(job).seconds
+    assert a == b
+
+
+def test_conventional_deterministic():
+    job = chunked_job(1e8, 16, unique=64e6)
+    a = ConventionalMachine(exemplar(16)).run(job).seconds
+    b = ConventionalMachine(exemplar(16)).run(job).seconds
+    assert a == b
+
+
+def test_faster_clock_is_faster():
+    spec = exemplar(4)
+    fast = dataclasses.replace(
+        spec, core=dataclasses.replace(spec.core,
+                                       clock_hz=spec.core.clock_hz * 2))
+    job = chunked_job(4e8, 4)
+    t_norm = ConventionalMachine(spec).run(job).seconds
+    t_fast = ConventionalMachine(fast).run(job).seconds
+    assert t_fast < t_norm
+
+
+def test_sequential_job_ignores_extra_cpus():
+    job = single_thread_job("s", [make_phase("p", OpCounts(ialu=1e8))])
+    t1 = ConventionalMachine(exemplar(1)).run(job).seconds
+    t16 = ConventionalMachine(exemplar(16)).run(job).seconds
+    assert t1 == pytest.approx(t16, rel=1e-9)

@@ -1,0 +1,131 @@
+"""Tests for machine spec dataclasses and the platform catalog."""
+
+import pytest
+
+from repro.machines import (
+    ALPHASTATION_500,
+    CacheSpec,
+    CoreSpec,
+    EXEMPLAR_16,
+    MachineSpec,
+    MemSpec,
+    PPRO_SMP_4,
+    ThreadCosts,
+    exemplar,
+    get_machine_spec,
+    ppro,
+)
+from repro.workload import OpCounts
+
+
+def test_core_spec_validation():
+    with pytest.raises(ValueError):
+        CoreSpec(clock_hz=0)
+    with pytest.raises(ValueError):
+        CoreSpec(clock_hz=1e6, op_cycles={"ialu": -1})
+
+
+def test_core_compute_cycles():
+    core = CoreSpec(clock_hz=1e6, op_cycles={"ialu": 0.5, "falu": 2.0})
+    assert core.compute_cycles(OpCounts(ialu=10, falu=3)) == 11.0
+
+
+def test_cache_spec_validation():
+    with pytest.raises(ValueError):
+        CacheSpec(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        CacheSpec(capacity_bytes=1024, line_bytes=33)
+    with pytest.raises(ValueError):
+        CacheSpec(capacity_bytes=1024, assoc=0)
+
+
+def test_mem_spec_validation():
+    with pytest.raises(ValueError):
+        MemSpec(bandwidth_bytes_per_s=0, miss_latency_s=1e-9)
+    with pytest.raises(ValueError):
+        MemSpec(bandwidth_bytes_per_s=1e9, miss_latency_s=0)
+
+
+def test_thread_costs_validation():
+    with pytest.raises(ValueError):
+        ThreadCosts(create_cycles=-1, sync_cycles=0)
+
+
+def test_machine_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec("bad", 0, ALPHASTATION_500.core,
+                    ALPHASTATION_500.cache, ALPHASTATION_500.mem)
+
+
+def test_with_cpus():
+    sub = EXEMPLAR_16.with_cpus(4)
+    assert sub.n_cpus == 4
+    assert sub.core == EXEMPLAR_16.core
+    assert "4p" in sub.name
+    assert EXEMPLAR_16.n_cpus == 16  # original untouched
+
+
+def test_costs_for_fallback():
+    assert EXEMPLAR_16.costs_for("os").create_cycles >= 10_000
+    # "hw" threads do not exist on a conventional machine: fall back
+    assert EXEMPLAR_16.costs_for("hw") == EXEMPLAR_16.costs_for("os")
+
+
+def test_costs_for_missing_table():
+    spec = MachineSpec("bare", 1, ALPHASTATION_500.core,
+                       ALPHASTATION_500.cache, ALPHASTATION_500.mem,
+                       thread_costs={})
+    with pytest.raises(KeyError):
+        spec.costs_for("os")
+
+
+def test_per_cpu_mem_bandwidth():
+    bw = PPRO_SMP_4.per_cpu_mem_bandwidth
+    assert bw == pytest.approx(
+        PPRO_SMP_4.cache.line_bytes / PPRO_SMP_4.mem.miss_latency_s)
+
+
+# ----------------------------------------------------------------------
+# Catalog sanity (Table 1 of the paper)
+# ----------------------------------------------------------------------
+
+def test_catalog_matches_table1():
+    assert ALPHASTATION_500.n_cpus == 1
+    assert ALPHASTATION_500.core.clock_hz == 500e6
+    assert PPRO_SMP_4.n_cpus == 4
+    assert PPRO_SMP_4.core.clock_hz == 200e6
+    assert EXEMPLAR_16.n_cpus == 16
+    assert EXEMPLAR_16.core.clock_hz == 180e6
+
+
+def test_get_machine_spec_lookup():
+    assert get_machine_spec("alpha") is ALPHASTATION_500
+    assert get_machine_spec("Pentium Pro") is PPRO_SMP_4
+    assert get_machine_spec("EXEMPLAR") is EXEMPLAR_16
+    with pytest.raises(KeyError):
+        get_machine_spec("cray")
+
+
+def test_exemplar_subsets():
+    for n in (1, 8, 16):
+        assert exemplar(n).n_cpus == n
+    with pytest.raises(ValueError):
+        exemplar(17)
+    with pytest.raises(ValueError):
+        exemplar(0)
+
+
+def test_ppro_subsets():
+    for n in (1, 4):
+        assert ppro(n).n_cpus == n
+    with pytest.raises(ValueError):
+        ppro(5)
+
+
+def test_thread_creation_costs_match_paper_magnitudes():
+    """Section 7: conventional thread creation costs tens of thousands
+    to hundreds of thousands of cycles; sync hundreds to thousands."""
+    for spec in (PPRO_SMP_4, EXEMPLAR_16):
+        os_costs = spec.costs_for("os")
+        assert 10_000 <= os_costs.create_cycles <= 500_000
+        assert 100 <= os_costs.sync_cycles <= 5_000

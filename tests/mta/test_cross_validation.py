@@ -1,0 +1,82 @@
+"""Cross-validation: the macro MTA model against the cycle-accurate
+simulator on kernels small enough to run both ways.
+
+The macro model's issue machinery (per-stream interval, aggregate
+saturation) must reproduce the cycle simulator's throughput within a
+few percent -- this pins the whole-benchmark results to the
+micro-architecture.
+"""
+
+import pytest
+
+from repro.mta import MtaMachine, MtaSpec, MtaSystem, alu_kernel
+from repro.workload import (
+    JobBuilder,
+    OpCounts,
+    ThreadProgramBuilder,
+    make_phase,
+    single_thread_job,
+)
+
+
+def macro_seconds(spec, n_ops_total, n_threads):
+    """Time for pure-ALU work split over n_threads on the macro model."""
+    phase = make_phase("w", OpCounts(ialu=n_ops_total))
+    if n_threads == 1:
+        job = single_thread_job("j", [phase])
+    else:
+        threads = [ThreadProgramBuilder(f"t{i}").phase(p).build()
+                   for i, p in enumerate(phase.split(n_threads))]
+        job = JobBuilder("j").parallel(threads, thread_kind="hw").build()
+    return MtaMachine(spec).run(job).seconds
+
+
+def cycle_seconds(spec, n_instr_total, n_threads):
+    """The same workload on the cycle-accurate simulator."""
+    sys = MtaSystem(spec)
+    per = n_instr_total // n_threads
+    for _ in range(n_threads):
+        sys.add_stream(alu_kernel(per))
+    stats = sys.run()
+    assert stats.completed
+    return stats.cycles / spec.clock_hz
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 8, 21, 64])
+def test_macro_matches_cycle_level_alu_throughput(n_threads):
+    spec = MtaSpec(n_processors=1)
+    n_instr = 2100 * n_threads  # keep cycle sim cheap
+    n_ops = n_instr * spec.ops_per_instruction
+    t_macro = macro_seconds(spec, n_ops, n_threads)
+    t_cycle = cycle_seconds(spec, n_instr, n_threads)
+    assert t_macro == pytest.approx(t_cycle, rel=0.06), (
+        f"{n_threads} threads: macro {t_macro:.2e} vs "
+        f"cycle {t_cycle:.2e}")
+
+
+def test_macro_matches_cycle_level_saturation_point():
+    """Both models saturate the processor at ~21 ALU streams."""
+    spec = MtaSpec(n_processors=1)
+
+    def macro_rate(n):
+        t = macro_seconds(spec, 21_000 * spec.ops_per_instruction, n)
+        return 21_000 / t / spec.clock_hz  # instr per cycle
+
+    def cycle_rate(n):
+        sys = MtaSystem(spec)
+        for _ in range(n):
+            sys.add_stream(alu_kernel(1000))
+        stats = sys.run()
+        return stats.total_issued / stats.cycles
+
+    for n in (10, 21, 42):
+        assert macro_rate(n) == pytest.approx(cycle_rate(n), rel=0.08)
+
+
+def test_both_models_agree_single_stream_is_1_over_21():
+    spec = MtaSpec(n_processors=1)
+    t_macro = macro_seconds(spec, 2100 * spec.ops_per_instruction, 1)
+    expected = 2100 * 21 / spec.clock_hz
+    assert t_macro == pytest.approx(expected, rel=0.02)
+    t_cycle = cycle_seconds(spec, 2100, 1)
+    assert t_cycle == pytest.approx(expected, rel=0.02)

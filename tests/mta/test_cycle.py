@@ -1,0 +1,277 @@
+"""Cycle-level MTA tests: the Section 2 / Section 7 micro-claims.
+
+These validate the mechanisms the paper attributes its results to:
+one instruction per 21 cycles per stream, saturation with tens of
+streams, full/empty synchronization, bank conflicts.
+"""
+
+import pytest
+
+from repro.mta import (
+    Instruction,
+    InterleavedMemory,
+    MtaSpec,
+    MtaSystem,
+    alu_kernel,
+    dependent_load_kernel,
+    independent_load_kernel,
+    load_use_kernel,
+)
+from repro.mta.memory import MemRequest
+
+
+def small_spec(n_processors=1, lookahead=5, latency=140.0):
+    return MtaSpec(n_processors=n_processors, lookahead=lookahead,
+                   mem_latency_cycles=latency)
+
+
+# ----------------------------------------------------------------------
+# Instruction / Stream validation
+# ----------------------------------------------------------------------
+
+def test_instruction_validation():
+    with pytest.raises(ValueError):
+        Instruction("mul")
+    with pytest.raises(ValueError):
+        Instruction("load", addr=-4)
+    with pytest.raises(ValueError):
+        Instruction("alu", depends_on=-1)
+
+
+def test_forward_dependence_rejected():
+    sys = MtaSystem(small_spec())
+    with pytest.raises(ValueError):
+        sys.add_stream([Instruction("alu", depends_on=0)])
+
+
+def test_stream_capacity_enforced():
+    spec = MtaSpec(n_processors=1, streams_per_processor=2)
+    sys = MtaSystem(spec)
+    sys.add_stream(alu_kernel(1))
+    sys.add_stream(alu_kernel(1))
+    with pytest.raises(ValueError):
+        sys.add_stream(alu_kernel(1))
+
+
+# ----------------------------------------------------------------------
+# The 21-cycle issue interval (the 5%-utilization claim)
+# ----------------------------------------------------------------------
+
+def test_single_stream_issues_one_per_21_cycles():
+    sys = MtaSystem(small_spec())
+    n = 100
+    sys.add_stream(alu_kernel(n))
+    stats = sys.run()
+    assert stats.completed
+    # n instructions, one per 21 cycles: ~21*(n-1)+1 cycles
+    assert stats.cycles == pytest.approx(21 * (n - 1) + 1, abs=2)
+    assert stats.utilization == pytest.approx(1 / 21, rel=0.05)
+
+
+def test_two_streams_double_throughput():
+    sys = MtaSystem(small_spec())
+    n = 100
+    sys.add_stream(alu_kernel(n))
+    sys.add_stream(alu_kernel(n))
+    stats = sys.run()
+    assert stats.utilization == pytest.approx(2 / 21, rel=0.05)
+
+
+def test_21_streams_saturate_alu_processor():
+    sys = MtaSystem(small_spec())
+    for _ in range(21):
+        sys.add_stream(alu_kernel(50))
+    stats = sys.run()
+    assert stats.utilization > 0.95
+
+
+def test_utilization_monotonic_in_streams():
+    utils = []
+    for n_streams in (1, 4, 8, 16, 32):
+        sys = MtaSystem(small_spec())
+        for _ in range(n_streams):
+            sys.add_stream(alu_kernel(40))
+        utils.append(sys.run().utilization)
+    assert utils == sorted(utils)
+    assert utils[-1] > 0.9
+
+
+# ----------------------------------------------------------------------
+# Memory latency, lookahead, and the ~80-streams claim
+# ----------------------------------------------------------------------
+
+def test_independent_loads_hidden_by_lookahead():
+    """With lookahead, independent loads issue at the 21-cycle pace."""
+    sys = MtaSystem(small_spec(lookahead=8))
+    n = 50
+    # spread addresses across banks to avoid conflicts
+    sys.add_stream(independent_load_kernel(n, stride=8))
+    stats = sys.run()
+    # issue-bound: ~21 cycles/instr, plus the final load's latency tail
+    assert stats.cycles < 21 * n + 200
+
+
+def test_dependent_loads_pay_full_latency():
+    """A pointer chase cannot be overlapped: latency per load."""
+    latency = 140.0
+    sys = MtaSystem(small_spec(latency=latency))
+    n = 20
+    sys.add_stream(dependent_load_kernel(n, stride=8))
+    stats = sys.run()
+    # each load waits for the previous completion: >= n * latency
+    assert stats.cycles >= n * latency * 0.95
+
+
+def test_load_use_stream_is_slower_than_alu_stream():
+    sys_alu = MtaSystem(small_spec())
+    sys_alu.add_stream(alu_kernel(40))
+    t_alu = sys_alu.run().cycles
+
+    sys_mem = MtaSystem(small_spec(lookahead=1, latency=140))
+    sys_mem.add_stream(load_use_kernel(20))  # also 40 instructions
+    t_mem = sys_mem.run().cycles
+    assert t_mem > t_alu
+
+
+def test_memory_bound_kernel_needs_about_80_streams():
+    """Section 7: ~80 concurrent threads for full utilization of one
+    processor on typical (load-use) code."""
+    def util(n_streams):
+        sys = MtaSystem(small_spec(lookahead=1, latency=80.0))
+        for s in range(n_streams):
+            # distinct address ranges: no bank conflicts between streams
+            sys.add_stream(load_use_kernel(30, base=s * 100_000))
+        return sys.run().utilization
+
+    u20 = util(20)
+    u80 = util(80)
+    assert u20 < 0.55          # far from saturated at 20 streams
+    assert u80 > 0.90          # ~saturated at 80
+
+
+# ----------------------------------------------------------------------
+# Multi-processor issue independence
+# ----------------------------------------------------------------------
+
+def test_two_processors_issue_independently():
+    sys = MtaSystem(small_spec(n_processors=2))
+    for p in (0, 1):
+        for _ in range(21):
+            sys.add_stream(alu_kernel(50), processor=p)
+    stats = sys.run()
+    assert stats.per_processor_utilization[0] > 0.9
+    assert stats.per_processor_utilization[1] > 0.9
+    assert stats.total_issued == 2 * 21 * 50
+
+
+# ----------------------------------------------------------------------
+# Full/empty memory semantics
+# ----------------------------------------------------------------------
+
+def test_store_then_load_round_trip():
+    sys = MtaSystem(small_spec())
+    sys.add_stream([
+        Instruction("store", addr=64, value=123),
+        Instruction("load", addr=64, depends_on=0),
+    ])
+    stats = sys.run()
+    assert stats.completed
+    stream = sys._streams[0][0]
+    assert stream.results[1] == 123
+
+
+def test_sync_load_blocks_until_sync_store():
+    """Producer/consumer through a full/empty word."""
+    sys = MtaSystem(small_spec())
+    consumer = sys.add_stream([Instruction("sync_load", addr=8)])
+    # producer does some work first, then writes
+    producer_prog = alu_kernel(10) + [
+        Instruction("sync_store", addr=8, value="payload")]
+    sys.add_stream(producer_prog)
+    stats = sys.run()
+    assert stats.completed
+    assert consumer.results[0] == "payload"
+    assert stats.memory_retries > 0  # the consumer had to retry
+    assert not sys.memory.is_full(8)  # sync_load emptied the cell
+
+
+def test_sync_store_blocks_until_empty():
+    mem = InterleavedMemory(n_banks=4, latency_cycles=10)
+    mem.poke(0, "old", full=True)
+    sys = MtaSystem(small_spec(), memory=mem)
+    writer = sys.add_stream([Instruction("sync_store", addr=0, value="new")])
+    reader_prog = alu_kernel(5) + [Instruction("sync_load", addr=0,
+                                               depends_on=None)]
+    reader = sys.add_stream(reader_prog)
+    stats = sys.run()
+    assert stats.completed
+    assert reader.results[5] == "old"
+    assert mem.peek(0) == "new"
+    assert writer.done
+
+
+def test_bank_conflicts_serialize():
+    """Two processors hammering one bank queue up; spreading the
+    references across banks removes the conflicts.
+
+    A single processor can never conflict (it issues at most one memory
+    reference per cycle and a bank turns around in one cycle), which is
+    the point of 64-way interleaving.
+    """
+    def run(spread_banks):
+        sys = MtaSystem(small_spec(n_processors=2, lookahead=8))
+        for s in range(32):
+            addr = s if spread_banks else 0  # bank = addr % 64
+            sys.add_stream([Instruction("load", addr=addr)
+                            for _ in range(10)],
+                           processor=s % 2)
+        return sys.run()
+
+    conflicted = run(spread_banks=False)
+    spread = run(spread_banks=True)
+    assert conflicted.stats["bank_conflict_cycles"] > 0
+    assert spread.stats["bank_conflict_cycles"] == 0
+    assert conflicted.cycles >= spread.cycles
+
+
+def test_max_cycles_cutoff_reports_incomplete():
+    sys = MtaSystem(small_spec())
+    sys.add_stream(alu_kernel(1000))
+    stats = sys.run(max_cycles=100)
+    assert not stats.completed
+
+
+# ----------------------------------------------------------------------
+# InterleavedMemory direct tests
+# ----------------------------------------------------------------------
+
+def test_memory_validation():
+    with pytest.raises(ValueError):
+        InterleavedMemory(n_banks=0)
+    with pytest.raises(ValueError):
+        InterleavedMemory(latency_cycles=0)
+    with pytest.raises(ValueError):
+        InterleavedMemory(retry_interval_cycles=0)
+    mem = InterleavedMemory()
+    with pytest.raises(ValueError):
+        mem.word(-1)
+
+
+def test_memory_plain_ops():
+    mem = InterleavedMemory(n_banks=4, latency_cycles=10)
+    got = []
+    done = mem.issue(MemRequest("store", addr=4, value=7), cycle=0)
+    assert done == pytest.approx(10.0)
+    done2 = mem.issue(
+        MemRequest("load", addr=4,
+                   on_complete=lambda t, v: got.append((t, v))),
+        cycle=20)
+    assert done2 == pytest.approx(30.0)
+    assert got == [(30.0, 7)]
+    assert mem.is_full(4)  # store set the tag
+
+
+def test_memory_rejects_non_memory_kind():
+    mem = InterleavedMemory()
+    with pytest.raises(ValueError):
+        mem.issue(MemRequest("alu", addr=0), cycle=0)

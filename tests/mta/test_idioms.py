@@ -1,0 +1,206 @@
+"""Tests for the full/empty programming idioms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mta import (
+    AtomicCounter,
+    BoundedBuffer,
+    ReductionTree,
+    TeraRuntime,
+    fork_join_map,
+)
+
+
+# ----------------------------------------------------------------------
+# AtomicCounter
+# ----------------------------------------------------------------------
+
+def test_counter_fetch_add_returns_old_value():
+    rt = TeraRuntime()
+    counter = AtomicCounter(rt, initial=10)
+
+    def body(rt):
+        old = yield from counter.add(5)
+        return old
+
+    f = rt.future(body)
+    rt.run()
+    assert f.value() == 10
+    assert counter.value() == 15
+
+
+def test_counter_concurrent_adds_never_lost():
+    rt = TeraRuntime()
+    counter = AtomicCounter(rt)
+    claimed = []
+
+    def body(rt, times):
+        for _ in range(times):
+            old = yield from counter.add(1)
+            claimed.append(old)
+            yield rt.cycles(3)
+
+    for _ in range(8):
+        rt.future(body, 25)
+    rt.run()
+    assert counter.value() == 200
+    # every claimed ticket is unique: true fetch-and-add semantics
+    assert sorted(claimed) == list(range(200))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1,
+                max_size=20))
+def test_counter_sums_arbitrary_increments(increments):
+    rt = TeraRuntime()
+    counter = AtomicCounter(rt)
+
+    def body(rt, k):
+        yield from counter.add(k)
+
+    for k in increments:
+        rt.future(body, k)
+    rt.run()
+    assert counter.value() == sum(increments)
+
+
+# ----------------------------------------------------------------------
+# BoundedBuffer
+# ----------------------------------------------------------------------
+
+def test_buffer_validation():
+    rt = TeraRuntime()
+    with pytest.raises(ValueError):
+        BoundedBuffer(rt, capacity=0)
+
+
+def test_buffer_single_producer_consumer_order():
+    rt = TeraRuntime()
+    buf = BoundedBuffer(rt, capacity=3)
+    got = []
+
+    def producer(rt):
+        for i in range(10):
+            yield from buf.put(i)
+
+    def consumer(rt):
+        for _ in range(10):
+            item = yield from buf.get()
+            got.append(item)
+
+    rt.future(producer)
+    rt.future(consumer)
+    rt.run()
+    assert got == list(range(10))
+
+
+def test_buffer_backpressure():
+    """A capacity-2 buffer stalls the producer until space appears."""
+    rt = TeraRuntime()
+    buf = BoundedBuffer(rt, capacity=2)
+    timeline = {}
+
+    def producer(rt):
+        for i in range(4):
+            yield from buf.put(i)
+            timeline[f"put{i}"] = rt.now_cycles
+
+    def consumer(rt):
+        yield rt.cycles(10_000)
+        for _ in range(4):
+            yield from buf.get()
+
+    rt.future(producer)
+    rt.future(consumer)
+    rt.run()
+    # the first two puts are immediate; the third waits for the consumer
+    assert timeline["put1"] < 1_000
+    assert timeline["put2"] > 9_000
+
+
+def test_buffer_many_producers_many_consumers():
+    rt = TeraRuntime()
+    buf = BoundedBuffer(rt, capacity=4)
+    got = []
+
+    def producer(rt, base):
+        for i in range(10):
+            yield from buf.put(base + i)
+            yield rt.cycles(7)
+
+    def consumer(rt, n):
+        for _ in range(n):
+            item = yield from buf.get()
+            got.append(item)
+            yield rt.cycles(3)
+
+    for p in range(4):
+        rt.future(producer, p * 100)
+    for _ in range(2):
+        rt.future(consumer, 20)
+    rt.run()
+    assert sorted(got) == sorted(p * 100 + i
+                                 for p in range(4) for i in range(10))
+
+
+# ----------------------------------------------------------------------
+# ReductionTree / fork_join_map
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("n", [1, 2, 3, 8, 13, 32])
+def test_reduction_tree_sums(n):
+    rt = TeraRuntime()
+    tree = ReductionTree(rt)
+    values = list(range(1, n + 1))
+
+    def body(rt):
+        total = yield from tree.reduce(values, lambda a, b: a + b)
+        return total
+
+    f = rt.future(body)
+    rt.run()
+    assert f.value() == sum(values)
+
+
+def test_reduction_tree_is_logarithmic():
+    """64 leaves in ~log2(64)=6 combine rounds, not 63 serial ones."""
+    combine = 1000.0
+
+    def elapsed(n):
+        rt = TeraRuntime()
+        tree = ReductionTree(rt, combine_cycles=combine)
+
+        def body(rt):
+            yield from tree.reduce(list(range(n)), lambda a, b: a + b)
+
+        rt.future(body)
+        return rt.run()
+
+    t64 = elapsed(64)
+    # 6 rounds x ~1000 cycles + thread creation; far below 63 x 1000
+    assert t64 < 12_000
+
+
+def test_fork_join_map_preserves_order():
+    rt = TeraRuntime()
+
+    def body(rt):
+        out = yield from fork_join_map(rt, lambda x: x * x, range(10))
+        return out
+
+    f = rt.future(body)
+    rt.run()
+    assert f.value() == [x * x for x in range(10)]
+
+
+def test_fork_join_map_overlaps_work():
+    rt = TeraRuntime()
+
+    def body(rt):
+        yield from fork_join_map(rt, lambda x: x, range(100),
+                                 work_cycles=1000.0)
+
+    rt.future(body)
+    cycles = rt.run()
+    assert cycles < 5_000  # 100 x 1000 cycles, overlapped

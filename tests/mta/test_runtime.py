@@ -1,0 +1,233 @@
+"""Tests for the Tera programming-system surface (futures, sync
+variables, parallel loops)."""
+
+import pytest
+
+from repro.mta import MTA_2, SyncVariable, TeraRuntime, mta
+
+
+def test_cycles_advance_simulated_time():
+    rt = TeraRuntime()
+
+    def body(rt):
+        yield rt.cycles(100)
+        return rt.now_cycles
+
+    f = rt.future(body)
+    rt.run()
+    # 75 creation cycles + 100 work cycles
+    assert f.value() == pytest.approx(175, abs=1)
+
+
+def test_future_creation_costs_75_cycles():
+    rt = TeraRuntime()
+
+    def body(rt):
+        yield rt.cycles(0)
+        return rt.now_cycles
+
+    f = rt.future(body)
+    rt.run()
+    assert f.value() == pytest.approx(
+        MTA_2.costs_for("sw").create_cycles, abs=1)
+
+
+def test_hw_thread_creation_costs_2_cycles():
+    rt = TeraRuntime()
+
+    def body(rt):
+        yield rt.cycles(0)
+        return rt.now_cycles
+
+    f = rt.hw_thread(body)
+    rt.run()
+    assert f.value() == pytest.approx(2, abs=1)
+
+
+def test_future_get_joins():
+    rt = TeraRuntime()
+
+    def worker(rt):
+        yield rt.cycles(500)
+        return 42
+
+    def parent(rt, fut):
+        result = yield fut.get()
+        return (result, rt.now_cycles)
+
+    fut = rt.future(worker)
+    p = rt.future(parent, fut)
+    rt.run()
+    result, when = p.value()
+    assert result == 42
+    assert when >= 575  # worker creation + work
+
+
+def test_future_get_after_completion():
+    rt = TeraRuntime()
+
+    def quick(rt):
+        yield rt.cycles(1)
+        return "early"
+
+    def late(rt, fut):
+        yield rt.cycles(10_000)
+        v = yield fut.get()
+        return v
+
+    fut = rt.future(quick)
+    p = rt.future(late, fut)
+    rt.run()
+    assert p.value() == "early"
+    assert fut.is_done
+
+
+def test_sync_variable_producer_consumer():
+    rt = TeraRuntime()
+    cell = rt.sync_variable()
+    order = []
+
+    def producer(rt, cell):
+        yield rt.cycles(300)
+        yield cell.write("payload")
+        order.append(("wrote", rt.now_cycles))
+
+    def consumer(rt, cell):
+        v = yield cell.read()
+        order.append(("read", rt.now_cycles))
+        return v
+
+    rt.future(producer, cell)
+    c = rt.future(consumer, cell)
+    rt.run()
+    assert c.value() == "payload"
+    # consumer cannot finish before the producer wrote (~375 cycles)
+    read_time = dict(order)["read"]
+    assert read_time >= 375
+    assert not cell.is_full
+
+
+def test_sync_access_costs_one_cycle():
+    rt = TeraRuntime()
+    cell = rt.sync_variable(value=7, full=True)
+
+    def reader(rt, cell):
+        v = yield cell.read()
+        return (v, rt.now_cycles)
+
+    f = rt.hw_thread(reader, cell)
+    rt.run()
+    v, when = f.value()
+    assert v == 7
+    # 2 cycles creation + 1 cycle sync access
+    assert when == pytest.approx(3, abs=1)
+
+
+def test_sync_variable_read_ff_leaves_full():
+    rt = TeraRuntime()
+    cell = rt.sync_variable(value="x", full=True)
+
+    def reader(rt, cell):
+        v = yield cell.read_ff()
+        return v
+
+    f = rt.future(reader, cell)
+    rt.run()
+    assert f.value() == "x"
+    assert cell.is_full
+
+
+def test_sync_variable_reset():
+    rt = TeraRuntime()
+    cell = rt.sync_variable(value=1, full=True)
+    cell.reset()
+    assert not cell.is_full
+    cell.reset(value=9, full=True)
+    assert cell.is_full and cell.peek() == 9
+
+
+def test_parallel_for_runs_every_iteration():
+    rt = TeraRuntime()
+    done = []
+
+    def body(rt, i):
+        yield rt.cycles(10 * (i + 1))
+        done.append(i)
+
+    def main(rt):
+        yield rt.parallel_for(range(8), body)
+        return sorted(done)
+
+    m = rt.future(main)
+    rt.run()
+    assert m.value() == list(range(8))
+
+
+def test_parallel_for_iterations_overlap():
+    """100 iterations of 1000 cycles each finish in ~1000 cycles, not
+    100,000 -- thread creation is nearly free."""
+    rt = TeraRuntime()
+
+    def body(rt, i):
+        yield rt.cycles(1000)
+
+    def main(rt):
+        yield rt.parallel_for(range(100), body)
+        return rt.now_cycles
+
+    m = rt.future(main)
+    rt.run()
+    assert m.value() < 2500
+
+
+def test_parallel_for_sw_threads():
+    rt = TeraRuntime()
+
+    def body(rt, i):
+        yield rt.cycles(1)
+
+    def main(rt):
+        yield rt.parallel_for(range(4), body, thread_kind="sw")
+        return rt.now_cycles
+
+    m = rt.future(main)
+    rt.run()
+    assert m.value() >= 75  # sw creation cost dominates
+
+
+def test_atomic_counter_with_sync_variable():
+    """The int_fetch_add idiom: concurrent increments never lose one."""
+    rt = TeraRuntime()
+    counter = rt.sync_variable(value=0, full=True)
+
+    def incrementer(rt, counter, times):
+        for _ in range(times):
+            v = yield counter.read()
+            yield rt.cycles(5)  # some unrelated work inside
+            yield counter.write(v + 1)
+
+    def main(rt):
+        yield rt.parallel_for(
+            range(10), lambda r, i: incrementer(r, counter, 20))
+        return counter.peek()
+
+    m = rt.future(main)
+    rt.run()
+    assert m.value() == 200
+
+
+def test_runtime_propagates_body_failure():
+    rt = TeraRuntime()
+
+    def bad(rt):
+        yield rt.cycles(1)
+        raise RuntimeError("kernel panic")
+
+    rt.future(bad)
+    with pytest.raises(RuntimeError, match="kernel panic"):
+        rt.run()
+
+
+def test_runtime_on_custom_spec():
+    rt = TeraRuntime(mta(4))
+    assert rt.spec.n_processors == 4

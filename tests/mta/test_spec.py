@@ -1,0 +1,85 @@
+"""Tests for the MTA spec and its derived quantities."""
+
+import pytest
+
+from repro.mta import MTA_2, MtaSpec, mta
+
+
+def test_prototype_matches_paper_table1():
+    assert MTA_2.n_processors == 2
+    assert MTA_2.clock_hz == 255e6
+    assert MTA_2.streams_per_processor == 128
+    assert MTA_2.issue_interval_cycles == 21.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MtaSpec(n_processors=0)
+    with pytest.raises(ValueError):
+        MtaSpec(n_processors=257)
+    with pytest.raises(ValueError):
+        MtaSpec(streams_per_processor=0)
+    with pytest.raises(ValueError):
+        MtaSpec(issue_interval_cycles=0)
+    with pytest.raises(ValueError):
+        MtaSpec(lookahead=-1)
+    with pytest.raises(ValueError):
+        MtaSpec(ops_per_instruction=0)
+    with pytest.raises(ValueError):
+        MtaSpec(network_words_per_cycle=0)
+
+
+def test_visible_stall():
+    spec = MtaSpec(lookahead=5, mem_latency_cycles=140.0)
+    assert spec.visible_stall_cycles == 140 - 5 * 21
+    # enough lookahead hides everything
+    spec2 = MtaSpec(lookahead=8, mem_latency_cycles=140.0)
+    assert spec2.visible_stall_cycles == 0.0
+
+
+def test_stream_interval_grows_with_memory_fraction():
+    spec = MTA_2
+    base = spec.stream_interval_cycles(0.0)
+    assert base == spec.issue_interval_cycles
+    heavy = spec.stream_interval_cycles(0.5)
+    assert heavy > base
+    with pytest.raises(ValueError):
+        spec.stream_interval_cycles(1.5)
+
+
+def test_single_thread_issue_rate_is_5_percent():
+    """Paper: one thread issues one instruction every 21 cycles,
+    roughly 5% utilization."""
+    rate = MTA_2.stream_issue_rate(0.0)
+    assert rate / MTA_2.clock_hz == pytest.approx(1 / 21)
+    assert 0.04 < rate / MTA_2.clock_hz < 0.06
+
+
+def test_network_capacity_scales_sublinearly():
+    one = MTA_2.network_capacity_words_per_s(1)
+    two = MTA_2.network_capacity_words_per_s(2)
+    four = MTA_2.network_capacity_words_per_s(4)
+    assert one < two < 2 * one          # sublinear
+    assert two / one == pytest.approx(2 ** MTA_2.network_scaling_exponent)
+    assert four < 4 * one
+    with pytest.raises(ValueError):
+        MTA_2.network_capacity_words_per_s(0)
+
+
+def test_with_processors():
+    one = mta(1)
+    assert one.n_processors == 1
+    assert one.clock_hz == MTA_2.clock_hz
+    assert MTA_2.n_processors == 2  # original untouched
+
+
+def test_thread_costs_match_paper():
+    """Section 2: hw create 2 cycles, sw create 50-100, sync 1 cycle."""
+    hw = MTA_2.costs_for("hw")
+    sw = MTA_2.costs_for("sw")
+    assert hw.create_cycles == 2.0
+    assert 50 <= sw.create_cycles <= 100
+    assert hw.sync_cycles == 1.0
+    assert sw.sync_cycles == 1.0
+    with pytest.raises(KeyError):
+        MTA_2.costs_for("fiber")

@@ -1,0 +1,88 @@
+"""A miniature Terrain-Masking wavefront at cycle fidelity.
+
+Bottom-up validation of the fine-grained Tera variant: the ring
+recurrence (each cell reads its parent one ring in) is expressed with
+real full/empty synchronization on the cycle-accurate simulator --
+each cell's stream sync-reads its parent's cell and sync-writes its
+own.  The test checks (a) the dataflow is correct whatever order the
+hardware interleaves the streams, and (b) adding streams genuinely
+overlaps rings, which is the mechanism behind Table 11.
+"""
+
+import pytest
+
+from repro.mta import Instruction, MtaSpec, MtaSystem
+
+
+def build_wavefront(n_rings: int, width: int, one_stream_per_cell: bool):
+    """A synthetic wavefront: cell (r, w) depends on cell (r-1, w).
+
+    Each cell's work: sync-read the parent value, 3 ALU ops, sync-write
+    its own value (parent value + 1).  Address of cell (r, w) is
+    ``(r * width + w) * 8``.  Ring 0 is pre-filled.
+    """
+    spec = MtaSpec(n_processors=1, lookahead=4, mem_latency_cycles=60.0)
+    sys = MtaSystem(spec)
+    for w in range(width):
+        sys.memory.poke(w * 8, 0, full=True)
+
+    def cell_program(r, w):
+        parent_addr = ((r - 1) * width + w) * 8
+        my_addr = (r * width + w) * 8
+        return [
+            Instruction("sync_load", addr=parent_addr),
+            Instruction("alu", depends_on=0),
+            Instruction("alu"),
+            Instruction("alu"),
+            # the parent's value is consumed; re-publish it for any
+            # sibling readers, then publish our own cell
+            Instruction("sync_store", addr=parent_addr, value=r - 1),
+            Instruction("sync_store", addr=my_addr, value=r),
+        ]
+
+    streams = []
+    if one_stream_per_cell:
+        for r in range(1, n_rings):
+            for w in range(width):
+                streams.append(sys.add_stream(cell_program(r, w)))
+    else:
+        # one stream walks all cells in order (the sequential program)
+        prog = []
+        for r in range(1, n_rings):
+            for w in range(width):
+                prog.extend(cell_program(r, w))
+        streams.append(sys.add_stream(prog))
+    return sys, streams
+
+
+@pytest.mark.parametrize("one_stream_per_cell", [False, True])
+def test_wavefront_dataflow_correct(one_stream_per_cell):
+    n_rings, width = 5, 6
+    sys, _streams = build_wavefront(n_rings, width, one_stream_per_cell)
+    stats = sys.run(max_cycles=2_000_000)
+    assert stats.completed
+    # every cell holds its ring index and is full again
+    for r in range(n_rings):
+        for w in range(width):
+            addr = (r * width + w) * 8
+            assert sys.memory.peek(addr) == r, (r, w)
+            assert sys.memory.is_full(addr)
+
+
+def test_wavefront_parallel_beats_sequential():
+    n_rings, width = 5, 8
+    seq_sys, _ = build_wavefront(n_rings, width, False)
+    par_sys, _ = build_wavefront(n_rings, width, True)
+    t_seq = seq_sys.run(max_cycles=5_000_000).cycles
+    t_par = par_sys.run(max_cycles=5_000_000).cycles
+    # within a ring all cells run concurrently: at least ~3x here
+    assert t_par < t_seq / 3, (t_par, t_seq)
+
+
+def test_wavefront_blocked_streams_cost_no_issue_slots():
+    """Streams waiting on empty cells retry in the memory system, not
+    in the issue pipeline: useful instructions still flow."""
+    sys, _ = build_wavefront(6, 4, True)
+    stats = sys.run(max_cycles=2_000_000)
+    assert stats.completed
+    assert stats.memory_retries > 0  # outer rings really did block

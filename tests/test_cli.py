@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out and "autopar" in out and "fig2" in out
+
+
+def test_run_single_experiment(capsys):
+    code = main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                 "run", "autopar"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Automatic parallelization" in out
+    assert "PASS" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_table_with_small_kernels(capsys):
+    code = main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                 "run", "table2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Alpha" in out and "Tera" in out
+
+
+def test_feedback_command(capsys):
+    assert main(["feedback"]) == 0
+    out = capsys.readouterr().out
+    assert "ThreatAnalysis" in out
+    assert "no practical opportunities" in out
+    assert "Advisories" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

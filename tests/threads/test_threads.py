@@ -1,0 +1,174 @@
+"""Tests for the programming-system layer (Sthreads, pragmas, costs)."""
+
+import pytest
+
+from repro.machines import PPRO_SMP_4
+from repro.threads import (
+    COST_TABLE,
+    SthreadsRuntime,
+    chunked_loop_job,
+    cost_ratio,
+    parallel_region,
+    work_queue_job,
+)
+from repro.threads.costs import render_cost_table
+from repro.workload import Compute, Critical, OpCounts, make_phase
+
+
+# ----------------------------------------------------------------------
+# SthreadsRuntime
+# ----------------------------------------------------------------------
+
+def test_sthread_creation_pays_os_cost():
+    rt = SthreadsRuntime(PPRO_SMP_4)
+
+    def body(rt):
+        yield rt.compute_cycles(0)
+        return rt.now_cycles
+
+    t = rt.create(body)
+    rt.run()
+    assert t.result() == pytest.approx(rt.create_cycles, rel=1e-6)
+    assert rt.create_cycles >= 10_000
+
+
+def test_sthread_join_all():
+    rt = SthreadsRuntime(PPRO_SMP_4)
+    finished = []
+
+    def body(rt, n):
+        yield rt.compute_cycles(n * 1000)
+        finished.append(n)
+        return n
+
+    def main(rt):
+        threads = [rt.create(body, n) for n in (3, 1, 2)]
+        yield rt.join_all(threads)
+        return sorted(t.result() for t in threads)
+
+    m = rt.create(main)
+    rt.run()
+    assert m.result() == [1, 2, 3]
+    assert sorted(finished) == [1, 2, 3]
+
+
+def test_sthread_lock_mutual_exclusion_and_cost():
+    rt = SthreadsRuntime(PPRO_SMP_4)
+    lock = rt.lock()
+    inside = []
+
+    def body(rt, tag):
+        grant = yield from lock.acquire()
+        inside.append(tag)
+        assert len(inside) == 1
+        yield rt.compute_cycles(10_000)
+        inside.remove(tag)
+        lock.release(grant)
+
+    for tag in range(3):
+        rt.create(body, tag)
+    elapsed = rt.run()
+    # serialized critical sections + creation + sync costs
+    assert elapsed >= 3 * 10_000
+    assert lock.total_wait_time > 0
+
+
+def test_sthread_failure_propagates():
+    rt = SthreadsRuntime(PPRO_SMP_4)
+
+    def bad(rt):
+        yield rt.compute_cycles(1)
+        raise ValueError("thread died")
+
+    rt.create(bad)
+    with pytest.raises(ValueError, match="thread died"):
+        rt.run()
+
+
+# ----------------------------------------------------------------------
+# pragma helpers
+# ----------------------------------------------------------------------
+
+def phases_for(n, cycles=100.0):
+    return [[make_phase(f"it{i}", OpCounts(ialu=cycles))] for i in range(n)]
+
+
+def test_parallel_region_one_thread_per_iteration():
+    region = parallel_region(phases_for(5), thread_kind="hw")
+    assert region.n_threads == 5
+    assert region.thread_kind == "hw"
+    assert region.threads[2].items[0].phase.name == "it2"
+
+
+def test_parallel_region_empty_rejected():
+    with pytest.raises(ValueError):
+        parallel_region([])
+
+
+def test_chunked_loop_block_distribution():
+    region = chunked_loop_job(phases_for(10), n_chunks=3)
+    sizes = [len(t.items) for t in region.threads]
+    assert sum(sizes) == 10
+    assert sizes == [3, 3, 4]  # [0,3), [3,6), [6,10) per the formula
+
+
+def test_chunked_loop_formula_matches_program2():
+    """first = (c*n)/k, last = ((c+1)*n)/k - 1 -- every iteration is
+    covered exactly once, for any n, k."""
+    for n in (7, 16, 1000):
+        for k in (1, 3, 8, 16):
+            region = chunked_loop_job(phases_for(n), n_chunks=k)
+            names = [it.phase.name for t in region.threads
+                     for it in t.items]
+            assert sorted(names) == sorted(f"it{i}" for i in range(n))
+
+
+def test_chunked_more_chunks_than_iterations():
+    region = chunked_loop_job(phases_for(3), n_chunks=8)
+    assert region.n_threads == 8
+    total = sum(len(t.items) for t in region.threads)
+    assert total == 3
+
+
+def test_chunked_validation():
+    with pytest.raises(ValueError):
+        chunked_loop_job([], n_chunks=2)
+    with pytest.raises(ValueError):
+        chunked_loop_job(phases_for(3), n_chunks=0)
+
+
+def test_work_queue_job_normalizes_phases_and_items():
+    p = make_phase("w", OpCounts(ialu=10))
+    crit = Critical("L", p)
+    region = work_queue_job([[p], [crit, p]], n_threads=2)
+    assert len(region.items) == 2
+    assert isinstance(region.items[0].items[0], Compute)
+    assert isinstance(region.items[1].items[0], Critical)
+    assert region.n_threads == 2
+
+
+# ----------------------------------------------------------------------
+# cost table
+# ----------------------------------------------------------------------
+
+def test_cost_table_magnitudes_match_section7():
+    conventional = [c for c in COST_TABLE if "Tera" not in c.platform]
+    tera = [c for c in COST_TABLE if "Tera" in c.platform]
+    for c in conventional:
+        assert 10_000 <= c.create_cycles <= 500_000
+        assert 100 <= c.sync_cycles <= 5_000
+    for c in tera:
+        assert c.create_cycles <= 100
+        assert c.sync_cycles == 1
+
+
+def test_cost_ratio_is_orders_of_magnitude():
+    assert cost_ratio("create_cycles") > 1_000
+    assert cost_ratio("sync_cycles") > 100
+
+
+def test_render_cost_table():
+    text = render_cost_table()
+    assert "Tera MTA" in text
+    assert "Pentium Pro" in text
+    assert "create" in text

@@ -1,0 +1,59 @@
+"""Tests for workload description utilities."""
+
+from repro.c3i import threat as TH
+from repro.workload import (
+    Critical,
+    JobBuilder,
+    OpCounts,
+    ThreadProgramBuilder,
+    describe_job,
+    job_summary,
+    make_phase,
+    single_thread_job,
+)
+
+
+def test_describe_serial_job():
+    p = make_phase("scan", OpCounts(ialu=1e6, load=1e5),
+                   unique_bytes=64 * 1024, parallelism=8,
+                   serial_cycles=500.0)
+    text = describe_job(single_thread_job("seq", [p]))
+    assert "job 'seq'" in text
+    assert "serial 'scan'" in text
+    assert "parallelism 8" in text
+    assert "serial cycles" in text
+    assert "64 KB" in text
+
+
+def test_describe_parallel_region_imbalance():
+    threads = [
+        ThreadProgramBuilder(f"t{i}")
+        .compute("w", OpCounts(ialu=1e5 * (i + 1)))
+        .build()
+        for i in range(4)
+    ]
+    job = JobBuilder("par").parallel(threads, thread_kind="hw").build()
+    text = describe_job(job)
+    assert "4 hw-threads" in text
+    assert "imbalance 1.60" in text  # max 4e5 / mean 2.5e5
+
+
+def test_describe_work_queue_counts_criticals():
+    item = (ThreadProgramBuilder("i")
+            .compute("a", OpCounts(ialu=10))
+            .critical("L", "b", OpCounts(store=1, sync=2))
+            .build_work_item())
+    job = JobBuilder("q").work_queue([item, item], n_threads=2).build()
+    text = describe_job(job)
+    assert "2 items" in text
+    assert "2 critical sections" in text
+
+
+def test_job_summary_matches_totals():
+    scs = TH.benchmark_scenarios(scale=0.01)
+    seq = [TH.run_sequential(s) for s in scs]
+    job = TH.chunked_benchmark_job(scs, seq, 16)
+    summary = job_summary(job)
+    assert summary["max_parallel_threads"] == 16
+    assert summary["total_ops"] == job.total_ops.total
+    assert 0 < summary["mem_fraction"] < 1

@@ -1,0 +1,47 @@
+"""Unit tests for the OpCounter instrumentation helper."""
+
+import pytest
+
+from repro.workload import OpCounter, OpCounts
+
+
+def test_tick_applies_recipe():
+    c = OpCounter()
+    recipe = OpCounts(ialu=3, load=1, branch=1)
+    c.tick(recipe, times=10)
+    assert c.ialu == 30 and c.load == 10 and c.branch == 10
+    assert c.to_ops() == OpCounts(ialu=30, load=10, branch=10)
+
+
+def test_add_named_counts():
+    c = OpCounter()
+    c.add(falu=5, store=2)
+    assert c.falu == 5 and c.store == 2
+
+
+def test_add_unknown_class_rejected():
+    c = OpCounter()
+    with pytest.raises(AttributeError):
+        c.add(simd=1)
+
+
+def test_events_tracked_separately():
+    c = OpCounter()
+    c.event("time_steps", 100)
+    c.event("time_steps", 50)
+    c.event("pairs")
+    assert c.events == {"time_steps": 150, "pairs": 1}
+    assert c.to_ops().total == 0  # events are not ops
+
+
+def test_merge():
+    a = OpCounter()
+    a.add(ialu=1)
+    a.event("x", 2)
+    b = OpCounter()
+    b.add(ialu=2, load=3)
+    b.event("x", 1)
+    b.event("y", 5)
+    a.merge(b)
+    assert a.ialu == 3 and a.load == 3
+    assert a.events == {"x": 3, "y": 5}

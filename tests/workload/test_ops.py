@@ -1,0 +1,81 @@
+"""Unit and property tests for OpCounts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload import OpCounts, WORD_BYTES
+
+
+counts = st.floats(min_value=0, max_value=1e12, allow_nan=False)
+
+
+def opcounts_strategy():
+    return st.builds(OpCounts, ialu=counts, falu=counts, load=counts,
+                     store=counts, branch=counts, sync=counts)
+
+
+def test_total_and_mem_ops():
+    oc = OpCounts(ialu=10, falu=5, load=3, store=2, branch=1, sync=4)
+    assert oc.total == 25
+    assert oc.mem_ops == 9
+    assert oc.mem_bytes == 9 * WORD_BYTES
+
+
+def test_mem_fraction():
+    oc = OpCounts(ialu=6, load=3, store=1)
+    assert oc.mem_fraction == pytest.approx(0.4)
+    assert OpCounts().mem_fraction == 0.0
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ValueError):
+        OpCounts(ialu=-1)
+
+
+def test_addition():
+    a = OpCounts(ialu=1, load=2)
+    b = OpCounts(ialu=3, store=4)
+    c = a + b
+    assert c.ialu == 4 and c.load == 2 and c.store == 4
+
+
+def test_scaling():
+    oc = OpCounts(ialu=2, falu=4) * 2.5
+    assert oc.ialu == 5 and oc.falu == 10
+    assert (3 * OpCounts(load=1)).load == 3
+
+
+def test_negative_scale_rejected():
+    with pytest.raises(ValueError):
+        OpCounts(ialu=1) * -1
+
+
+def test_replace():
+    oc = OpCounts(ialu=1, load=2).replace(load=9)
+    assert oc.load == 9 and oc.ialu == 1
+
+
+def test_dict_round_trip():
+    oc = OpCounts(ialu=1, falu=2, load=3, store=4, branch=5, sync=6)
+    assert OpCounts.from_dict(oc.as_dict()) == oc
+
+
+def test_weighted_cycles():
+    oc = OpCounts(ialu=10, falu=4)
+    assert oc.weighted_cycles({"ialu": 1.0, "falu": 2.0}) == 18.0
+
+
+@given(opcounts_strategy(), opcounts_strategy())
+def test_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(opcounts_strategy(), st.floats(min_value=0, max_value=1e6,
+                                      allow_nan=False))
+def test_scaling_preserves_total(oc, k):
+    assert (oc * k).total == pytest.approx(oc.total * k, rel=1e-9)
+
+
+@given(opcounts_strategy())
+def test_mem_fraction_bounded(oc):
+    assert 0.0 <= oc.mem_fraction <= 1.0

@@ -1,0 +1,140 @@
+"""Unit tests for Phase, MemoryProfile, ThreadProgram, Job."""
+
+import pytest
+
+from repro.workload import (
+    AccessPattern,
+    Compute,
+    Critical,
+    Job,
+    JobBuilder,
+    MemoryProfile,
+    OpCounts,
+    ParallelRegion,
+    Phase,
+    SerialStep,
+    ThreadProgram,
+    ThreadProgramBuilder,
+    WorkItem,
+    WorkQueueRegion,
+    make_phase,
+    single_thread_job,
+)
+
+
+# ----------------------------------------------------------------------
+# Phase / MemoryProfile
+# ----------------------------------------------------------------------
+
+def test_memory_profile_validation():
+    with pytest.raises(ValueError):
+        MemoryProfile(unique_bytes=-1)
+    with pytest.raises(ValueError):
+        MemoryProfile(shared_fraction=1.5)
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        make_phase("p", OpCounts(), parallelism=0.5)
+    with pytest.raises(ValueError):
+        make_phase("p", OpCounts(), serial_cycles=-1)
+
+
+def test_phase_scaled():
+    p = make_phase("p", OpCounts(ialu=100, load=50), unique_bytes=1024,
+                   serial_cycles=10)
+    q = p.scaled(2.0)
+    assert q.ops.ialu == 200 and q.ops.load == 100
+    assert q.serial_cycles == 20
+    assert q.memory.unique_bytes == 1024  # footprint unchanged
+
+
+def test_phase_split_conserves_ops():
+    p = make_phase("p", OpCounts(ialu=100, load=40), parallelism=8)
+    parts = p.split(4)
+    assert len(parts) == 4
+    total = sum((q.ops for q in parts), OpCounts())
+    assert total.ialu == pytest.approx(100)
+    assert total.load == pytest.approx(40)
+    assert all(q.parallelism == 2 for q in parts)
+
+
+def test_phase_split_invalid():
+    p = make_phase("p", OpCounts(ialu=1))
+    with pytest.raises(ValueError):
+        p.split(0)
+
+
+# ----------------------------------------------------------------------
+# ThreadProgram / regions / Job
+# ----------------------------------------------------------------------
+
+def test_thread_program_totals():
+    tp = (ThreadProgramBuilder("t")
+          .compute("a", OpCounts(ialu=10))
+          .critical("lock", "b", OpCounts(store=5, sync=2))
+          .build())
+    assert tp.total_ops.ialu == 10
+    assert tp.total_ops.store == 5
+    assert len(tp.phases) == 2
+    assert isinstance(tp.items[0], Compute)
+    assert isinstance(tp.items[1], Critical)
+    assert tp.items[1].lock == "lock"
+
+
+def test_thread_program_rejects_bad_items():
+    with pytest.raises(TypeError):
+        ThreadProgram("t", ("not an item",))
+
+
+def test_parallel_region_validation():
+    tp = ThreadProgram("t", ())
+    with pytest.raises(ValueError):
+        ParallelRegion(())
+    with pytest.raises(ValueError):
+        ParallelRegion((tp,), thread_kind="fiber")
+    assert ParallelRegion((tp, tp)).n_threads == 2
+
+
+def test_work_queue_region_validation():
+    wi = WorkItem("w", ())
+    with pytest.raises(ValueError):
+        WorkQueueRegion((wi,), n_threads=0)
+    with pytest.raises(ValueError):
+        WorkQueueRegion((wi,), n_threads=1, thread_kind="magic")
+
+
+def test_job_total_ops_across_step_kinds():
+    serial = make_phase("s", OpCounts(ialu=100))
+    tp = (ThreadProgramBuilder("t")
+          .compute("c", OpCounts(ialu=10)).build())
+    wi = (ThreadProgramBuilder("w")
+          .compute("c", OpCounts(falu=7)).build_work_item())
+    job = (JobBuilder("job")
+           .serial_phase(serial)
+           .parallel([tp, tp])
+           .work_queue([wi, wi, wi], n_threads=2)
+           .build())
+    total = job.total_ops
+    assert total.ialu == 100 + 2 * 10
+    assert total.falu == 3 * 7
+    assert job.max_parallel_threads == 2
+
+
+def test_job_rejects_bad_steps():
+    with pytest.raises(TypeError):
+        Job("j", ("nope",))
+
+
+def test_single_thread_job():
+    phases = [make_phase("a", OpCounts(ialu=1)),
+              make_phase("b", OpCounts(falu=2))]
+    job = single_thread_job("seq", phases)
+    assert all(isinstance(s, SerialStep) for s in job.steps)
+    assert job.max_parallel_threads == 1
+    assert job.total_ops.total == 3
+
+
+def test_access_pattern_enum_members():
+    assert {p.value for p in AccessPattern} == {
+        "sequential", "strided", "random"}
