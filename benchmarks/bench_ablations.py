@@ -10,6 +10,10 @@ result moves the way the paper's analysis predicts.
 * cache size behind the SMPs' near-ideal Threat Analysis scaling.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # cycle-accurate / full-sweep benches
+
 from _support import run_and_report
 
 

@@ -2,6 +2,10 @@
 one instruction per 21 cycles per stream, ~80 streams to saturate a
 processor on load-use code, and the thread-cost table."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # cycle-accurate / full-sweep benches
+
 from _support import run_and_report
 
 from repro.threads.costs import render_cost_table

@@ -2,6 +2,10 @@
 configurations with 1-16 processors, on the prototype network and on a
 mature (linearly scaling) one."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # cycle-accurate / full-sweep benches
+
 from _support import run_and_report
 
 

@@ -2,6 +2,10 @@
 problems, validated against its reference output (the suite ships a
 correctness test per problem; this is ours)."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # cycle-accurate / full-sweep benches
+
 
 def bench_suite_threat_analysis(benchmark, data):
     from repro.c3i.suite import run_problem

@@ -1,6 +1,10 @@
 """Table 4 / Figure 2: multithreaded Threat Analysis on the 16-CPU
 Exemplar (scales to 15.4x in the paper)."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # cycle-accurate / full-sweep benches
+
 from _support import run_and_report
 
 from repro.harness import render_speedup_figure

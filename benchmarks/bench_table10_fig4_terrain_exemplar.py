@@ -1,6 +1,10 @@
 """Table 10 / Figure 4: coarse-grained Terrain Masking on the 16-CPU
 Exemplar -- memory contention saturates the speedup near 6-7x."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # cycle-accurate / full-sweep benches
+
 from _support import run_and_report
 
 from repro.harness import render_speedup_figure

@@ -1,18 +1,27 @@
 """Shared fixtures for the table/figure benchmarks.
 
 The benchmark kernels (real Threat Analysis / Terrain Masking runs)
-execute once per session; each bench then measures the *simulation* of
-its table and prints the reproduced table next to the paper's values.
-Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+execute once per session: every bench file draws from the same
+session-scoped ``data`` fixture, which aliases the process-wide
+``default_data`` cache so nothing downstream re-triggers kernel runs.
+Simulated seconds additionally persist in the on-disk result cache
+(``.repro_cache/``; set ``REPRO_NO_CACHE=1`` to measure true cold
+runs).
+
+The cycle-accurate and full-sweep benches are marked ``slow``; run
+``pytest benchmarks/ -m "not slow" --benchmark-only`` for a quick
+smoke tier, or drop the marker filter for the full suite.  Use ``-s``
+to see the reproduced tables next to the paper's values.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.harness import BenchmarkData
+from repro.harness import BenchmarkData, default_data
 
 
 @pytest.fixture(scope="session")
 def data() -> BenchmarkData:
-    return BenchmarkData(threat_scale=0.02, terrain_scale=0.05)
+    # no-arg call: shares the lru_cache entry used by run_experiment()
+    return default_data()

@@ -6,13 +6,22 @@ Usage::
     python -m repro run table5                # one table/figure
     python -m repro run table5 fig3 autopar   # several
     python -m repro all                       # everything
+    python -m repro all -j 4 --profile        # in parallel, with timings
     python -m repro report                    # EXPERIMENTS.md to stdout
     python -m repro feedback                  # compiler feedback, Programs 1-4
+    python -m repro cache info                # persistent result cache
+    python -m repro cache clear
 
 Options::
 
     --threat-scale 0.02    kernel scale for Threat Analysis (default 0.02)
     --terrain-scale 0.05   kernel scale for Terrain Masking (default 0.05)
+    --jobs/-j N            worker processes for all/report (default: CPUs)
+    --profile              per-experiment wall time + cache hits/misses
+
+Simulation results persist in ``.repro_cache/`` (override with
+``REPRO_CACHE_DIR``; disable with ``REPRO_NO_CACHE=1``), so repeated
+invocations skip already-simulated runs.
 """
 
 from __future__ import annotations
@@ -44,10 +53,20 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("ids", nargs="+", metavar="ID")
     run_p.add_argument("--json", metavar="PATH", default=None,
                        help="also write the results as JSON")
-    sub.add_parser("all", help="run every experiment")
-    sub.add_parser("report", help="print EXPERIMENTS.md content")
+    all_p = sub.add_parser("all", help="run every experiment")
+    report_p = sub.add_parser("report", help="print EXPERIMENTS.md content")
+    for p in (all_p, report_p):
+        p.add_argument("--jobs", "-j", type=int, default=None,
+                       metavar="N",
+                       help="worker processes (default: CPU count)")
+        p.add_argument("--profile", action="store_true",
+                       help="print per-experiment wall time and cache "
+                            "hit/miss counts")
     sub.add_parser("feedback",
                    help="compiler feedback for Programs 1-4")
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache")
+    cache_p.add_argument("action", choices=("info", "clear"))
     return parser
 
 
@@ -78,22 +97,55 @@ def _cmd_run(ids: list[str], data: BenchmarkData,
     return status
 
 
-def _cmd_all(data: BenchmarkData) -> int:
-    from repro.harness import run_all_experiments
+def _cmd_all(data: BenchmarkData, jobs: int | None,
+             profile: bool) -> int:
+    from repro.harness.parallel import render_profile, run_experiments
 
+    results, profiles = run_experiments(
+        threat_scale=data.threat_scale, terrain_scale=data.terrain_scale,
+        jobs=jobs, data=data)
     status = 0
-    for result in run_all_experiments(data).values():
+    for result in results.values():
         print(result.render())
         print()
         if not result.all_checks_pass():
             status = 1
+    if profile:
+        print(render_profile(profiles))
     return status
 
 
-def _cmd_report(threat_scale: float, terrain_scale: float) -> int:
+def _cmd_report(threat_scale: float, terrain_scale: float,
+                jobs: int | None, profile: bool) -> int:
+    import time
+
     from repro.harness.report import generate
 
-    sys.stdout.write(generate(threat_scale, terrain_scale))
+    t0 = time.perf_counter()
+    sys.stdout.write(generate(threat_scale, terrain_scale, jobs=jobs))
+    if profile:
+        print(f"report generated in {time.perf_counter() - t0:.2f}s "
+              f"({jobs or 'auto'} jobs)", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(action: str) -> int:
+    from repro.harness import store
+
+    cache = store.ResultCache(store.cache_directory())
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results "
+              f"from {cache.info()['directory']}")
+        return 0
+    info = cache.info()
+    enabled = "yes" if store.cache_enabled() else "no (REPRO_NO_CACHE)"
+    print(f"directory: {info['directory']}")
+    print(f"enabled:   {enabled}")
+    print(f"entries:   {info['entries']}")
+    print(f"size:      {info['bytes'] / 1024:.1f} KiB")
+    print(f"epoch:     {info['epoch']}  (model source + version hash; "
+          f"entries from other epochs are ignored)")
     return 0
 
 
@@ -124,14 +176,17 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "feedback":
         return _cmd_feedback()
+    if args.command == "cache":
+        return _cmd_cache(args.action)
     if args.command == "report":
-        return _cmd_report(args.threat_scale, args.terrain_scale)
+        return _cmd_report(args.threat_scale, args.terrain_scale,
+                           args.jobs, args.profile)
     data = BenchmarkData(threat_scale=args.threat_scale,
                          terrain_scale=args.terrain_scale)
     if args.command == "run":
         return _cmd_run(args.ids, data, args.json)
     if args.command == "all":
-        return _cmd_all(data)
+        return _cmd_all(data, args.jobs, args.profile)
     return 2  # pragma: no cover
 
 

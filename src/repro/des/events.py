@@ -8,6 +8,7 @@ exception (failure).
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.des.errors import DesError
@@ -74,17 +75,21 @@ class Event:
     # ------------------------------------------------------------------
     def succeed(self, value: object = None, priority: int = 1) -> "Event":
         """Decide the event's outcome as success and enqueue it."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise DesError(f"{self!r} already triggered")
         self._value = value
-        self.sim._enqueue(self, priority)
+        # sim._enqueue inlined: succeed() fires once per job/process
+        # completion and sits on the simulation's hottest path.
+        sim = self.sim
+        _heappush(sim._heap, (sim.now, priority, sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exc: BaseException, priority: int = 1) -> "Event":
         """Decide the event's outcome as failure and enqueue it."""
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() needs an exception, got {exc!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise DesError(f"{self!r} already triggered")
         self._value = None
         self._exc = exc
@@ -103,6 +108,24 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+def _internal_event(sim: "Simulator",
+                    callback: Callable[[Event], None]) -> Event:
+    """A pre-wired event for kernel-internal scheduling (server wakeups,
+    deferred flushes, process bootstraps).
+
+    Bypasses :meth:`Event.__init__` and the callbacks-list append: these
+    events are created once per scheduling decision on the simulation's
+    hottest path, and never escape to user code.
+    """
+    ev = Event.__new__(Event)
+    ev.sim = sim
+    ev.callbacks = [callback]
+    ev._value = None          # trigger directly; not via succeed()
+    ev._exc = None
+    ev._defused = False
+    return ev
+
+
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
@@ -114,7 +137,9 @@ class Timeout(Event):
         super().__init__(sim)
         self.delay = delay
         self._value = value
-        sim._enqueue(self, priority=1, delay=delay)
+        # sim._enqueue inlined (delay already validated >= 0)
+        _heappush(sim._heap, (sim.now + delay, 1, sim._seq, self))
+        sim._seq += 1
 
 
 class _Condition(Event):
@@ -133,20 +158,21 @@ class _Condition(Event):
             self.succeed(self._collect())
             return
         for ev in self.events:
-            if ev.processed:
+            if ev.callbacks is None:  # already processed
                 self._check(ev)
             else:
                 ev.callbacks.append(self._check)
 
     def _collect(self) -> dict[Event, object]:
-        return {ev: ev._value for ev in self.events if ev.triggered and ev.ok}
+        return {ev: ev._value for ev in self.events
+                if ev._value is not _PENDING and ev._exc is None}
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:  # already triggered
             return
         self._n_fired += 1
-        if not event.ok:
-            event._mark_defused()
+        if event._exc is not None:
+            event._defused = True
             self.fail(event._exc)
         elif self._satisfied():
             self.succeed(self._collect())

@@ -20,10 +20,11 @@ value, when the generator finishes.  This makes fork/join trivial::
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.des.errors import DesError, Interrupt
-from repro.des.events import Event
+from repro.des.events import Event, _internal_event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.simulator import Simulator
@@ -46,10 +47,11 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         # Bootstrap: resume the generator at time now, as soon as the
-        # event loop gets control.
-        init = Event(sim)
-        init.callbacks.append(self._resume)
-        init.succeed(None, priority=0)
+        # event loop gets control.  (sim._enqueue inlined: one process
+        # is created per simulated thread.)
+        _heappush(sim._heap,
+                  (sim.now, 0, sim._seq, _internal_event(sim, self._resume)))
+        sim._seq += 1
 
     @property
     def is_alive(self) -> bool:
@@ -120,12 +122,12 @@ class Process(Event):
             return
 
         self._waiting_on = target
-        if target.processed:
+        if target.callbacks is None:  # already processed
             # Already fired: resume immediately (via a priority-0 event so
             # ordering relative to other immediate work stays FIFO).
-            kick = Event(self.sim)
-            kick.callbacks.append(lambda _ev: self._resume(target))
-            kick.succeed(None, priority=0)
+            kick = _internal_event(self.sim,
+                                   lambda _ev: self._resume(target))
+            self.sim._enqueue(kick, priority=0)
         else:
             target.callbacks.append(self._resume)
 

@@ -17,16 +17,19 @@ Two contention models cover everything the machine simulators need:
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Optional
 
 from repro.des.errors import DesError
-from repro.des.events import Event
+from repro.des.events import Event, _internal_event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.simulator import Simulator
 
 # Relative tolerance when deciding that a job's remaining work is zero.
 _EPS = 1e-9
+
+_INF = float("inf")
 
 
 class Request(Event):
@@ -55,6 +58,9 @@ class Request(Event):
 
 class Resource:
     """A k-server resource with a FIFO wait queue."""
+
+    __slots__ = ("sim", "capacity", "name", "_users", "_queue",
+                 "total_waits", "total_wait_time", "_wait_started")
 
     def __init__(self, sim: "Simulator", capacity: int = 1,
                  name: str = "resource"):
@@ -107,14 +113,15 @@ class Resource:
 
 
 class _Job:
-    __slots__ = ("remaining", "done", "enter_time", "cap", "rate")
+    __slots__ = ("remaining", "done", "enter_time", "cap", "ecap", "rate")
 
     def __init__(self, remaining: float, done: Event, enter_time: float,
-                 cap: Optional[float]):
+                 cap: Optional[float], ecap: float):
         self.remaining = remaining
         self.done = done
         self.enter_time = enter_time
         self.cap = cap       # per-job rate limit (None -> server default)
+        self.ecap = ecap     # effective cap as a float (inf if uncapped)
         self.rate = 0.0      # current allocation, set by _allocate()
 
 
@@ -139,6 +146,11 @@ class FairShareServer:
     with ``cap = p * stream_rate``.
     """
 
+    __slots__ = ("sim", "capacity", "per_customer_cap", "name", "_jobs",
+                 "_last_update", "_wakeup", "_wakeup_valid",
+                 "_flush_pending", "_flush_callbacks", "total_served",
+                 "busy_time")
+
     def __init__(self, sim: "Simulator", capacity: float,
                  per_customer_cap: Optional[float] = None,
                  name: str = "fairshare"):
@@ -156,6 +168,10 @@ class FairShareServer:
         self._wakeup: Optional[Event] = None
         self._wakeup_valid = False
         self._flush_pending = False
+        # One shared callback list for every flush event: step() swaps
+        # the list out of the event without mutating it, so it is safe
+        # to hand the same list to each one-shot flush.
+        self._flush_callbacks = [self._flush]
         # statistics: integral of served work and of busy time
         self.total_served = 0.0
         self.busy_time = 0.0
@@ -194,8 +210,16 @@ class FairShareServer:
         if demand == 0:
             done.succeed(None)
             return done
-        self._advance()
-        self._jobs.append(_Job(float(demand), done, self.sim.now, cap))
+        if self.sim.now != self._last_update:
+            self._advance()
+        if cap is not None:
+            ecap = cap
+        elif self.per_customer_cap is not None:
+            ecap = self.per_customer_cap
+        else:
+            ecap = _INF
+        self._jobs.append(_Job(float(demand), done, self.sim.now, cap,
+                               ecap))
         self._request_reschedule()
         return done
 
@@ -207,70 +231,103 @@ class FairShareServer:
         if self._flush_pending:
             return
         self._flush_pending = True
-        flush = Event(self.sim)
-        flush.callbacks.append(self._flush)
-        # priority 2: after every same-time completion and submission
-        self.sim._enqueue(flush, priority=2, delay=0.0)
-        flush._value = None
+        flush = Event.__new__(Event)
+        sim = self.sim
+        flush.sim = sim
+        flush.callbacks = self._flush_callbacks
+        flush._value = None  # trigger directly; not via succeed()
+        flush._exc = None
+        flush._defused = False
+        # priority 2: after every same-time completion and submission.
+        # sim._enqueue inlined (hot path, zero delay).
+        _heappush(sim._heap, (sim.now, 2, sim._seq, flush))
+        sim._seq += 1
 
     def _flush(self, _event: Event) -> None:
         self._flush_pending = False
-        self._advance()  # usually dt == 0 here
+        if self.sim.now != self._last_update:  # usually dt == 0 here
+            self._advance()
         self._reschedule()
 
     # ------------------------------------------------------------------
-    def _allocate(self) -> None:
+    def _allocate(self) -> float:
         """Water-filling rate allocation across the active jobs.
 
         Jobs are filled in ascending cap order; each takes the smaller
         of its cap and an equal share of what remains, and whatever a
         capped job leaves on the table is redistributed to the rest.
+
+        Returns the delay until the earliest job completion at the new
+        rates (``inf`` if no job has a positive rate), computed in the
+        same pass: ``min(remaining / rate)`` equals the per-job formula
+        exactly because IEEE division by a positive rate is monotone.
         """
         jobs = self._jobs
         if not jobs:
-            return
-        default = self.per_customer_cap
-        inf = float("inf")
+            return _INF
 
         # Fast path: all jobs share one cap (the overwhelmingly common
         # case -- symmetric thread regions).  Equal caps make
         # water-filling collapse to min(cap, capacity / n).
-        first_cap = jobs[0].cap if jobs[0].cap is not None else default
+        first_cap = jobs[0].ecap
         uniform = True
         for job in jobs:
-            cap = job.cap if job.cap is not None else default
-            if cap != first_cap:
+            if job.ecap != first_cap:
                 uniform = False
                 break
         if uniform:
             share = self.capacity / len(jobs)
-            rate = share if first_cap is None else min(first_cap, share)
+            rate = first_cap if first_cap <= share else share
+            min_remaining = _INF
             for job in jobs:
                 job.rate = rate
-            return
+                if job.remaining < min_remaining:
+                    min_remaining = job.remaining
+            return min_remaining / rate if rate > 0 else _INF
 
-        ordered = sorted(
-            jobs, key=lambda j: j.cap if j.cap is not None
-            else (default if default is not None else inf))
+        # Group jobs by cap: the fill order of a stable sort on cap is
+        # "distinct caps ascending, insertion order within each", and
+        # there are typically only a handful of distinct caps, so
+        # grouping beats sorting all the jobs.  The per-job arithmetic
+        # (share = left / n_left, then the capped min) is kept exactly
+        # as in the one-pass formulation so allocations stay
+        # bit-identical.
+        groups: dict[float, list[_Job]] = {}
+        for job in jobs:
+            ecap = job.ecap
+            grp = groups.get(ecap)
+            if grp is None:
+                groups[ecap] = [job]
+            else:
+                grp.append(job)
         left = self.capacity
-        n_left = len(ordered)
-        for job in ordered:
-            cap = job.cap if job.cap is not None else default
-            share = left / n_left
-            rate = share if cap is None else min(cap, share)
-            job.rate = rate
-            left -= rate
-            n_left -= 1
+        n_left = len(jobs)
+        delay = _INF
+        for ecap in sorted(groups):
+            for job in groups[ecap]:
+                share = left / n_left
+                rate = ecap if ecap <= share else share
+                job.rate = rate
+                left -= rate
+                n_left -= 1
+                if rate > 0:
+                    d = job.remaining / rate
+                    if d < delay:
+                        delay = d
+        return delay
 
     def _advance(self) -> None:
         """Credit service performed since the last state change."""
         now = self.sim.now
+        if now == self._last_update:  # same-timestamp burst: nothing served
+            return
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._jobs:
+        jobs = self._jobs
+        if dt <= 0 or not jobs:
             return
         served_total = 0.0
-        for job in self._jobs:
+        for job in jobs:
             served = job.rate * dt
             job.remaining -= served
             served_total += served
@@ -282,28 +339,54 @@ class FairShareServer:
         self._wakeup_valid = False  # invalidate any outstanding wakeup
         if not self._jobs:
             return
-        self._allocate()
-        delay = min(job.remaining / job.rate for job in self._jobs
-                    if job.rate > 0)
-        delay = max(0.0, delay)
-        wakeup = Event(self.sim)
+        delay = self._allocate()
+        if delay < 0.0:
+            delay = 0.0
+        sim = self.sim
+        wakeup = _internal_event(sim, self._on_wakeup)
         self._wakeup = wakeup
         self._wakeup_valid = True
-        wakeup.callbacks.append(self._on_wakeup)
-        self.sim._enqueue(wakeup, priority=1, delay=delay)
-        wakeup._value = None  # trigger directly; not via succeed()
+        # sim._enqueue inlined (hot path, delay already clamped >= 0)
+        _heappush(sim._heap, (sim.now + delay, 1, sim._seq, wakeup))
+        sim._seq += 1
 
     def _on_wakeup(self, event: Event) -> None:
         if event is not self._wakeup or not self._wakeup_valid:
             return  # stale wakeup superseded by a later arrival
-        self._advance()
+        # Inlined _advance() fused with the min-remaining scan: one pass
+        # over the jobs instead of two.  The arithmetic and accumulation
+        # order match _advance() exactly.
+        jobs = self._jobs
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        min_remaining = _INF
+        if dt > 0 and jobs:
+            served_total = 0.0
+            for job in jobs:
+                served = job.rate * dt
+                remaining = job.remaining - served
+                job.remaining = remaining
+                served_total += served
+                if remaining < min_remaining:
+                    min_remaining = remaining
+            self.total_served += served_total
+            self.busy_time += dt
+        else:
+            for job in jobs:
+                if job.remaining < min_remaining:
+                    min_remaining = job.remaining
         # A job is done when its remaining work is zero up to float
         # noise (relative to what has been served so far).
-        min_remaining = min(j.remaining for j in self._jobs)
-        threshold = max(_EPS, min_remaining * (1.0 + _EPS))
+        threshold = min_remaining * (1.0 + _EPS)
+        if threshold < _EPS:
+            threshold = _EPS
         keep, finished = [], []
-        for j in self._jobs:
-            (finished if j.remaining <= threshold else keep).append(j)
+        for j in jobs:
+            if j.remaining <= threshold:
+                finished.append(j)
+            else:
+                keep.append(j)
         self._jobs = keep
         for job in finished:
             job.remaining = 0.0

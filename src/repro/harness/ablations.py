@@ -30,9 +30,9 @@ import dataclasses
 
 from repro.harness.experiment import ExperimentResult, Row, ShapeCheck
 from repro.harness.runner import BenchmarkData
-from repro.machines import ConventionalMachine, exemplar
+from repro.machines import exemplar
 from repro.machines.spec import CacheSpec
-from repro.mta import MtaMachine, mta
+from repro.mta import mta
 
 
 def _check(desc: str, passed: bool, detail: str = "") -> ShapeCheck:
@@ -58,10 +58,10 @@ def scaling(data: BenchmarkData) -> ExperimentResult:
     mature = {"threat": {}, "terrain": {}}
     for p in (1, 2, 4, 8, 16):
         m_spec = dataclasses.replace(mta(p), network_scaling_exponent=1.0)
-        proto["threat"][p] = MtaMachine(mta(p)).run(threat_job).seconds
-        proto["terrain"][p] = MtaMachine(mta(p)).run(terrain_job).seconds
-        mature["threat"][p] = MtaMachine(m_spec).run(threat_job).seconds
-        mature["terrain"][p] = MtaMachine(m_spec).run(terrain_job).seconds
+        proto["threat"][p] = data.run_mta_spec(mta(p), threat_job)
+        proto["terrain"][p] = data.run_mta_spec(mta(p), terrain_job)
+        mature["threat"][p] = data.run_mta_spec(m_spec, threat_job)
+        mature["terrain"][p] = data.run_mta_spec(m_spec, terrain_job)
         rows.append(Row(f"Threat, {p}p (prototype net)", None,
                         proto["threat"][p]))
         rows.append(Row(f"Threat, {p}p (mature net)", None,
@@ -116,10 +116,9 @@ def finegrained_smp(data: BenchmarkData) -> ExperimentResult:
     """
     job = data.terrain_finegrained_job()
     mta_1p = data.run_mta(1, job)
-    ex16 = ConventionalMachine(exemplar(16)).run(job).seconds
-    ex16_fg = ConventionalMachine(exemplar(16),
-                                  exploit_fine_grained=True
-                                  ).run(job).seconds
+    ex16 = data.run_conventional(exemplar(16), job)
+    ex16_fg = data.run_conventional(exemplar(16), job,
+                                    exploit_fine_grained=True)
     coarse_ex16 = data.exemplar(16, data.terrain_blocked_job(16))
     rows = (
         Row("MTA 1p, fine-grained", 48.0, mta_1p),
@@ -158,10 +157,10 @@ def network(data: BenchmarkData) -> ExperimentResult:
     for expo in (0.40, 0.54, 0.80, 1.00):
         spec1 = dataclasses.replace(mta(1), network_scaling_exponent=expo)
         spec2 = dataclasses.replace(mta(2), network_scaling_exponent=expo)
-        st = (MtaMachine(spec1).run(threat_job).seconds
-              / MtaMachine(spec2).run(threat_job).seconds)
-        sm = (MtaMachine(spec1).run(terrain_job).seconds
-              / MtaMachine(spec2).run(terrain_job).seconds)
+        st = (data.run_mta_spec(spec1, threat_job)
+              / data.run_mta_spec(spec2, threat_job))
+        sm = (data.run_mta_spec(spec1, terrain_job)
+              / data.run_mta_spec(spec2, terrain_job))
         speedups[expo] = (st, sm)
         rows.append(Row(f"Threat 2p speedup, exponent {expo:.2f}",
                         1.78 if expo == 0.54 else None, st, unit="x"))
@@ -216,7 +215,7 @@ def threat_alternative(data: BenchmarkData) -> ExperimentResult:
     mta_fg1 = data.run_mta(1, fg_job)
     mta_fg2 = data.run_mta(2, fg_job)
     mta_ch1 = data.run_mta(1, ch_job)
-    ex_fg = ConventionalMachine(exemplar(16)).run(fg_job).seconds
+    ex_fg = data.run_conventional(exemplar(16), fg_job)
     ex_ch = data.exemplar(16, data.threat_chunked_job(16))
     mta_overhead = mta_fg1 / mta_ch1 - 1.0
     ex_overhead = ex_fg / ex_ch - 1.0
@@ -276,7 +275,7 @@ def issue_interval(data: BenchmarkData) -> ExperimentResult:
             base, issue_interval_cycles=interval,
             lookahead=max(0, int(round(coverage / interval))),
             mem_latency_cycles=latency)
-        return MtaMachine(spec).run(job).seconds
+        return data.run_mta_spec(spec, job)
 
     t_real = time_for(21.0, base.mem_latency_cycles)
     t_fast_issue = time_for(1.0, base.mem_latency_cycles)
@@ -447,8 +446,8 @@ def cache_size(data: BenchmarkData) -> ExperimentResult:
                           assoc=4)
         s1 = dataclasses.replace(exemplar(1), cache=cache)
         s16 = dataclasses.replace(exemplar(16), cache=cache)
-        t1 = ConventionalMachine(s1).run(job1).seconds
-        t16 = ConventionalMachine(s16).run(job16).seconds
+        t1 = data.run_conventional(s1, job1)
+        t16 = data.run_conventional(s16, job16)
         speedups[kb] = t1 / t16
         rows.append(Row(f"Exemplar 16p speedup, {kb} KB cache", None,
                         t1 / t16, unit="x"))

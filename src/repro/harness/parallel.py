@@ -1,0 +1,128 @@
+"""Parallel experiment execution.
+
+The registry's experiments are independent of each other (they share
+only the read-only :class:`BenchmarkData` kernels and the persistent
+result cache), so ``python -m repro all`` / ``report`` can fan them out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker
+process builds its own ``BenchmarkData`` (the kernels are cheap; the
+simulations are not) and shares simulation results with every other
+worker through the on-disk cache, so even a cold parallel run does not
+duplicate the expensive work that experiments have in common.
+
+``run_experiments`` also collects a per-experiment profile (wall time
+and cache hit/miss counts) for the CLI's ``--profile`` flag.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.harness import store
+from repro.harness.experiment import ExperimentResult
+from repro.harness.registry import EXPERIMENT_IDS, run_experiment
+from repro.harness.runner import BenchmarkData, default_data
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Cost accounting for one experiment run."""
+
+    experiment_id: str
+    wall_seconds: float
+    cache_hits: int
+    cache_misses: int
+
+
+def _cache_counters() -> tuple[int, int]:
+    cache = store.active_cache()
+    if cache is None:
+        return (0, 0)
+    return (cache.hits, cache.misses)
+
+
+def _run_one(experiment_id: str, threat_scale: float,
+             terrain_scale: float) -> tuple[ExperimentResult,
+                                            ExperimentProfile]:
+    """Worker body: run one experiment and account for it.
+
+    Top-level (picklable) for ProcessPoolExecutor.  ``default_data`` is
+    lru-cached per process, so a worker reuses its kernels across every
+    experiment it is handed.  Tasks run sequentially within a worker,
+    so counter deltas around the run are that experiment's hits/misses.
+    """
+    h0, m0 = _cache_counters()
+    t0 = time.perf_counter()
+    result = run_experiment(
+        experiment_id, default_data(threat_scale, terrain_scale))
+    wall = time.perf_counter() - t0
+    h1, m1 = _cache_counters()
+    return result, ExperimentProfile(
+        experiment_id=experiment_id, wall_seconds=wall,
+        cache_hits=h1 - h0, cache_misses=m1 - m0)
+
+
+def run_experiments(
+    experiment_ids: Optional[Iterable[str]] = None,
+    *,
+    threat_scale: float,
+    terrain_scale: float,
+    jobs: Optional[int] = None,
+    data: Optional[BenchmarkData] = None,
+) -> tuple[dict[str, ExperimentResult], list[ExperimentProfile]]:
+    """Run experiments, in parallel when ``jobs > 1``.
+
+    Results come back keyed by id in the requested order regardless of
+    completion order.  ``jobs=None`` uses the CPU count; ``jobs=1``
+    runs serially in-process (sharing ``data`` when given, so tests and
+    the single-core path pay no pickling or re-kerneling cost).
+    """
+    ids: Sequence[str] = tuple(experiment_ids or EXPERIMENT_IDS)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(ids)))
+
+    if jobs == 1:
+        if data is None:
+            data = default_data(threat_scale, terrain_scale)
+        results: dict[str, ExperimentResult] = {}
+        profiles: list[ExperimentProfile] = []
+        for eid in ids:
+            h0, m0 = _cache_counters()
+            t0 = time.perf_counter()
+            results[eid] = run_experiment(eid, data)
+            wall = time.perf_counter() - t0
+            h1, m1 = _cache_counters()
+            profiles.append(ExperimentProfile(
+                experiment_id=eid, wall_seconds=wall,
+                cache_hits=h1 - h0, cache_misses=m1 - m0))
+        return results, profiles
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {eid: pool.submit(_run_one, eid, threat_scale,
+                                    terrain_scale)
+                   for eid in ids}
+        pairs = {eid: fut.result() for eid, fut in futures.items()}
+    return ({eid: pairs[eid][0] for eid in ids},
+            [pairs[eid][1] for eid in ids])
+
+
+def render_profile(profiles: list[ExperimentProfile]) -> str:
+    """The ``--profile`` table (per-experiment wall + cache traffic)."""
+    lines = [
+        f"{'experiment':<26} {'wall (s)':>9} {'cache hits':>11} "
+        f"{'misses':>7}",
+        "-" * 56,
+    ]
+    for p in profiles:
+        lines.append(f"{p.experiment_id:<26} {p.wall_seconds:>9.2f} "
+                     f"{p.cache_hits:>11d} {p.cache_misses:>7d}")
+    lines.append("-" * 56)
+    lines.append(
+        f"{'total':<26} {sum(p.wall_seconds for p in profiles):>9.2f} "
+        f"{sum(p.cache_hits for p in profiles):>11d} "
+        f"{sum(p.cache_misses for p in profiles):>7d}")
+    return "\n".join(lines)

@@ -13,14 +13,17 @@ scales for higher-fidelity structural statistics at more kernel time.
 
 from __future__ import annotations
 
+import dataclasses
 from functools import lru_cache
 
 from repro.c3i import terrain as TE
 from repro.c3i import threat as TH
+from repro.harness import store
 from repro.machines import ConventionalMachine, exemplar, ppro
 from repro.machines.catalog import ALPHASTATION_500
 from repro.machines.spec import MachineSpec
 from repro.mta import MtaMachine, mta
+from repro.mta.spec import MtaSpec
 from repro.workload.task import Job
 
 
@@ -33,6 +36,9 @@ class BenchmarkData:
         self.terrain_scale = terrain_scale
         self.seed_offset = seed_offset
         self._cache: dict[str, object] = {}
+        #: id(job) -> (job, fingerprint); the job reference keeps the
+        #: id stable, the identity check guards against id reuse.
+        self._job_fps: dict[int, tuple[Job, str]] = {}
 
     # ------------------------------------------------------------------
     # kernels (step 1)
@@ -110,15 +116,67 @@ class BenchmarkData:
     # ------------------------------------------------------------------
     # simulation (step 3)
     # ------------------------------------------------------------------
-    def run_conventional(self, spec: MachineSpec, job: Job) -> float:
-        key = f"run-{spec.name}-{spec.n_cpus}-{job.name}"
-        return self._memo(
-            key, lambda: ConventionalMachine(spec).run(job).seconds)
+    # Every simulation goes through _simulate, which layers an
+    # in-process memo over the persistent content-addressed cache
+    # (repro.harness.store).  The key fingerprints everything that
+    # determines the outcome, so ablation specs made with
+    # dataclasses.replace get distinct entries even though they share a
+    # name with the catalog spec.
+
+    def _job_fingerprint(self, job: Job) -> str:
+        hit = self._job_fps.get(id(job))
+        if hit is not None and hit[0] is job:
+            return hit[1]
+        fp = store.fingerprint(job)
+        self._job_fps[id(job)] = (job, fp)
+        return fp
+
+    def _simulate(self, key_payload: dict, run) -> float:
+        key = store.fingerprint(dict(
+            key_payload, epoch=store.model_epoch(),
+            threat_scale=self.threat_scale,
+            terrain_scale=self.terrain_scale,
+            seed_offset=self.seed_offset))
+        memo_key = "sim-" + key
+        if memo_key in self._cache:
+            return self._cache[memo_key]
+        cache = store.active_cache()
+        entry = cache.get(key) if cache is not None else None
+        if entry is not None:
+            seconds = float(entry["seconds"])
+        else:
+            result = run()
+            seconds = result.seconds
+            if cache is not None:
+                payload = dataclasses.asdict(result)
+                payload["kind"] = key_payload["kind"]
+                cache.put(key, payload)
+        self._cache[memo_key] = seconds
+        return seconds
+
+    def run_conventional(self, spec: MachineSpec, job: Job, *,
+                         slices_per_phase: int = 16,
+                         exploit_fine_grained: bool = False) -> float:
+        return self._simulate(
+            {"kind": "conventional", "spec": spec,
+             "slices_per_phase": slices_per_phase,
+             "exploit_fine_grained": exploit_fine_grained,
+             "job": self._job_fingerprint(job)},
+            lambda: ConventionalMachine(
+                spec, slices_per_phase=slices_per_phase,
+                exploit_fine_grained=exploit_fine_grained).run(job))
+
+    def run_mta_spec(self, spec: MtaSpec, job: Job, *,
+                     slices_per_phase: int = 8) -> float:
+        return self._simulate(
+            {"kind": "mta", "spec": spec,
+             "slices_per_phase": slices_per_phase,
+             "job": self._job_fingerprint(job)},
+            lambda: MtaMachine(
+                spec, slices_per_phase=slices_per_phase).run(job))
 
     def run_mta(self, n_processors: int, job: Job) -> float:
-        key = f"run-mta{n_processors}-{job.name}"
-        return self._memo(
-            key, lambda: MtaMachine(mta(n_processors)).run(job).seconds)
+        return self.run_mta_spec(mta(n_processors), job)
 
     # convenience shorthands used by the registry -----------------------
     def alpha(self, job: Job) -> float:

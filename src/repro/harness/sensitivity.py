@@ -21,9 +21,9 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.harness.runner import BenchmarkData
-from repro.machines import ConventionalMachine, exemplar
+from repro.machines import exemplar
 from repro.machines.spec import MemSpec
-from repro.mta import MtaMachine, MtaSpec, mta
+from repro.mta import MtaSpec, mta
 
 
 @dataclass(frozen=True)
@@ -47,12 +47,12 @@ def _outputs(data: BenchmarkData, mta_factory: Callable[[int], MtaSpec],
     terrain = data.terrain_finegrained_job()
     blocked1 = data.terrain_blocked_job(1)
     blocked16 = data.terrain_blocked_job(16)
-    t1 = MtaMachine(mta_factory(1)).run(threat).seconds
-    t2 = MtaMachine(mta_factory(2)).run(threat).seconds
-    m1 = MtaMachine(mta_factory(1)).run(terrain).seconds
-    m2 = MtaMachine(mta_factory(2)).run(terrain).seconds
-    e1 = ConventionalMachine(exemplar_factory(1)).run(blocked1).seconds
-    e16 = ConventionalMachine(exemplar_factory(16)).run(blocked16).seconds
+    t1 = data.run_mta_spec(mta_factory(1), threat)
+    t2 = data.run_mta_spec(mta_factory(2), threat)
+    m1 = data.run_mta_spec(mta_factory(1), terrain)
+    m2 = data.run_mta_spec(mta_factory(2), terrain)
+    e1 = data.run_conventional(exemplar_factory(1), blocked1)
+    e16 = data.run_conventional(exemplar_factory(16), blocked16)
     return {
         "threat MTA 1p (s)": t1,
         "threat MTA 2p speedup": t1 / t2,

@@ -1,14 +1,37 @@
-"""Serialization of experiment results (JSON round trip).
+"""Serialization of experiment results and the persistent result cache.
 
-Lets CI pipelines and notebooks consume reproduced tables without
-re-running the simulations, and lets the CLI emit machine-readable
-output (``python -m repro run table5 --json out.json``).
+Two layers live here:
+
+* A JSON round trip for :class:`ExperimentResult` -- lets CI pipelines
+  and notebooks consume reproduced tables without re-running the
+  simulations, and lets the CLI emit machine-readable output
+  (``python -m repro run table5 --json out.json``).
+* A content-addressed on-disk cache for *simulation runs* (the
+  expensive part of every experiment).  A run is keyed by the sha-256
+  fingerprint of everything that determines its outcome: the machine
+  spec, the job (down to every op count), the simulation options, the
+  scenario parameters (scale/seed), and an *epoch* hash of the model
+  source code plus the package version.  Identical keys therefore mean
+  bit-identical simulated seconds, and any model or calibration change
+  invalidates the cache automatically.
+
+  Entries are one JSON file per key under ``.repro_cache/`` (override
+  with ``REPRO_CACHE_DIR``); writes are atomic (tempfile +
+  ``os.replace``) so concurrent processes can share a directory.
+  Corrupt or stale entries are discarded, never trusted.  Set
+  ``REPRO_NO_CACHE=1`` to bypass the cache entirely.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 import json
-from typing import Iterable
+import os
+import tempfile
+from functools import lru_cache
+from typing import Iterable, Optional
 
 from repro.harness.experiment import ExperimentResult, Row, ShapeCheck
 
@@ -73,3 +96,236 @@ def load_results(path: str) -> list[ExperimentResult]:
     if not isinstance(payload, list):
         raise ValueError("expected a JSON array of results")
     return [result_from_dict(p) for p in payload]
+
+
+# ----------------------------------------------------------------------
+# content-addressed simulation-result cache
+# ----------------------------------------------------------------------
+
+#: bumped on any change to the cache entry layout
+CACHE_SCHEMA_VERSION = 1
+
+#: set (non-empty, not "0") to bypass the cache entirely
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+#: overrides the cache directory (default ``./.repro_cache``)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def _feed(h, obj) -> None:
+    """Feed a canonical byte encoding of ``obj`` into hasher ``h``.
+
+    Every value that can appear in a machine spec or job tree is
+    covered: primitives, enums, (frozen) dataclasses, dicts, sequences.
+    Floats are encoded via ``float.hex`` so distinct bit patterns never
+    collide and equal values always agree.
+    """
+    if obj is None:
+        h.update(b"N;")
+    elif obj is True:
+        h.update(b"T;")
+    elif obj is False:
+        h.update(b"F;")
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        h.update(b"s%d:" % len(raw))
+        h.update(raw)
+    elif isinstance(obj, float):
+        h.update(b"f")
+        h.update(float.hex(obj).encode("ascii"))
+        h.update(b";")
+    elif isinstance(obj, enum.Enum):
+        h.update(b"e")
+        _feed(h, type(obj).__qualname__)
+        _feed(h, obj.value)
+    elif isinstance(obj, int):
+        h.update(b"i%d;" % obj)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"d")
+        _feed(h, type(obj).__qualname__)
+        for f in dataclasses.fields(obj):
+            _feed(h, f.name)
+            _feed(h, getattr(obj, f.name))
+        h.update(b";")
+    elif isinstance(obj, dict):
+        h.update(b"m%d:" % len(obj))
+        for key in sorted(obj, key=repr):
+            _feed(h, key)
+            _feed(h, obj[key])
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"l%d:" % len(obj))
+        for item in obj:
+            _feed(h, item)
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"S%d:" % len(obj))
+        for item in sorted(obj, key=repr):
+            _feed(h, item)
+    elif hasattr(obj, "item"):  # numpy scalar
+        _feed(h, obj.item())
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(obj).__qualname__}: {obj!r}")
+
+
+def fingerprint(obj) -> str:
+    """sha-256 hex digest of the canonical encoding of ``obj``."""
+    h = hashlib.sha256()
+    _feed(h, obj)
+    return h.hexdigest()
+
+
+#: packages whose source determines simulation output for a given
+#: (spec, job) pair -- including every calibration constant.  The c3i
+#: kernels are deliberately absent: they only shape the *job content*,
+#: which is fingerprinted directly.
+_MODEL_PACKAGES = ("des", "machines", "mta", "workload", "threads")
+
+
+@lru_cache(maxsize=1)
+def model_epoch() -> str:
+    """Hash of the simulation-model source code and package version.
+
+    Part of every cache key: editing any model module or calibration
+    constant (they live in the model packages) changes the epoch and
+    orphans -- i.e. invalidates -- every existing entry.
+    """
+    import repro
+
+    h = hashlib.sha256()
+    h.update(getattr(repro, "__version__", "").encode("utf-8"))
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    for pkg in _MODEL_PACKAGES:
+        pkg_dir = os.path.join(root, pkg)
+        if not os.path.isdir(pkg_dir):
+            continue
+        for name in sorted(os.listdir(pkg_dir)):
+            if not name.endswith(".py"):
+                continue
+            h.update(name.encode("utf-8"))
+            with open(os.path.join(pkg_dir, name), "rb") as fh:
+                h.update(fh.read())
+    return h.hexdigest()[:16]
+
+
+class ResultCache:
+    """One-JSON-file-per-entry store under a cache directory.
+
+    Safe for concurrent use from multiple processes: reads tolerate
+    missing/corrupt/partial files (treated as misses, corrupt files are
+    removed), writes go through a tempfile in the same directory
+    followed by an atomic ``os.replace``.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or ``None`` on any problem."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = None
+        else:
+            if (not isinstance(payload, dict)
+                    or payload.get("schema") != CACHE_SCHEMA_VERSION
+                    or not isinstance(payload.get("seconds"),
+                                      (int, float))):
+                payload = None
+                try:  # corrupt entry: discard so it is rebuilt
+                    os.remove(path)
+                except OSError:
+                    pass
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store ``payload`` (best effort; errors ignored)."""
+        payload = dict(payload, schema=CACHE_SCHEMA_VERSION, key=key)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".put-", suffix=".tmp", dir=self.directory)
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # a full/read-only disk must not break the run
+
+    def _entries(self) -> list[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return [os.path.join(self.directory, n) for n in names
+                if n.endswith(".json")]
+
+    def info(self) -> dict:
+        """Entry count and total size (for ``repro cache info``)."""
+        entries = self._entries()
+        total = 0
+        for path in entries:
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return {"directory": os.path.abspath(self.directory),
+                "entries": len(entries), "bytes": total,
+                "epoch": model_epoch()}
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+_caches: dict[str, ResultCache] = {}
+
+
+def cache_directory() -> str:
+    """The configured cache directory (may not exist yet)."""
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+def cache_enabled() -> bool:
+    return os.environ.get(NO_CACHE_ENV, "") in ("", "0")
+
+
+def active_cache() -> Optional[ResultCache]:
+    """The process-wide cache for the configured directory.
+
+    ``None`` when ``REPRO_NO_CACHE`` is set.  One :class:`ResultCache`
+    (with its hit/miss counters) is kept per directory, so repeated
+    calls are cheap and counters accumulate across the process.
+    """
+    if not cache_enabled():
+        return None
+    directory = cache_directory()
+    cache = _caches.get(directory)
+    if cache is None:
+        cache = _caches[directory] = ResultCache(directory)
+    return cache

@@ -107,7 +107,9 @@ class ParallelRegion:
         if not self.threads:
             raise ValueError("parallel region needs at least one thread")
         if self.thread_kind not in ("os", "sw", "hw"):
-            raise ValueError(f"unknown thread kind {self.thread_kind!r}")
+            raise ValueError(
+                f"unknown thread kind {self.thread_kind!r}; "
+                f"expected one of 'os', 'sw', 'hw'")
 
     @property
     def n_threads(self) -> int:
@@ -132,7 +134,9 @@ class WorkQueueRegion:
         if self.n_threads < 1:
             raise ValueError("n_threads must be >= 1")
         if self.thread_kind not in ("os", "sw", "hw"):
-            raise ValueError(f"unknown thread kind {self.thread_kind!r}")
+            raise ValueError(
+                f"unknown thread kind {self.thread_kind!r}; "
+                f"expected one of 'os', 'sw', 'hw'")
 
 
 JobStep = Union[SerialStep, ParallelRegion, WorkQueueRegion]

@@ -4,6 +4,8 @@ import pytest
 
 from repro.harness import BenchmarkData, run_experiment
 
+pytestmark = pytest.mark.slow  # full ablation sweeps
+
 
 @pytest.fixture(scope="module")
 def data():

@@ -50,6 +50,7 @@ PAPER_EXPERIMENTS = tuple(e for e in EXPERIMENT_IDS
                                                             "micro"))
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("eid", PAPER_EXPERIMENTS)
 def test_every_experiment_passes_its_shape_checks(eid, data):
     res = run_experiment(eid, data)

@@ -4,6 +4,8 @@ import pytest
 
 from repro.harness.report import generate
 
+pytestmark = pytest.mark.slow  # full pipeline, every experiment
+
 
 @pytest.fixture(scope="module")
 def report_text():

@@ -1,0 +1,180 @@
+"""Tests for the persistent content-addressed simulation-result cache.
+
+Covers the ISSUE-1 contract: cached and uncached runs are bit
+identical, keys react to every input that matters (spec, scale, seed),
+corrupt entries are discarded rather than crashed on or trusted, and
+multiple processes can share one cache directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.harness import store
+from repro.harness.runner import BenchmarkData
+from repro.machines import ppro
+from repro.workload.phase import AccessPattern
+
+THREAT_SCALE = 0.01
+TERRAIN_SCALE = 0.025
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    d = tmp_path / "cache"
+    monkeypatch.setenv(store.CACHE_DIR_ENV, str(d))
+    monkeypatch.delenv(store.NO_CACHE_ENV, raising=False)
+    return d
+
+
+def _data(**kwargs) -> BenchmarkData:
+    kwargs.setdefault("threat_scale", THREAT_SCALE)
+    kwargs.setdefault("terrain_scale", TERRAIN_SCALE)
+    return BenchmarkData(**kwargs)
+
+
+def _run(data: BenchmarkData, n_cpus: int = 2) -> float:
+    return data.run_conventional(
+        ppro(n_cpus), data.threat_chunked_job(2))
+
+
+def _entries(d) -> list[str]:
+    return sorted(p.name for p in d.glob("*.json")) if d.exists() else []
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+
+def test_fingerprint_is_order_and_type_canonical():
+    assert (store.fingerprint({"a": 1, "b": 2.0})
+            == store.fingerprint({"b": 2.0, "a": 1}))
+    assert store.fingerprint(1) != store.fingerprint(1.0)
+    assert store.fingerprint((1, 2)) == store.fingerprint([1, 2])
+    assert store.fingerprint("ab") != store.fingerprint(("a", "b"))
+    assert (store.fingerprint(AccessPattern.RANDOM)
+            != store.fingerprint(AccessPattern.STRIDED))
+
+
+def test_fingerprint_distinguishes_float_bit_patterns():
+    assert 0.1 + 0.2 != 0.3  # the motivating example
+    assert store.fingerprint(0.1 + 0.2) != store.fingerprint(0.3)
+
+
+def test_fingerprint_sees_every_dataclass_field():
+    base = ppro(2)
+    bumped = dataclasses.replace(
+        base, mem=dataclasses.replace(
+            base.mem,
+            bandwidth_bytes_per_s=base.mem.bandwidth_bytes_per_s * 1.25))
+    assert store.fingerprint(base) == store.fingerprint(ppro(2))
+    assert store.fingerprint(base) != store.fingerprint(bumped)
+
+
+def test_fingerprint_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        store.fingerprint(object())
+
+
+# ----------------------------------------------------------------------
+# bit-identical results, hit/miss accounting, escape hatch
+# ----------------------------------------------------------------------
+
+def test_cached_and_uncached_runs_bit_identical(cache_dir, monkeypatch):
+    monkeypatch.setenv(store.NO_CACHE_ENV, "1")
+    reference = _run(_data())
+    assert _entries(cache_dir) == []  # escape hatch: nothing written
+
+    monkeypatch.delenv(store.NO_CACHE_ENV)
+    miss_value = _run(_data())       # cold: simulates, writes
+    hit_value = _run(_data())        # fresh BenchmarkData: disk hit
+    assert miss_value == reference   # exact, not approx
+    assert hit_value == reference
+    assert len(_entries(cache_dir)) == 1
+
+    cache = store.active_cache()
+    assert cache is not None
+    assert cache.hits >= 1 and cache.misses >= 1
+
+
+def test_memo_skips_disk_on_repeat_calls(cache_dir):
+    data = _data()
+    first = _run(data)
+    cache = store.active_cache()
+    hits_before = cache.hits
+    assert _run(data) == first       # same BenchmarkData: in-memory
+    assert cache.hits == hits_before
+
+
+# ----------------------------------------------------------------------
+# key sensitivity
+# ----------------------------------------------------------------------
+
+def test_cache_keys_change_with_spec_scale_and_seed(cache_dir):
+    _run(_data(), n_cpus=2)
+    assert len(_entries(cache_dir)) == 1
+    _run(_data(), n_cpus=4)                      # different machine spec
+    assert len(_entries(cache_dir)) == 2
+    _run(_data(threat_scale=0.015), n_cpus=2)    # different kernel scale
+    assert len(_entries(cache_dir)) == 3
+    _run(_data(seed_offset=1), n_cpus=2)         # different scenario seed
+    assert len(_entries(cache_dir)) == 4
+    _run(_data(), n_cpus=2)                      # repeat: all hits
+    assert len(_entries(cache_dir)) == 4
+
+
+# ----------------------------------------------------------------------
+# corruption tolerance
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("garbage", [
+    "",                                      # truncated to nothing
+    "{not json",                             # unparsable
+    "[1, 2, 3]",                             # wrong shape
+    '{"schema": 999, "seconds": 1.0}',       # future schema
+    '{"schema": 1, "seconds": "fast"}',      # wrong value type
+])
+def test_corrupt_entries_discarded_not_crashed(cache_dir, garbage):
+    reference = _run(_data())
+    (entry,) = _entries(cache_dir)
+    (cache_dir / entry).write_text(garbage, encoding="utf-8")
+    assert _run(_data()) == reference        # recomputed, not crashed
+    payload = json.loads((cache_dir / entry).read_text(encoding="utf-8"))
+    assert payload["seconds"] == reference   # entry rebuilt intact
+
+
+# ----------------------------------------------------------------------
+# multi-process sharing
+# ----------------------------------------------------------------------
+
+def _worker(directory: str) -> float:
+    os.environ[store.CACHE_DIR_ENV] = directory
+    os.environ.pop(store.NO_CACHE_ENV, None)
+    return _run(_data())
+
+
+def test_two_processes_share_one_cache_directory(cache_dir):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        a, b = pool.map(_worker, [str(cache_dir)] * 2)
+    assert a == b
+    assert len(_entries(cache_dir)) == 1
+    assert _run(_data()) == a                # parent reads their entry
+
+
+# ----------------------------------------------------------------------
+# maintenance surface used by `python -m repro cache`
+# ----------------------------------------------------------------------
+
+def test_info_and_clear(cache_dir):
+    _run(_data(), n_cpus=2)
+    _run(_data(), n_cpus=4)
+    cache = store.ResultCache(str(cache_dir))
+    info = cache.info()
+    assert info["entries"] == 2 and info["bytes"] > 0
+    assert cache.clear() == 2
+    assert cache.info()["entries"] == 0
