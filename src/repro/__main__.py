@@ -8,6 +8,8 @@ Usage::
     python -m repro all                       # everything
     python -m repro all -j 4 --profile        # in parallel, with timings
     python -m repro report                    # EXPERIMENTS.md to stdout
+    python -m repro bench                     # cohort-vs-DES kernel timings
+    python -m repro bench --verify            # full-registry equivalence
     python -m repro feedback                  # compiler feedback, Programs 1-4
     python -m repro cache info                # persistent result cache
     python -m repro cache clear
@@ -62,6 +64,18 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--profile", action="store_true",
                        help="print per-experiment wall time and cache "
                             "hit/miss counts")
+    bench_p = sub.add_parser(
+        "bench",
+        help="measure the cohort fast path against pure DES")
+    bench_p.add_argument("--repeat", type=int, default=3, metavar="N",
+                         help="best-of-N wall clock (default 3)")
+    bench_p.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the measurements as JSON")
+    bench_p.add_argument("--verify", action="store_true",
+                         help="instead of timing kernels, run every "
+                              "registry experiment with the cohort "
+                              "path on and off (cache disabled) and "
+                              "check the rows agree to 1e-9")
     sub.add_parser("feedback",
                    help="compiler feedback for Programs 1-4")
     cache_p = sub.add_parser(
@@ -187,6 +201,13 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args.ids, data, args.json)
     if args.command == "all":
         return _cmd_all(data, args.jobs, args.profile)
+    if args.command == "bench":
+        from repro.harness.bench import run_kernel_bench, run_verify
+
+        if args.verify:
+            return run_verify(data)
+        return run_kernel_bench(data, repeat=args.repeat,
+                                json_path=args.json)
     return 2  # pragma: no cover
 
 

@@ -16,6 +16,7 @@ the machine models from the block-overlap statistics recorded here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -30,7 +31,7 @@ class BlockedResult:
     scenario: int
     num_blocks: int
     n_threads: int
-    masking: np.ndarray = None  # type: ignore[assignment]
+    masking: Optional[np.ndarray] = None
     #: per threat: (region cells, ring cells, [(block_id, overlap cells)])
     per_threat_blocks: list[tuple[int, int, list[tuple[int, int]]]] = (
         field(default_factory=list))

@@ -18,6 +18,7 @@ model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -30,7 +31,7 @@ class FineGrainedTerrainResult:
     """Output plus the parallelism profile of the inner loops."""
 
     scenario: int
-    masking: np.ndarray = None  # type: ignore[assignment]
+    masking: Optional[np.ndarray] = None
     #: per threat: (window cells, ring sizes)
     ring_profile: list[tuple[int, list[int]]] = field(default_factory=list)
     n_region_cells_total: int = 0

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
 import numpy as np
 
@@ -139,13 +140,33 @@ def ring_offsets(radius: int) -> tuple[tuple[np.ndarray, ...], ...]:
     return tuple(rings)
 
 
+@lru_cache(maxsize=64)
+def ring_geometry(radius: int) -> tuple[tuple[np.ndarray, ...], ...]:
+    """Ring offsets plus the position-independent ray geometry.
+
+    Cell and parent distances depend only on the offsets from the
+    threat (``xs - threat.x == dxa`` exactly, in integer arithmetic),
+    so the square roots are computed once per window radius instead of
+    once per threat.  The arrays are bit-identical to what
+    :func:`masking_for_threat` historically recomputed inline.
+    """
+    geo = []
+    for dxa, dya, pdx, pdy in ring_offsets(radius):
+        dist = np.sqrt(dxa ** 2.0 + dya ** 2.0)
+        pdist = np.sqrt(pdx ** 2.0 + pdy ** 2.0)
+        for a in (dist, pdist):
+            a.setflags(write=False)
+        geo.append((dxa, dya, pdx, pdy, dist, pdist))
+    return tuple(geo)
+
+
 @dataclass
 class ThreatMaskStats:
     """Structural counts of one per-threat masking computation."""
 
     n_rings: int = 0
     n_ring_cells: int = 0
-    ring_sizes: list[int] = None  # type: ignore[assignment]
+    ring_sizes: Optional[list[int]] = None
 
     def __post_init__(self) -> None:
         if self.ring_sizes is None:
@@ -182,20 +203,24 @@ def masking_for_threat(terrain: np.ndarray, threat: GroundThreat
     alt[cx, cy] = terrain[threat.x, threat.y]
     acc[cx, cy] = -np.inf
 
-    for dxa, dya, pdx, pdy in ring_offsets(threat.range_cells):
+    for dxa, dya, pdx, pdy, dist, pdist in ring_geometry(
+            threat.range_cells):
         xs = threat.x + dxa
         ys = threat.y + dya
         keep = (xs >= 0) & (xs < n) & (ys >= 0) & (ys < n)
-        if not keep.any():
-            continue
-        xs, ys = xs[keep], ys[keep]
-        pxs = threat.x + pdx[keep]
-        pys = threat.y + pdy[keep]
+        if not keep.all():
+            if not keep.any():
+                continue
+            xs, ys = xs[keep], ys[keep]
+            pxs = threat.x + pdx[keep]
+            pys = threat.y + pdy[keep]
+            dist, pdist = dist[keep], pdist[keep]
+        else:
+            pxs = threat.x + pdx
+            pys = threat.y + pdy
         # window-relative coordinates
         wx, wy = xs - window.x0, ys - window.y0
         pwx, pwy = pxs - window.x0, pys - window.y0
-        dist = np.sqrt((xs - threat.x) ** 2.0 + (ys - threat.y) ** 2.0)
-        pdist = np.sqrt((pxs - threat.x) ** 2.0 + (pys - threat.y) ** 2.0)
         # parent terrain tangent (the obstruction the parent cell adds)
         with np.errstate(divide="ignore", invalid="ignore"):
             ptan = np.where(

@@ -8,6 +8,7 @@ the overall result -- the exact structure of the paper's pseudocode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -20,7 +21,7 @@ class TerrainMaskingResult:
     """Output and structural statistics of one scenario run."""
 
     scenario: int
-    masking: np.ndarray = None  # type: ignore[assignment]
+    masking: Optional[np.ndarray] = None
     #: structural counts driving the workload model
     n_region_cells_total: int = 0   # cells per pass over all threats
     n_rings_total: int = 0

@@ -16,6 +16,8 @@ generator-based process model:
   is the primitive used to model both shared memory buses and the Tera
   MTA's instruction-issue slots.
 * :mod:`~repro.des.sync` -- locks, barriers, semaphores.
+* :mod:`~repro.des.batch` -- vectorized replay of homogeneous thread
+  cohorts (the machines' fast path around per-thread processes).
 * :mod:`~repro.des.store` -- FIFO item stores (work queues).
 * :mod:`~repro.des.monitor` -- time-series instrumentation.
 
@@ -24,6 +26,7 @@ nothing in the kernel consults a random source, so a simulation is a
 pure function of its inputs.
 """
 
+from repro.des.batch import BatchServer, CohortEngine
 from repro.des.errors import DesError, Interrupt, SimulationDeadlock
 from repro.des.events import AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
@@ -36,6 +39,8 @@ from repro.des.monitor import Monitor, TimeSeries
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BatchServer",
+    "CohortEngine",
     "DesError",
     "Event",
     "FairShareServer",

@@ -1,0 +1,706 @@
+"""Vectorized batch execution of homogeneous thread cohorts.
+
+The DES path simulates every thread of a parallel region as its own
+generator process; each fair-share reallocation is an O(n) Python scan
+and each completion a heap event.  For *cohorts* -- threads whose
+programs are structurally identical (same item sequence, no cross-
+thread synchronization except the region barrier and per-item critical
+sections) -- the same timeline can be replayed with flat per-thread
+state and no processes, events, or callbacks at all:
+
+* A batch server mirrors one
+  :class:`~repro.des.resources.FairShareServer` with at most one job
+  per thread slot, advancing remaining work lazily (only when the
+  server is touched, like the DES server's flush/wakeup chunking) and
+  caching its next completion time.  Small cohorts use
+  :class:`ScalarBatchServer`, which reproduces the DES allocation
+  arithmetic verbatim in Python; large cohorts use
+  :class:`BatchServer`, which holds remaining work in numpy arrays so
+  a reallocation costs a few vector operations instead of an O(n)
+  interpreted scan.  The completion rule (batch every job within
+  ``1e-9`` relative of the minimum remaining work) is the DES server's
+  rule in both.
+
+* :class:`CohortEngine` owns the region's servers, sleep timers and
+  locks and drives per-thread *segment lists* -- a precompiled form of
+  the thread programs -- through them, mirroring the DES event order:
+  at each event time every completion is processed before any lock
+  handoff wakes a waiter, and completions are processed in job-arrival
+  order, matching the FIFO insertion order of ``FairShareServer._jobs``.
+
+Equivalence with the DES path is *numerical*, not bit-for-bit: the
+vectorized allocation follows the same formulas but groups float
+operations differently (e.g. one ``capacity/n`` division instead of a
+sequential water-fill chain), so event times can differ by a few ulps.
+Those differences are absorbed by the completion-batching tolerance
+the DES server itself applies; end-to-end simulated seconds agree to
+well within 1e-9 relative (asserted for every registry experiment by
+``repro bench --verify``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.des.errors import DesError
+
+#: completion tolerance -- must match ``repro.des.resources._EPS``
+_EPS = 1e-9
+_INF = float("inf")
+
+#: cohorts up to this many threads run on the interpreted scalar
+#: server; beyond it the numpy server's fixed per-operation overhead
+#: is amortized over enough slots to win
+SCALAR_MAX_SLOTS = 96
+
+# ----------------------------------------------------------------------
+# segment opcodes (a compiled thread program is a list of tuples whose
+# first element is one of these)
+# ----------------------------------------------------------------------
+SRV = 0     #: ``(SRV, server_id, demand, cap)`` -- one fair-share job
+PAR = 1     #: ``(PAR, ((server_id, demand, cap), ...))`` -- jobs started
+#:             together on *distinct* servers, joined like ``AllOf``
+SLEEP = 2   #: ``(SLEEP, seconds)`` -- a plain timeout
+ACQ = 3     #: ``(ACQ, lock_name)`` -- FIFO lock acquire
+REL = 4     #: ``(REL, lock_name)`` -- lock release (hand off to waiter)
+
+#: a segment's ``server_id`` may be None: "this thread's home server"
+#: (the MTA pins each thread to one processor's issue server).
+
+
+def serve_alone(server, demand: float, cap: float, t: float) -> float:
+    """Closed form for a single job alone on an idle fair-share server.
+
+    Mirrors what submit/allocate/wakeup compute for ``n_active == 1``
+    bit-for-bit (``capacity / 1 == capacity``), credits the server's
+    busy-time and served-work statistics, and returns the completion
+    time.  ``server`` is a live :class:`FairShareServer`.
+    """
+    rate = cap if cap <= server.capacity else server.capacity
+    dt = demand / rate
+    server.busy_time += dt
+    server.total_served += rate * dt
+    return t + dt
+
+
+class ScalarBatchServer:
+    """Interpreted mirror of one fair-share server for a small cohort.
+
+    Jobs live in a dict keyed by thread slot (insertion-ordered, like
+    ``FairShareServer._jobs``); the allocation, advance and completion
+    arithmetic is the DES server's, operation for operation.
+    """
+
+    __slots__ = ("capacity", "n", "due", "busy_time", "total_served",
+                 "_jobs", "_last", "_dirty")
+
+    def __init__(self, capacity: float, n_slots: int, start: float):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        #: slot -> [remaining, ecap, arrival_seq, rate]
+        self._jobs: dict[int, list] = {}
+        self.n = 0
+        self.due = _INF          # absolute next-completion time
+        self.busy_time = 0.0
+        self.total_served = 0.0
+        self._last = start
+        self._dirty = False
+
+    def add(self, slot: int, demand: float, cap: Optional[float],
+            seq: int, now: float) -> None:
+        if now != self._last:
+            self._advance_to(now)
+        self._jobs[slot] = [demand, cap if cap is not None else _INF,
+                            seq, 0.0]
+        self.n += 1
+        self._dirty = True
+
+    def _advance_to(self, now: float) -> None:
+        dt = now - self._last
+        self._last = now
+        jobs = self._jobs
+        if dt <= 0 or not jobs:
+            return
+        served_total = 0.0
+        for job in jobs.values():
+            served = job[3] * dt
+            job[0] -= served
+            served_total += served
+        self.total_served += served_total
+        self.busy_time += dt
+
+    def finish(self, now: float) -> list[tuple[int, int]]:
+        """Completed ``(arrival_seq, slot)`` pairs at time ``now``."""
+        jobs = self._jobs
+        # advance inlined: finish runs once per completion event
+        dt = now - self._last
+        self._last = now
+        m = _INF
+        if dt > 0:
+            served_total = 0.0
+            for job in jobs.values():
+                served = job[3] * dt
+                job[0] -= served
+                served_total += served
+                if job[0] < m:
+                    m = job[0]
+            self.total_served += served_total
+            self.busy_time += dt
+        else:
+            for job in jobs.values():
+                if job[0] < m:
+                    m = job[0]
+        threshold = m * (1.0 + _EPS)
+        if threshold < _EPS:
+            threshold = _EPS
+        out = []
+        for slot, job in jobs.items():
+            if job[0] <= threshold:
+                out.append((job[2], slot))
+        for _sq, slot in out:
+            del jobs[slot]
+        self.n = len(jobs)
+        self._dirty = True
+        return out
+
+    def flush(self, now: float) -> None:
+        """Recompute rates and the next completion time if stale."""
+        if not self._dirty:
+            return
+        self._dirty = False
+        jobs = self._jobs
+        if not jobs:
+            self.due = _INF
+            return
+        # single pass assuming uniform caps (the common case); fall to
+        # the grouped water-fill on the first mismatch, which rewrites
+        # every rate anyway
+        vals = jobs.values()
+        it = iter(vals)
+        first = next(it)
+        cap0 = first[1]
+        share = self.capacity / len(jobs)
+        rate = cap0 if cap0 <= share else share
+        first[3] = rate
+        m = first[0]
+        uniform = True
+        for job in it:
+            if job[1] != cap0:
+                uniform = False
+                break
+            job[3] = rate
+            if job[0] < m:
+                m = job[0]
+        delay = _INF
+        if uniform:
+            delay = m / rate if rate > 0 else _INF
+        else:
+            groups: dict[float, list] = {}
+            for job in vals:
+                grp = groups.get(job[1])
+                if grp is None:
+                    groups[job[1]] = [job]
+                else:
+                    grp.append(job)
+            left = self.capacity
+            n_left = len(jobs)
+            for ecap in sorted(groups):
+                for job in groups[ecap]:
+                    share = left / n_left
+                    rate = ecap if ecap <= share else share
+                    job[3] = rate
+                    left -= rate
+                    n_left -= 1
+                    if rate > 0:
+                        d = job[0] / rate
+                        if d < delay:
+                            delay = d
+        if delay < 0.0:
+            delay = 0.0
+        self.due = self._last + delay
+
+
+def _water_fill(caps: np.ndarray, capacity: float) -> np.ndarray:
+    """Water-filling allocation over heterogeneous per-job caps.
+
+    Same fill order as ``FairShareServer._allocate``: distinct caps
+    ascending.  A whole group is either capped (each job gets exactly
+    its cap) or share-limited; in the share-limited regime every
+    remaining job receives the equal split of the leftover capacity,
+    which matches the DES sequential chain up to float rounding.
+    """
+    order = np.argsort(caps, kind="stable")
+    sorted_caps = caps[order]
+    rates = np.empty_like(caps)
+    left = capacity
+    n_left = caps.size
+    uniq, counts = np.unique(sorted_caps, return_counts=True)
+    start = 0
+    for c, k in zip(uniq, counts):
+        share = left / n_left
+        if c <= share:
+            rates[order[start:start + k]] = c
+            left -= c * k
+            n_left -= int(k)
+            start += int(k)
+        else:
+            rates[order[start:]] = share
+            break
+    return rates
+
+
+class BatchServer:
+    """Numpy mirror of one fair-share server for a large cohort.
+
+    Slots are thread ids; a thread has at most one job on a given
+    server at a time (the thread programs the machines generate always
+    block on a submission before issuing the next one to the same
+    server).  Submissions are buffered and applied vectorized at the
+    next :meth:`flush` -- all adds between flushes happen at the same
+    event time, so deferring them changes nothing.
+
+    When every active job gets the same rate (uniform caps, or all
+    share-limited -- by far the common regimes) the server runs a
+    scalar-rate lane that advances remaining work with one vector
+    subtraction per event.
+    """
+
+    __slots__ = ("capacity", "n", "due", "busy_time", "total_served",
+                 "_slots", "_rem", "_caps", "_seq", "_rates", "_rate",
+                 "_mincap", "_last", "_dirty", "_pend")
+
+    def __init__(self, capacity: float, n_slots: int, start: float):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.n = 0
+        self.due = _INF
+        self.busy_time = 0.0
+        self.total_served = 0.0
+        # compact, membership-aligned arrays (only live jobs)
+        self._slots: Optional[np.ndarray] = None
+        self._rem: Optional[np.ndarray] = None
+        self._caps: Optional[np.ndarray] = None
+        self._seq: Optional[np.ndarray] = None
+        self._rates: Optional[np.ndarray] = None   # heterogeneous lane
+        self._rate = 0.0                           # scalar lane
+        self._mincap = _INF     # lower bound on every cap ever submitted
+        self._last = start
+        self._dirty = False
+        self._pend: list[tuple[int, float, float, int]] = []
+
+    def add(self, slot: int, demand: float, cap: Optional[float],
+            seq: int, now: float) -> None:
+        # `now` is always the engine's current event time; the buffered
+        # submission takes effect at the flush closing this event.
+        c = cap if cap is not None else _INF
+        if c < self._mincap:
+            self._mincap = c
+        self._pend.append((slot, demand, c, seq))
+        self.n += 1
+        self._dirty = True
+
+    def _advance_to(self, now: float) -> None:
+        dt = now - self._last
+        self._last = now
+        rem = self._rem
+        if dt <= 0 or rem is None:
+            return
+        rate = self._rate
+        if rate:
+            rem -= rate * dt
+            self.total_served += rate * dt * rem.size
+        else:
+            served = self._rates * dt
+            rem -= served
+            self.total_served += float(served.sum())
+        self.busy_time += dt
+
+    def finish(self, now: float) -> list[tuple[int, int]]:
+        """Completed ``(arrival_seq, slot)`` pairs at time ``now``.
+
+        Applies the DES completion batching rule: every job whose
+        remaining work is within 1e-9 relative of the minimum (floored
+        at 1e-9 absolute) finishes together.
+        """
+        # advance inlined: finish is called once per completion event
+        dt = now - self._last
+        self._last = now
+        rem = self._rem
+        if dt > 0:
+            rate = self._rate
+            if rate:
+                rem -= rate * dt
+                self.total_served += rate * dt * rem.size
+            else:
+                served = self._rates * dt
+                rem -= served
+                self.total_served += float(served.sum())
+            self.busy_time += dt
+        threshold = float(rem.min()) * (1.0 + _EPS)
+        if threshold < _EPS:
+            threshold = _EPS
+        mask = rem <= threshold
+        out = list(zip(self._seq[mask].tolist(),
+                       self._slots[mask].tolist()))
+        keep = ~mask
+        self._slots = self._slots[keep]
+        self._rem = rem[keep]
+        if self._caps is not None:
+            self._caps = self._caps[keep]
+        self._seq = self._seq[keep]
+        self.n -= len(out)
+        self._dirty = True
+        return out
+
+    def flush(self, now: float) -> None:
+        """Apply buffered submissions and recompute rates and the next
+        completion time if stale."""
+        if not self._dirty:
+            return
+        self._dirty = False
+        self._advance_to(now)
+        pend = self._pend
+        if pend:
+            slots = np.array([p[0] for p in pend], dtype=np.int64)
+            dem = np.array([p[1] for p in pend])
+            # an entirely uncapped server (e.g. the network) never
+            # materializes a caps array at all
+            caps = (np.array([p[2] for p in pend])
+                    if self._mincap < _INF else None)
+            seqs = np.array([p[3] for p in pend], dtype=np.int64)
+            pend.clear()
+            if self._rem is None or self._rem.size == 0:
+                self._slots, self._rem = slots, dem
+                self._caps, self._seq = caps, seqs
+            else:
+                if caps is not None:
+                    old = (self._caps if self._caps is not None
+                           else np.full(self._rem.size, _INF))
+                    self._caps = np.concatenate((old, caps))
+                self._slots = np.concatenate((self._slots, slots))
+                self._rem = np.concatenate((self._rem, dem))
+                self._seq = np.concatenate((self._seq, seqs))
+        rem = self._rem
+        k = 0 if rem is None else rem.size
+        if k == 0:
+            self.due = _INF
+            self._slots = self._rem = self._caps = self._seq = None
+            self._rates = None
+            self._rate = 0.0
+            return
+        capacity = self.capacity
+        share = capacity / k
+        if self._mincap >= share:
+            # every job is share-limited: equal split, which is what
+            # the FairShareServer water-fill computes sequentially
+            self._rate = share
+            self._rates = None
+            delay = float(rem.min()) / share
+        else:
+            caps = self._caps
+            cmin = float(caps.min())
+            if cmin >= share:
+                self._rate = share
+                self._rates = None
+                delay = float(rem.min()) / share
+            else:
+                cmax = float(caps.max())
+                if cmin == cmax:
+                    # uniform caps below the fair share: everyone capped
+                    self._rate = cmin
+                    self._rates = None
+                    delay = float(rem.min()) / cmin
+                elif float(caps.sum()) <= capacity:
+                    # no job is share-limited: everyone runs at its cap
+                    self._rate = 0.0
+                    self._rates = caps
+                    delay = float((rem / caps).min())
+                else:
+                    self._rate = 0.0
+                    self._rates = _water_fill(caps, capacity)
+                    delay = float((rem / self._rates).min())
+        if delay < 0.0:
+            delay = 0.0
+        self.due = self._last + delay
+
+
+def make_server(capacity: float, n_slots: int, start: float):
+    """The batch-server implementation appropriate for a cohort size."""
+    if n_slots <= SCALAR_MAX_SLOTS:
+        return ScalarBatchServer(capacity, n_slots, start)
+    return BatchServer(capacity, n_slots, start)
+
+
+class _Thread:
+    __slots__ = ("segs", "idx", "own", "outstanding")
+
+    def __init__(self, segs: list, own: int):
+        self.segs = segs
+        self.idx = 0
+        self.own = own          # home server id (None segments resolve here)
+        self.outstanding = 0    # unfinished parts of the current segment
+
+
+class _LockState:
+    __slots__ = ("holder", "queue", "waits", "wait_time")
+
+    def __init__(self) -> None:
+        self.holder: Optional[int] = None
+        self.queue: deque[tuple[int, float]] = deque()
+        self.waits = 0
+        self.wait_time = 0.0
+
+
+class CohortEngine:
+    """Replays one homogeneous parallel region without DES processes.
+
+    Parameters
+    ----------
+    start_time:
+        Absolute simulation time at which the region's threads start
+        (after the parent has paid thread-creation costs).
+    capacities:
+        Aggregate capacity of each server, indexed by the ``server_id``
+        the segments use.
+    programs:
+        One compiled segment list per thread (empty for work-queue
+        workers, which pull everything from ``queue``).
+    own_sids:
+        Per-thread home server id (defaults to 0) resolving segments
+        whose ``server_id`` is None.
+    queue:
+        Optional FIFO of compiled work items; a thread that exhausts
+        its segments pops the next item, exactly like the DES worker
+        loop over ``Store.try_get``.
+    """
+
+    def __init__(self, start_time: float, capacities: Sequence[float],
+                 programs: Sequence[list],
+                 own_sids: Optional[Sequence[int]] = None,
+                 queue: Optional[deque] = None):
+        n = len(programs)
+        self.now = float(start_time)
+        self.servers = [make_server(c, n, self.now) for c in capacities]
+        self.threads = [
+            _Thread(list(segs), own_sids[i] if own_sids is not None else 0)
+            for i, segs in enumerate(programs)
+        ]
+        self.queue = queue
+        self.timers: list[tuple[float, int, int]] = []
+        self.locks: dict[str, _LockState] = {}
+        self.n_done = 0
+        self._seq = 0
+        self._grants: deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    def run(self) -> float:
+        """Drive the region to completion; returns its absolute end time."""
+        n = len(self.threads)
+        # threads start in creation order (DES bootstrap order)
+        for tid in range(n):
+            self._advance_thread(tid)
+        self._drain_grants()
+        servers = self.servers
+        for s in servers:
+            if s._dirty:
+                s.flush(self.now)
+        # a flushed server's `due` is authoritative (inf when idle), so
+        # the event loops below never need to consult `n`
+        if len(servers) == 2:
+            return self._run_two(n)
+        return self._run_many(n)
+
+    def _run_two(self, n: int) -> float:
+        """Event loop specialized for two servers (every conventional
+        region -- cpu + bus -- and the single-processor MTA)."""
+        s0, s1 = self.servers
+        timers = self.timers
+        threads = self.threads
+        advance = self._advance_thread
+        grants = self._grants
+        while self.n_done < n:
+            d0 = s0.due
+            d1 = s1.due
+            t = d0 if d0 < d1 else d1
+            if timers and timers[0][0] < t:
+                t = timers[0][0]
+            if t == _INF:  # pragma: no cover - defensive
+                raise DesError("cohort region deadlocked")
+            self.now = t
+            batch = s0.finish(t) if d0 <= t else []
+            if d1 <= t:
+                b1 = s1.finish(t)
+                batch = batch + b1 if batch else b1
+            while timers and timers[0][0] <= t:
+                _t, sq, tid = heappop(timers)
+                batch.append((sq, tid))
+            if len(batch) > 1:
+                # job-arrival order: the FIFO insertion order the DES
+                # server iterates when succeeding a completion batch
+                batch.sort()
+            for _sq, tid in batch:
+                th = threads[tid]
+                o = th.outstanding - 1
+                th.outstanding = o
+                if o == 0:
+                    advance(tid)
+            if grants:
+                self._drain_grants()
+            if s0._dirty:
+                s0.flush(t)
+            if s1._dirty:
+                s1.flush(t)
+        return self.now
+
+    def _run_many(self, n: int) -> float:
+        """Generic event loop for any server count."""
+        servers = self.servers
+        timers = self.timers
+        threads = self.threads
+        advance = self._advance_thread
+        grants = self._grants
+        while self.n_done < n:
+            t = _INF
+            for s in servers:
+                if s.due < t:
+                    t = s.due
+            if timers and timers[0][0] < t:
+                t = timers[0][0]
+            if t == _INF:  # pragma: no cover - defensive
+                raise DesError("cohort region deadlocked")
+            self.now = t
+            batch: list[tuple[int, int]] = []
+            for s in servers:
+                if s.due <= t:
+                    batch.extend(s.finish(t))
+            while timers and timers[0][0] <= t:
+                _t, sq, tid = heappop(timers)
+                batch.append((sq, tid))
+            if len(batch) > 1:
+                # job-arrival order: the FIFO insertion order the DES
+                # server iterates when succeeding a completion batch
+                batch.sort()
+            for _sq, tid in batch:
+                th = threads[tid]
+                o = th.outstanding - 1
+                th.outstanding = o
+                if o == 0:
+                    advance(tid)
+            if grants:
+                self._drain_grants()
+            for s in servers:
+                if s._dirty:
+                    s.flush(t)
+        return self.now
+
+    # ------------------------------------------------------------------
+    def total_lock_waits(self) -> int:
+        return sum(lk.waits for lk in self.locks.values())
+
+    def total_lock_wait_time(self) -> float:
+        return sum(lk.wait_time for lk in self.locks.values())
+
+    # ------------------------------------------------------------------
+    def _advance_thread(self, tid: int) -> None:
+        """Run a thread forward until it blocks or finishes.
+
+        Zero-demand submissions, free lock acquires and releases are
+        processed synchronously -- they advance no simulated time and
+        the threads of a cohort are interchangeable, so the DES
+        event-queue interleaving they would get cannot change the
+        region timeline.
+        """
+        th = self.threads[tid]
+        segs = th.segs
+        i = th.idx
+        servers = self.servers
+        now = self.now
+        seq = self._seq
+        while True:
+            if i >= len(segs):
+                q = self.queue
+                if q:
+                    segs = th.segs = q.popleft()
+                    i = 0
+                    continue
+                th.idx = i
+                self._seq = seq
+                self.n_done += 1
+                return
+            seg = segs[i]
+            i += 1
+            op = seg[0]
+            if op == SRV:
+                _op, sid, demand, cap = seg
+                if demand > 0:
+                    if sid is None:
+                        sid = th.own
+                    servers[sid].add(tid, demand, cap, seq, now)
+                    seq += 1
+                    th.outstanding = 1
+                    th.idx = i
+                    self._seq = seq
+                    return
+            elif op == PAR:
+                k = 0
+                for sid, demand, cap in seg[1]:
+                    if demand > 0:
+                        if sid is None:
+                            sid = th.own
+                        servers[sid].add(tid, demand, cap, seq, now)
+                        seq += 1
+                        k += 1
+                if k:
+                    th.outstanding = k
+                    th.idx = i
+                    self._seq = seq
+                    return
+            elif op == SLEEP:
+                d = seg[1]
+                if d > 0:
+                    heappush(self.timers, (now + d, seq, tid))
+                    self._seq = seq + 1
+                    th.outstanding = 1
+                    th.idx = i
+                    return
+            elif op == ACQ:
+                lk = self._lock(seg[1])
+                if lk.holder is None:
+                    lk.holder = tid
+                else:
+                    # contended: counted at request time, like Resource
+                    lk.waits += 1
+                    lk.queue.append((tid, now))
+                    th.idx = i
+                    self._seq = seq
+                    return
+            elif op == REL:
+                lk = self._lock(seg[1])
+                lk.holder = None
+                if lk.queue:
+                    wtid, t0 = lk.queue.popleft()
+                    lk.wait_time += now - t0
+                    lk.holder = wtid
+                    # the waiter resumes only after the current
+                    # completion batch, like a succeed() at the same
+                    # timestamp
+                    self._grants.append(wtid)
+            else:  # pragma: no cover - compilers emit known opcodes
+                raise DesError(f"unknown cohort segment {seg!r}")
+
+    def _drain_grants(self) -> None:
+        g = self._grants
+        while g:
+            self._advance_thread(g.popleft())
+
+    def _lock(self, name: str) -> _LockState:
+        lk = self.locks.get(name)
+        if lk is None:
+            lk = self.locks[name] = _LockState()
+        return lk

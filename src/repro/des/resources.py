@@ -223,6 +223,49 @@ class FairShareServer:
         self._request_reschedule()
         return done
 
+    def serve_batch(self, demands: list[float],
+                    cap: Optional[float] = None) -> list[Event]:
+        """Enter many jobs at the current instant; returns their events.
+
+        Semantically identical to ``[self.submit(d, cap) for d in
+        demands]`` -- same job order, same single deferred reallocation
+        flush -- but does the bookkeeping in one pass: one time
+        advance, one cap resolution, one reschedule request for the
+        whole batch.  This is the arrival-side primitive of the cohort
+        fast path (a homogeneous region dumps a whole wavefront of
+        per-thread demands on a server at one timestamp).
+        """
+        if cap is not None and cap <= 0:
+            raise ValueError("cap must be positive")
+        if cap is not None:
+            ecap = cap
+        elif self.per_customer_cap is not None:
+            ecap = self.per_customer_cap
+        else:
+            ecap = _INF
+        sim = self.sim
+        now = sim.now
+        jobs = self._jobs
+        events = []
+        advanced = now == self._last_update
+        added = False
+        for demand in demands:
+            if demand < 0:
+                raise ValueError("demand must be >= 0")
+            done = Event(sim)
+            events.append(done)
+            if demand == 0:
+                done.succeed(None)
+                continue
+            if not advanced:
+                self._advance()
+                advanced = True
+            jobs.append(_Job(float(demand), done, now, cap, ecap))
+            added = True
+        if added:
+            self._request_reschedule()
+        return events
+
     def _request_reschedule(self) -> None:
         """Defer (re)allocation to a single flush event at the current
         timestamp, so a burst of arrivals/departures costs one O(n)

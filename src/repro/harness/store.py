@@ -114,66 +114,113 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 
-def _feed(h, obj) -> None:
-    """Feed a canonical byte encoding of ``obj`` into hasher ``h``.
+def _str_token(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    return b"s%d:" % len(raw) + raw
+
+
+#: per-dataclass encoding cache: (header bytes, field name tokens+names)
+_DC_ENC: dict[type, tuple[bytes, tuple[tuple[bytes, str], ...]]] = {}
+
+#: per-enum-member encoding cache (members are singletons)
+_ENUM_ENC: dict[enum.Enum, bytes] = {}
+
+
+def _encode(out: bytearray, obj) -> None:
+    """Append the canonical byte encoding of ``obj`` to ``out``.
 
     Every value that can appear in a machine spec or job tree is
     covered: primitives, enums, (frozen) dataclasses, dicts, sequences.
     Floats are encoded via ``float.hex`` so distinct bit patterns never
-    collide and equal values always agree.
+    collide and equal values always agree.  Job trees run to hundreds
+    of thousands of nodes, so the encoder dispatches on exact type
+    first and caches per-dataclass field layouts; the byte stream is
+    unchanged by these shortcuts (cache keys survive them).
     """
-    if obj is None:
-        h.update(b"N;")
+    t = obj.__class__
+    if t is float:
+        out += b"f"
+        out += float.hex(obj).encode("ascii")
+        out += b";"
+    elif t is str:
+        raw = obj.encode("utf-8")
+        out += b"s%d:" % len(raw)
+        out += raw
+    elif t is int:
+        out += b"i%d;" % obj
+    elif t is tuple or t is list:
+        out += b"l%d:" % len(obj)
+        for item in obj:
+            _encode(out, item)
+    elif obj is None:
+        out += b"N;"
     elif obj is True:
-        h.update(b"T;")
+        out += b"T;"
     elif obj is False:
-        h.update(b"F;")
+        out += b"F;"
     elif isinstance(obj, str):
         raw = obj.encode("utf-8")
-        h.update(b"s%d:" % len(raw))
-        h.update(raw)
+        out += b"s%d:" % len(raw)
+        out += raw
     elif isinstance(obj, float):
-        h.update(b"f")
-        h.update(float.hex(obj).encode("ascii"))
-        h.update(b";")
+        out += b"f"
+        out += float.hex(obj).encode("ascii")
+        out += b";"
     elif isinstance(obj, enum.Enum):
-        h.update(b"e")
-        _feed(h, type(obj).__qualname__)
-        _feed(h, obj.value)
+        enc = _ENUM_ENC.get(obj)
+        if enc is None:
+            buf = bytearray(b"e" + _str_token(type(obj).__qualname__))
+            _encode(buf, obj.value)
+            enc = _ENUM_ENC[obj] = bytes(buf)
+        out += enc
     elif isinstance(obj, int):
-        h.update(b"i%d;" % obj)
+        out += b"i%d;" % obj
     elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        h.update(b"d")
-        _feed(h, type(obj).__qualname__)
-        for f in dataclasses.fields(obj):
-            _feed(h, f.name)
-            _feed(h, getattr(obj, f.name))
-        h.update(b";")
+        enc = _DC_ENC.get(t)
+        if enc is None:
+            enc = _DC_ENC[t] = (
+                b"d" + _str_token(t.__qualname__),
+                tuple((_str_token(f.name), f.name)
+                      for f in dataclasses.fields(t)),
+            )
+        head, fields = enc
+        out += head
+        for token, name in fields:
+            out += token
+            _encode(out, getattr(obj, name))
+        out += b";"
     elif isinstance(obj, dict):
-        h.update(b"m%d:" % len(obj))
+        out += b"m%d:" % len(obj)
         for key in sorted(obj, key=repr):
-            _feed(h, key)
-            _feed(h, obj[key])
+            _encode(out, key)
+            _encode(out, obj[key])
     elif isinstance(obj, (list, tuple)):
-        h.update(b"l%d:" % len(obj))
+        out += b"l%d:" % len(obj)
         for item in obj:
-            _feed(h, item)
+            _encode(out, item)
     elif isinstance(obj, (set, frozenset)):
-        h.update(b"S%d:" % len(obj))
+        out += b"S%d:" % len(obj)
         for item in sorted(obj, key=repr):
-            _feed(h, item)
+            _encode(out, item)
     elif hasattr(obj, "item"):  # numpy scalar
-        _feed(h, obj.item())
+        _encode(out, obj.item())
     else:
         raise TypeError(
             f"cannot fingerprint {type(obj).__qualname__}: {obj!r}")
 
 
+def _feed(h, obj) -> None:
+    """Feed the canonical byte encoding of ``obj`` into hasher ``h``."""
+    out = bytearray()
+    _encode(out, obj)
+    h.update(out)
+
+
 def fingerprint(obj) -> str:
     """sha-256 hex digest of the canonical encoding of ``obj``."""
-    h = hashlib.sha256()
-    _feed(h, obj)
-    return h.hexdigest()
+    out = bytearray()
+    _encode(out, obj)
+    return hashlib.sha256(out).hexdigest()
 
 
 #: packages whose source determines simulation output for a given

@@ -1,0 +1,165 @@
+"""Cohort fast path for :class:`~repro.machines.ConventionalMachine`.
+
+Compiles serial steps and homogeneous parallel regions into the
+segment form of :mod:`repro.des.batch` and executes them without DES
+processes:
+
+* A serial step is a single job alone on each server, so its timeline
+  is closed-form: the same ``t += demand / rate`` chain the DES event
+  arithmetic performs, reproduced operation for operation.
+
+* An eligible region (all thread programs structurally identical; see
+  :mod:`repro.workload.cohort`) runs on a :class:`CohortEngine` with
+  two servers -- the cpu pool and the memory bus -- plus the region's
+  FIFO locks.  Work-queue regions compile each item once and share the
+  FIFO, mirroring the DES worker loop.
+
+Regions are routed back to the DES path when thread programs are
+heterogeneous, or when ``exploit_fine_grained`` is set and a phase
+carries internal parallelism (the sw-thread spawning path interleaves
+parent-side submissions that the cohort compiler does not model).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Union
+
+from repro.des.batch import ACQ, REL, SLEEP, SRV, CohortEngine, serve_alone
+from repro.machines.locality import miss_traffic_bytes
+from repro.workload.cohort import region_cohort_signature, region_phases
+from repro.workload.phase import Phase
+from repro.workload.task import (
+    Critical,
+    ParallelRegion,
+    WorkQueueRegion,
+)
+
+__all__ = ["region_eligible", "run_serial_phase", "run_region"]
+
+#: server ids used by the compiled segments
+CPU = 0
+BUS = 1
+
+
+def region_eligible(machine,
+                    step: Union[ParallelRegion, WorkQueueRegion]) -> bool:
+    """Whether the cohort engine can replay this region exactly."""
+    if isinstance(step, ParallelRegion):
+        if region_cohort_signature(step) is None:
+            return False
+    elif not isinstance(step, WorkQueueRegion):
+        return False
+    if machine.exploit_fine_grained:
+        # the sw-thread path submits parent-side creation jobs inside
+        # _run_phase; keep those regions on the DES path
+        if any(p.parallelism > 1 for p in region_phases(step)):
+            return False
+    return True
+
+
+def run_serial_phase(machine, phase: Phase, t: float, cpu, bus) -> float:
+    """Closed form of ``ConventionalMachine._run_phase`` on idle servers.
+
+    Bit-identical to the DES event chain for a lone thread: each slice
+    completes at ``t + demand / min(cap, capacity)``.
+    """
+    spec = machine.spec
+    clock = spec.core.clock_hz
+    cap = clock
+    if phase.parallelism > 1 and machine.exploit_fine_grained:
+        sw = spec.costs_for("sw")
+        create = phase.parallelism * sw.create_cycles
+        if create > 0:
+            t = serve_alone(cpu, create, clock, t)
+        cap = min(phase.parallelism, spec.n_cpus) * clock
+    slices = machine.slices_per_phase
+    cc = spec.core.compute_cycles(phase.ops) / slices
+    tb = miss_traffic_bytes(phase, spec.cache) / slices
+    bus_cap = spec.per_cpu_mem_bandwidth
+    for _ in range(slices):
+        if cc > 0:
+            t = serve_alone(cpu, cc, cap, t)
+        if tb > 0:
+            t = serve_alone(bus, tb, bus_cap, t)
+    if phase.serial_cycles > 0:
+        t = t + phase.serial_cycles / clock
+    return t
+
+
+def run_region(machine, step: Union[ParallelRegion, WorkQueueRegion],
+               t: float, cpu, bus) -> tuple[float, int, float]:
+    """Execute an eligible region; returns (end_time, waits, wait_time).
+
+    Credits the live servers' busy-time/served-work statistics so the
+    final utilization numbers match the DES path.
+    """
+    spec = machine.spec
+    clock = spec.core.clock_hz
+    costs = spec.costs_for(step.thread_kind)
+    # the parent creates every thread before any runs
+    create = costs.create_cycles * step.n_threads
+    if create > 0:
+        t = serve_alone(cpu, create, clock, t)
+
+    queue = None
+    if isinstance(step, ParallelRegion):
+        programs = [
+            _compile_items(machine, th.items, costs, prefix=None)
+            for th in step.threads
+        ]
+    else:
+        sync = costs.sync_cycles
+        # popping the shared queue is a synchronized operation
+        prefix = [(SRV, CPU, sync, clock)] if sync > 0 else []
+        queue = deque(
+            _compile_items(machine, item.items, costs, prefix=prefix)
+            for item in step.items
+        )
+        programs = [[] for _ in range(step.n_threads)]
+
+    eng = CohortEngine(t, (cpu.capacity, bus.capacity), programs,
+                       queue=queue)
+    end = eng.run()
+    for server, batch in ((cpu, eng.servers[CPU]), (bus, eng.servers[BUS])):
+        server.busy_time += batch.busy_time
+        server.total_served += batch.total_served
+    return end, eng.total_lock_waits(), eng.total_lock_wait_time()
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+def _compile_items(machine, items, costs, prefix) -> list:
+    spec = machine.spec
+    clock = spec.core.clock_hz
+    segs = list(prefix) if prefix else []
+    for item in items:
+        if isinstance(item, Critical):
+            segs.append((ACQ, item.lock))
+            if costs.sync_cycles > 0:
+                segs.append((SRV, CPU, costs.sync_cycles, clock))
+            _compile_phase(machine, item.phase, segs)
+            segs.append((REL, item.lock))
+        else:
+            _compile_phase(machine, item.phase, segs)
+    return segs
+
+
+def _compile_phase(machine, phase: Phase, segs: list) -> None:
+    spec = machine.spec
+    clock = spec.core.clock_hz
+    slices = machine.slices_per_phase
+    cc = spec.core.compute_cycles(phase.ops) / slices
+    tb = miss_traffic_bytes(phase, spec.cache) / slices
+    bus_cap = spec.per_cpu_mem_bandwidth
+    per_slice = []
+    if cc > 0:
+        per_slice.append((SRV, CPU, cc, clock))
+    if tb > 0:
+        per_slice.append((SRV, BUS, tb, bus_cap))
+    if per_slice:
+        # every slice is the same immutable segment sequence
+        segs.extend(per_slice * slices)
+    if phase.serial_cycles > 0:
+        segs.append((SLEEP, phase.serial_cycles / clock))

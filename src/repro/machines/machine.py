@@ -24,6 +24,13 @@ Passing ``exploit_fine_grained=True`` makes the machine spawn software
 threads for them, paying the creation cost per strand; this exists to
 reproduce the paper's observation that inner-loop parallelization is
 not practical on these platforms.
+
+Serial steps and homogeneous regions (see
+:mod:`repro.workload.cohort`) take a vectorized fast path by default
+-- the same timeline computed without per-thread DES processes.  Set
+``REPRO_NO_COHORT=1`` (or pass ``use_cohort=False``) to force
+everything through the DES path; the two agree on simulated seconds to
+well within 1e-9 relative.
 """
 
 from __future__ import annotations
@@ -48,6 +55,9 @@ from repro.workload.task import (
     WorkQueueRegion,
 )
 
+from repro.workload.cohort import cohort_enabled
+
+from repro.machines import cohort
 from repro.machines.locality import miss_traffic_bytes
 from repro.machines.spec import MachineSpec
 
@@ -74,12 +84,15 @@ class ConventionalMachine:
     """DES performance model of a cache-based shared-memory machine."""
 
     def __init__(self, spec: MachineSpec, slices_per_phase: int = 16,
-                 exploit_fine_grained: bool = False):
+                 exploit_fine_grained: bool = False,
+                 use_cohort: bool | None = None):
         if slices_per_phase < 1:
             raise ValueError("slices_per_phase must be >= 1")
         self.spec = spec
         self.slices_per_phase = slices_per_phase
         self.exploit_fine_grained = exploit_fine_grained
+        self.use_cohort = (cohort_enabled() if use_cohort is None
+                           else bool(use_cohort))
 
     # ------------------------------------------------------------------
     def run(self, job: Job) -> RunResult:
@@ -94,13 +107,19 @@ class ConventionalMachine:
             per_customer_cap=spec.per_cpu_mem_bandwidth, name="bus")
         locks: dict[str, SimLock] = {}
         peak = [1]
+        # cohort-vs-DES coverage and fast-path lock statistics
+        acct = {"cohort_regions": 0, "des_regions": 0,
+                "cohort_serial_steps": 0, "des_serial_steps": 0,
+                "lock_waits": 0, "lock_wait_time": 0.0}
 
         main = sim.process(
-            self._job_body(sim, job, cpu, bus, locks, peak), name=job.name)
+            self._job_body(sim, job, cpu, bus, locks, peak, acct),
+            name=job.name)
         sim.run_all(main)
 
         total = sim.now
-        lock_wait = sum(lk.total_wait_time for lk in locks.values())
+        lock_wait = (sum(lk.total_wait_time for lk in locks.values())
+                     + acct["lock_wait_time"])
         return RunResult(
             machine=spec.name,
             job=job.name,
@@ -113,7 +132,12 @@ class ConventionalMachine:
                 "cpu_busy_time": cpu.busy_time,
                 "bus_busy_time": bus.busy_time,
                 "lock_acquisitions": float(
-                    sum(lk.total_waits for lk in locks.values())),
+                    sum(lk.total_waits for lk in locks.values())
+                    + acct["lock_waits"]),
+                "cohort_regions": float(acct["cohort_regions"]),
+                "des_regions": float(acct["des_regions"]),
+                "cohort_serial_steps": float(acct["cohort_serial_steps"]),
+                "des_serial_steps": float(acct["des_serial_steps"]),
             },
         )
 
@@ -124,17 +148,40 @@ class ConventionalMachine:
             locks[name] = SimLock(sim, name=name)
         return locks[name]
 
-    def _job_body(self, sim, job, cpu, bus, locks, peak):
+    def _job_body(self, sim, job, cpu, bus, locks, peak, acct):
+        # ``cursor`` runs ahead of sim.now through fast-path steps; one
+        # timeout folds the accumulated span back into the DES clock
+        # before (and after) any step that needs real events.
         spec = self.spec
+        cursor = sim.now
         for step in job.steps:
             if isinstance(step, SerialStep):
+                if self.use_cohort:
+                    cursor = cohort.run_serial_phase(
+                        self, step.phase, cursor, cpu, bus)
+                    acct["cohort_serial_steps"] += 1
+                    continue
+                acct["des_serial_steps"] += 1
+                if cursor > sim.now:
+                    yield sim.timeout(cursor - sim.now)
                 yield from self._run_phase(sim, step.phase, cpu, bus)
+                cursor = sim.now
             elif isinstance(step, ParallelRegion):
+                peak[0] = max(peak[0], step.n_threads)
+                if self.use_cohort and cohort.region_eligible(self, step):
+                    cursor, waits, wait_time = cohort.run_region(
+                        self, step, cursor, cpu, bus)
+                    acct["cohort_regions"] += 1
+                    acct["lock_waits"] += waits
+                    acct["lock_wait_time"] += wait_time
+                    continue
+                acct["des_regions"] += 1
+                if cursor > sim.now:
+                    yield sim.timeout(cursor - sim.now)
                 costs = spec.costs_for(step.thread_kind)
                 # the parent creates every thread before any runs
                 yield cpu.submit(costs.create_cycles * step.n_threads,
                                  cap=spec.core.clock_hz)
-                peak[0] = max(peak[0], step.n_threads)
                 procs = [
                     sim.process(
                         self._thread_body(sim, th, cpu, bus, locks, costs),
@@ -142,11 +189,22 @@ class ConventionalMachine:
                     for th in step.threads
                 ]
                 yield AllOf(sim, procs)
+                cursor = sim.now
             elif isinstance(step, WorkQueueRegion):
+                peak[0] = max(peak[0], step.n_threads)
+                if self.use_cohort and cohort.region_eligible(self, step):
+                    cursor, waits, wait_time = cohort.run_region(
+                        self, step, cursor, cpu, bus)
+                    acct["cohort_regions"] += 1
+                    acct["lock_waits"] += waits
+                    acct["lock_wait_time"] += wait_time
+                    continue
+                acct["des_regions"] += 1
+                if cursor > sim.now:
+                    yield sim.timeout(cursor - sim.now)
                 costs = spec.costs_for(step.thread_kind)
                 yield cpu.submit(costs.create_cycles * step.n_threads,
                                  cap=spec.core.clock_hz)
-                peak[0] = max(peak[0], step.n_threads)
                 queue = Store(sim, name="work-queue")
                 for item in step.items:
                     queue.put(item)
@@ -158,8 +216,11 @@ class ConventionalMachine:
                     for i in range(step.n_threads)
                 ]
                 yield AllOf(sim, procs)
+                cursor = sim.now
             else:  # pragma: no cover - Job validates step types
                 raise TypeError(f"unknown job step {step!r}")
+        if cursor > sim.now:
+            yield sim.timeout(cursor - sim.now)
 
     def _thread_body(self, sim, program: ThreadProgram, cpu, bus, locks,
                      costs):

@@ -26,6 +26,11 @@ Executes :class:`~repro.workload.Job` descriptions on DES servers:
 
 Instruction counts come from abstract op counts divided by the LIW
 packing factor (``ops_per_instruction``).
+
+Serial steps and homogeneous single-stream regions take the vectorized
+cohort fast path by default (see :mod:`repro.mta.cohort`); set
+``REPRO_NO_COHORT=1`` or pass ``use_cohort=False`` to force the pure
+DES path.
 """
 
 from __future__ import annotations
@@ -44,6 +49,9 @@ from repro.workload.task import (
     WorkQueueRegion,
 )
 
+from repro.workload.cohort import cohort_enabled
+
+from repro.mta import cohort
 from repro.mta.spec import MtaSpec
 
 
@@ -64,11 +72,14 @@ class MtaRunResult:
 class MtaMachine:
     """DES performance model of the Tera MTA."""
 
-    def __init__(self, spec: MtaSpec, slices_per_phase: int = 8):
+    def __init__(self, spec: MtaSpec, slices_per_phase: int = 8,
+                 use_cohort: bool | None = None):
         if slices_per_phase < 1:
             raise ValueError("slices_per_phase must be >= 1")
         self.spec = spec
         self.slices_per_phase = slices_per_phase
+        self.use_cohort = (cohort_enabled() if use_cohort is None
+                           else bool(use_cohort))
 
     # ------------------------------------------------------------------
     def run(self, job: Job) -> MtaRunResult:
@@ -84,14 +95,18 @@ class MtaMachine:
             name="network")
         locks: dict[str, SimLock] = {}
         peak = [1]
+        acct = {"cohort_regions": 0, "des_regions": 0,
+                "cohort_serial_steps": 0, "des_serial_steps": 0,
+                "lock_waits": 0, "lock_wait_time": 0.0}
 
         main = sim.process(
-            self._job_body(sim, job, issue, network, locks, peak),
+            self._job_body(sim, job, issue, network, locks, peak, acct),
             name=job.name)
         sim.run_all(main)
 
         total = sim.now
-        lock_wait = sum(lk.total_wait_time for lk in locks.values())
+        lock_wait = (sum(lk.total_wait_time for lk in locks.values())
+                     + acct["lock_wait_time"])
         issue_util = (sum(s.utilization(total) for s in issue) / len(issue)
                       if total > 0 else 0.0)
         return MtaRunResult(
@@ -107,6 +122,10 @@ class MtaMachine:
                 "network_busy_time": network.busy_time,
                 "issue_busy_time_total": float(
                     sum(s.busy_time for s in issue)),
+                "cohort_regions": float(acct["cohort_regions"]),
+                "des_regions": float(acct["des_regions"]),
+                "cohort_serial_steps": float(acct["cohort_serial_steps"]),
+                "des_serial_steps": float(acct["des_serial_steps"]),
             },
         )
 
@@ -131,18 +150,41 @@ class MtaMachine:
         # at full pipeline rate (creation is not memory-bound).
         return issue0.submit(cycles, cap=self.spec.clock_hz)
 
-    def _job_body(self, sim, job, issue, network, locks, peak):
+    def _job_body(self, sim, job, issue, network, locks, peak, acct):
+        # ``cursor`` runs ahead of sim.now through fast-path steps; one
+        # timeout folds the accumulated span back into the DES clock
+        # around any step that needs real events.
         spec = self.spec
+        cursor = sim.now
         for step in job.steps:
             if isinstance(step, SerialStep):
+                if self.use_cohort:
+                    cursor = cohort.run_serial_phase(
+                        self, step.phase, cursor, issue, network)
+                    acct["cohort_serial_steps"] += 1
+                    continue
+                acct["des_serial_steps"] += 1
+                if cursor > sim.now:
+                    yield sim.timeout(cursor - sim.now)
                 yield from self._run_phase(sim, step.phase, 0, issue,
                                            network)
+                cursor = sim.now
             elif isinstance(step, ParallelRegion):
+                peak[0] = max(peak[0], step.n_threads)
+                if self.use_cohort and cohort.region_eligible(step):
+                    cursor, waits, wait_time = cohort.run_region(
+                        self, step, cursor, issue, network)
+                    acct["cohort_regions"] += 1
+                    acct["lock_waits"] += waits
+                    acct["lock_wait_time"] += wait_time
+                    continue
+                acct["des_regions"] += 1
+                if cursor > sim.now:
+                    yield sim.timeout(cursor - sim.now)
                 ev = self._creation(issue[0], step.thread_kind,
                                     step.n_threads)
                 if ev is not None:
                     yield ev
-                peak[0] = max(peak[0], step.n_threads)
                 procs = [
                     sim.process(
                         self._thread_body(sim, th, i % spec.n_processors,
@@ -152,12 +194,23 @@ class MtaMachine:
                     for i, th in enumerate(step.threads)
                 ]
                 yield AllOf(sim, procs)
+                cursor = sim.now
             elif isinstance(step, WorkQueueRegion):
+                peak[0] = max(peak[0], step.n_threads)
+                if self.use_cohort and cohort.region_eligible(step):
+                    cursor, waits, wait_time = cohort.run_region(
+                        self, step, cursor, issue, network)
+                    acct["cohort_regions"] += 1
+                    acct["lock_waits"] += waits
+                    acct["lock_wait_time"] += wait_time
+                    continue
+                acct["des_regions"] += 1
+                if cursor > sim.now:
+                    yield sim.timeout(cursor - sim.now)
                 ev = self._creation(issue[0], step.thread_kind,
                                     step.n_threads)
                 if ev is not None:
                     yield ev
-                peak[0] = max(peak[0], step.n_threads)
                 queue = Store(sim, name="work-queue")
                 for item in step.items:
                     queue.put(item)
@@ -170,8 +223,11 @@ class MtaMachine:
                     for i in range(step.n_threads)
                 ]
                 yield AllOf(sim, procs)
+                cursor = sim.now
             else:  # pragma: no cover
                 raise TypeError(f"unknown job step {step!r}")
+        if cursor > sim.now:
+            yield sim.timeout(cursor - sim.now)
 
     def _thread_body(self, sim, program: ThreadProgram, proc: int, issue,
                      network, locks, kind: str):

@@ -35,6 +35,13 @@ from repro.workload.builder import (
     make_phase,
     single_thread_job,
 )
+from repro.workload.cohort import (
+    NO_COHORT_ENV,
+    cohort_enabled,
+    item_signature,
+    program_signature,
+    region_cohort_signature,
+)
 from repro.workload.instrument import OpCounter
 from repro.workload.describe import describe_job, job_summary
 
@@ -45,6 +52,7 @@ __all__ = [
     "Job",
     "JobBuilder",
     "MemoryProfile",
+    "NO_COHORT_ENV",
     "OpClass",
     "OpCounter",
     "OpCounts",
@@ -56,8 +64,12 @@ __all__ = [
     "WORD_BYTES",
     "WorkItem",
     "WorkQueueRegion",
+    "cohort_enabled",
     "describe_job",
+    "item_signature",
     "job_summary",
     "make_phase",
+    "program_signature",
+    "region_cohort_signature",
     "single_thread_job",
 ]

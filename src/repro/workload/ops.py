@@ -37,10 +37,14 @@ class OpCounts:
     sync: float = 0.0
 
     def __post_init__(self) -> None:
-        for f in fields(self):
-            v = getattr(self, f.name)
-            if v < 0:
-                raise ValueError(f"negative op count {f.name}={v}")
+        # hot constructor: field list spelled out (dataclasses.fields()
+        # re-resolves the registry on every call)
+        if (self.ialu < 0 or self.falu < 0 or self.load < 0
+                or self.store < 0 or self.branch < 0 or self.sync < 0):
+            for name in _FIELD_NAMES:
+                v = getattr(self, name)
+                if v < 0:
+                    raise ValueError(f"negative op count {name}={v}")
 
     # ------------------------------------------------------------------
     @property
@@ -67,23 +71,25 @@ class OpCounts:
 
     # ------------------------------------------------------------------
     def __add__(self, other: "OpCounts") -> "OpCounts":
-        return OpCounts(*(getattr(self, f.name) + getattr(other, f.name)
-                          for f in fields(self)))
+        return OpCounts(self.ialu + other.ialu, self.falu + other.falu,
+                        self.load + other.load, self.store + other.store,
+                        self.branch + other.branch, self.sync + other.sync)
 
     def __mul__(self, k: float) -> "OpCounts":
         if k < 0:
             raise ValueError("cannot scale op counts by a negative factor")
-        return OpCounts(*(getattr(self, f.name) * k for f in fields(self)))
+        return OpCounts(self.ialu * k, self.falu * k, self.load * k,
+                        self.store * k, self.branch * k, self.sync * k)
 
     __rmul__ = __mul__
 
     def replace(self, **kwargs: float) -> "OpCounts":
-        vals = {f.name: getattr(self, f.name) for f in fields(self)}
+        vals = {name: getattr(self, name) for name in _FIELD_NAMES}
         vals.update(kwargs)
         return OpCounts(**vals)
 
     def as_dict(self) -> dict[str, float]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {name: getattr(self, name) for name in _FIELD_NAMES}
 
     @staticmethod
     def from_dict(d: dict[str, float]) -> "OpCounts":
@@ -92,3 +98,6 @@ class OpCounts:
     def weighted_cycles(self, weights: dict[str, float]) -> float:
         """Dot product with a per-op-class cycle-cost table."""
         return sum(getattr(self, name) * w for name, w in weights.items())
+
+
+_FIELD_NAMES = tuple(f.name for f in fields(OpCounts))

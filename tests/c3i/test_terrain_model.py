@@ -200,3 +200,46 @@ def test_masking_bounds_property(r, x, y):
     assert (alt[finite] >= local[finite] - 1e-9).all()
     assert alt[t.x - window.x0, t.y - window.y0] == pytest.approx(
         float(terrain[t.x, t.y]))
+
+
+# ----------------------------------------------------------------------
+# cached ray/ring geometry
+# ----------------------------------------------------------------------
+
+def test_ring_geometry_matches_offsets():
+    from repro.c3i.terrain.model import ring_geometry
+
+    radius = 9
+    rings = ring_offsets(radius)
+    geo = ring_geometry(radius)
+    assert len(geo) == len(rings)
+    for (dxa, dya, pdx, pdy), entry in zip(rings, geo):
+        gdx, gdy, gpdx, gpdy, dist, pdist = entry
+        assert (gdx == dxa).all() and (gdy == dya).all()
+        assert (gpdx == pdx).all() and (gpdy == pdy).all()
+        # the exact expressions masking_for_threat historically used
+        assert (dist == np.sqrt(dxa ** 2.0 + dya ** 2.0)).all()
+        assert (pdist == np.sqrt(pdx ** 2.0 + pdy ** 2.0)).all()
+
+
+def test_ring_geometry_arrays_are_immutable():
+    from repro.c3i.terrain.model import ring_geometry
+
+    for entry in ring_geometry(5):
+        dist, pdist = entry[4], entry[5]
+        with pytest.raises(ValueError):
+            dist[0] = 1.0
+        with pytest.raises(ValueError):
+            pdist[0] = 1.0
+
+
+def test_masking_independent_of_threat_position():
+    """The cached geometry is position-independent: two threats far
+    from every edge see bit-identical masking surfaces over flat
+    terrain."""
+    terrain = flat_terrain(96, height=50.0)
+    a = GroundThreat(x=30, y=30, range_cells=12)
+    b = GroundThreat(x=60, y=55, range_cells=12)
+    _wa, alt_a, _sa = masking_for_threat(terrain, a)
+    _wb, alt_b, _sb = masking_for_threat(terrain, b)
+    assert (alt_a == alt_b).all()

@@ -1,0 +1,238 @@
+"""Unit and property tests for the cohort batch engine.
+
+The contract under test: the batch servers and :class:`CohortEngine`
+reproduce, job for job, the timeline the slice-interleaved DES path
+computes with one generator process per thread.  Scalar and vector
+server implementations must agree with each other (and with a live
+``FairShareServer``) to within the DES completion tolerance.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des import DesError, FairShareServer, Simulator
+from repro.des.batch import (
+    ACQ,
+    PAR,
+    REL,
+    SLEEP,
+    SRV,
+    BatchServer,
+    CohortEngine,
+    ScalarBatchServer,
+    _water_fill,
+    serve_alone,
+)
+
+REL_TOL = 1e-9
+
+
+def rel_err(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-300)
+
+
+# ----------------------------------------------------------------------
+# serve_alone / serve_batch against the live DES server
+# ----------------------------------------------------------------------
+
+def test_serve_alone_matches_lone_des_submission():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=100.0)
+    done = {}
+
+    def body(sim):
+        ev = srv.submit(730.0, cap=40.0)
+        yield ev
+        done["t"] = sim.now
+
+    sim.process(body(sim))
+    sim.run()
+
+    mirror = FairShareServer(Simulator(), capacity=100.0)
+    end = serve_alone(mirror, 730.0, 40.0, 0.0)
+    assert end == done["t"]
+    assert mirror.busy_time == srv.busy_time
+    assert mirror.total_served == srv.total_served
+
+
+def test_serve_batch_equals_individual_submits():
+    demands = [100.0, 250.0, 60.0, 100.0]
+
+    def run(batched: bool):
+        sim = Simulator()
+        srv = FairShareServer(sim, capacity=50.0)
+        ends = {}
+
+        def waiter(sim, i, ev):
+            yield ev
+            ends[i] = sim.now
+
+        def submitter(sim):
+            if batched:
+                events = srv.serve_batch(demands, cap=30.0)
+            else:
+                events = [srv.submit(d, cap=30.0) for d in demands]
+            for i, ev in enumerate(events):
+                sim.process(waiter(sim, i, ev))
+            return
+            yield  # pragma: no cover - generator marker
+
+        sim.process(submitter(sim))
+        sim.run()
+        return ends, srv.busy_time, srv.total_served
+
+    ends_a, busy_a, served_a = run(batched=False)
+    ends_b, busy_b, served_b = run(batched=True)
+    assert ends_a == ends_b
+    assert busy_a == busy_b
+    assert served_a == served_b
+
+
+def test_serve_batch_zero_demand_completes_immediately():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+    events = srv.serve_batch([0.0, 5.0])
+    assert events[0].triggered
+    assert not events[1].triggered
+
+
+def test_serve_batch_rejects_bad_input():
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=10.0)
+    with pytest.raises(ValueError):
+        srv.serve_batch([1.0], cap=0.0)
+    with pytest.raises(ValueError):
+        srv.serve_batch([-1.0])
+
+
+# ----------------------------------------------------------------------
+# scalar vs vector batch server consistency
+# ----------------------------------------------------------------------
+
+def drain(server, jobs, start=0.0):
+    """Push ``jobs = [(demand, cap), ...]`` at ``start`` and drain.
+
+    Returns the ordered completion events as ``(time, sorted slots)``.
+    """
+    for slot, (demand, cap) in enumerate(jobs):
+        server.add(slot, demand, cap, slot, start)
+    server.flush(start)
+    out = []
+    while server.n:
+        t = server.due
+        assert t < math.inf
+        done = server.finish(t)
+        server.flush(t)
+        out.append((t, sorted(s for _q, s in done)))
+    return out
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1e-3, max_value=1e6),
+            st.one_of(st.none(),
+                      st.floats(min_value=1e-2, max_value=1e4)),
+        ),
+        min_size=1, max_size=12),
+    st.floats(min_value=1e-1, max_value=1e3),
+)
+def test_scalar_and_vector_servers_agree(jobs, capacity):
+    scalar = ScalarBatchServer(capacity, len(jobs), 0.0)
+    vector = BatchServer(capacity, len(jobs), 0.0)
+    ev_s = drain(scalar, jobs)
+    ev_v = drain(vector, jobs)
+    # same completion groups at the same (tolerance-batched) times
+    assert len(ev_s) == len(ev_v)
+    for (ts, group_s), (tv, group_v) in zip(ev_s, ev_v):
+        assert rel_err(ts, tv) <= REL_TOL
+        assert group_s == group_v
+    assert rel_err(scalar.busy_time, vector.busy_time) <= REL_TOL
+    assert rel_err(scalar.total_served, vector.total_served) <= REL_TOL
+
+
+def test_uniform_batch_completes_together():
+    srv = ScalarBatchServer(100.0, 8, 0.0)
+    events = drain(srv, [(50.0, None)] * 8)
+    assert len(events) == 1
+    t, group = events[0]
+    assert group == list(range(8))
+    assert rel_err(t, 8 * 50.0 / 100.0) <= REL_TOL
+
+
+def test_water_fill_matches_sequential_des_fill():
+    import numpy as np
+
+    caps = np.array([5.0, 30.0, 5.0, 100.0, 12.0])
+    capacity = 60.0
+    rates = _water_fill(caps, capacity)
+    # DES order: ascending distinct caps, equal split of the leftover
+    left, n_left = capacity, len(caps)
+    expected = {}
+    for idx in sorted(range(len(caps)), key=lambda i: caps[i]):
+        share = left / n_left
+        r = min(caps[idx], share)
+        expected[idx] = r
+        left -= r
+        n_left -= 1
+    for i, r in expected.items():
+        assert rel_err(rates[i], r) <= 1e-12
+    assert rates.sum() <= capacity * (1 + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# CohortEngine semantics
+# ----------------------------------------------------------------------
+
+def test_engine_runs_identical_threads_in_parallel():
+    # four identical single-segment threads on one server: all finish
+    # together at demand / (capacity / 4)
+    programs = [[(SRV, 0, 100.0, None)] for _ in range(4)]
+    eng = CohortEngine(0.0, [200.0], programs)
+    end = eng.run()
+    assert rel_err(end, 100.0 / (200.0 / 4)) <= REL_TOL
+
+
+def test_engine_par_segment_joins_all_parts():
+    # one thread issuing to both servers; ends at the slower part
+    programs = [[(PAR, ((0, 100.0, None), (1, 400.0, None)))]]
+    eng = CohortEngine(0.0, [100.0, 100.0], programs)
+    assert rel_err(eng.run(), 4.0) <= REL_TOL
+
+
+def test_engine_sleep_and_home_server():
+    programs = [[(SLEEP, 2.5), (SRV, None, 10.0, None)]]
+    eng = CohortEngine(1.0, [10.0, 10.0], programs, own_sids=[1])
+    assert rel_err(eng.run(), 1.0 + 2.5 + 1.0) <= REL_TOL
+    assert eng.servers[0].busy_time == 0.0
+    assert eng.servers[1].busy_time > 0.0
+
+
+def test_engine_lock_serializes_and_counts_waits():
+    # two threads racing for one lock; the critical section is 1s long
+    seg = [(ACQ, "L"), (SRV, 0, 10.0, 10.0), (REL, "L")]
+    eng = CohortEngine(0.0, [100.0], [list(seg), list(seg)])
+    end = eng.run()
+    assert rel_err(end, 2.0) <= REL_TOL
+    assert eng.total_lock_waits() == 1
+    assert rel_err(eng.total_lock_wait_time(), 1.0) <= REL_TOL
+
+
+def test_engine_work_queue_drains_in_fifo_order():
+    from collections import deque
+
+    items = deque([(SRV, 0, 10.0, 10.0)] for _ in range(6))
+    eng = CohortEngine(0.0, [100.0], [[] for _ in range(2)], queue=items)
+    # 6 one-second items over 2 workers -> 3 seconds
+    assert rel_err(eng.run(), 3.0) <= REL_TOL
+    assert not items
+
+
+def test_engine_deadlock_raises():
+    # a thread that acquires twice without releasing blocks forever
+    programs = [[(ACQ, "L"), (ACQ, "L"), (REL, "L")]]
+    with pytest.raises(DesError):
+        CohortEngine(0.0, [10.0], programs).run()

@@ -1,0 +1,168 @@
+"""Cohort fast path vs pure DES on the conventional machine model.
+
+The acceptance bar from the vectorized-cohort work: for any job the
+registry can produce, simulated seconds on the cohort path agree with
+the pure-DES path to within 1e-9 relative, and regions the cohort
+compiler cannot replay exactly are routed back to DES.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import ConventionalMachine, exemplar
+from repro.workload import (
+    JobBuilder,
+    OpCounts,
+    ThreadProgramBuilder,
+    make_phase,
+)
+from repro.workload.cohort import NO_COHORT_ENV, cohort_enabled
+
+REL_TOL = 1e-9
+
+
+def rel_err(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-300)
+
+
+def run_both(job, n_cpus=4, fine_grained=False):
+    des = ConventionalMachine(exemplar(n_cpus), use_cohort=False,
+                              exploit_fine_grained=fine_grained).run(job)
+    coh = ConventionalMachine(exemplar(n_cpus), use_cohort=True,
+                              exploit_fine_grained=fine_grained).run(job)
+    return des, coh
+
+
+def assert_equivalent(des, coh):
+    assert rel_err(coh.seconds, des.seconds) <= REL_TOL
+    assert rel_err(coh.lock_wait_seconds, des.lock_wait_seconds) <= 1e-6 \
+        or abs(coh.lock_wait_seconds - des.lock_wait_seconds) <= 1e-9
+
+
+# ----------------------------------------------------------------------
+# randomized homogeneous regions
+# ----------------------------------------------------------------------
+
+@st.composite
+def homogeneous_jobs(draw):
+    """A job with one homogeneous region: same shape, random magnitudes.
+
+    Cohort threads may be arbitrarily imbalanced -- only their item
+    *shape* must match -- so per-thread op counts are drawn freely.
+    """
+    n_threads = draw(st.integers(min_value=1, max_value=10))
+    n_items = draw(st.integers(min_value=1, max_value=3))
+    with_lock = draw(st.booleans())
+    shared_bytes = draw(st.sampled_from([0.0, 2e5]))
+    threads = []
+    for i in range(n_threads):
+        b = ThreadProgramBuilder(f"t{i}")
+        for k in range(n_items):
+            ops = OpCounts(
+                ialu=draw(st.floats(min_value=1e3, max_value=2e6)),
+                load=draw(st.floats(min_value=0.0, max_value=5e5)),
+            )
+            b.compute(f"c{k}", ops, unique_bytes=shared_bytes)
+            if with_lock:
+                b.critical("lock-0", f"crit{k}",
+                           OpCounts(store=draw(st.floats(min_value=10,
+                                                         max_value=1e4)),
+                                    sync=2.0))
+        threads.append(b.build())
+    job = (JobBuilder("prop")
+           .serial("setup", OpCounts(ialu=1e4))
+           .parallel(threads)
+           .build())
+    return job
+
+
+@pytest.mark.slow
+@settings(max_examples=25, deadline=None)
+@given(homogeneous_jobs(), st.integers(min_value=1, max_value=8))
+def test_property_cohort_matches_des(job, n_cpus):
+    des, coh = run_both(job, n_cpus=n_cpus)
+    assert_equivalent(des, coh)
+    assert coh.stats["cohort_regions"] == 1.0
+    assert coh.stats["des_regions"] == 0.0
+    assert des.stats["cohort_regions"] == 0.0
+    assert des.stats["des_regions"] == 1.0
+
+
+@pytest.mark.slow
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=12),
+       st.floats(min_value=1e4, max_value=5e6))
+def test_property_work_queue_matches_des(n_threads, n_items, ops):
+    items = []
+    for i in range(n_items):
+        items.append(
+            ThreadProgramBuilder(f"item{i}")
+            .compute("c", OpCounts(ialu=ops * (1 + 0.1 * i), load=ops / 4),
+                     unique_bytes=1e5)
+            .critical("tally", "crit", OpCounts(store=64.0, sync=2.0))
+            .build_work_item())
+    job = JobBuilder("wq").work_queue(items, n_threads).build()
+    des, coh = run_both(job)
+    assert_equivalent(des, coh)
+    assert coh.stats["cohort_regions"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# routing: what must stay on the DES path
+# ----------------------------------------------------------------------
+
+def test_heterogeneous_region_routes_to_des():
+    a = (ThreadProgramBuilder("a")
+         .compute("c", OpCounts(ialu=1e5)).build())
+    b = (ThreadProgramBuilder("b")
+         .compute("c", OpCounts(ialu=1e5))
+         .critical("L", "crit", OpCounts(store=10.0)).build())
+    job = JobBuilder("het").parallel([a, b]).build()
+    des, coh = run_both(job)
+    # identical timing either way: the cohort machine fell back to DES
+    assert coh.seconds == des.seconds
+    assert coh.stats["cohort_regions"] == 0.0
+    assert coh.stats["des_regions"] == 1.0
+
+
+def test_fine_grained_region_routes_to_des():
+    phase = make_phase("fg", OpCounts(falu=2e6), parallelism=8.0)
+    th = [ThreadProgramBuilder(f"t{i}").phase(phase).build()
+          for i in range(4)]
+    job = JobBuilder("fg").parallel(th).build()
+    des, coh = run_both(job, fine_grained=True)
+    assert coh.seconds == des.seconds
+    assert coh.stats["des_regions"] == 1.0
+    assert coh.stats["cohort_regions"] == 0.0
+
+
+def test_serial_steps_use_closed_form():
+    job = (JobBuilder("serial")
+           .serial("a", OpCounts(ialu=1e6, load=2e5), unique_bytes=3e5)
+           .serial("b", OpCounts(falu=5e5))
+           .build())
+    des, coh = run_both(job)
+    assert rel_err(coh.seconds, des.seconds) <= REL_TOL
+    assert coh.stats["cohort_serial_steps"] == 2.0
+    assert des.stats["des_serial_steps"] == 2.0
+
+
+# ----------------------------------------------------------------------
+# the escape hatch
+# ----------------------------------------------------------------------
+
+def test_no_cohort_env_disables_fast_path(monkeypatch):
+    monkeypatch.setenv(NO_COHORT_ENV, "1")
+    assert not cohort_enabled()
+    m = ConventionalMachine(exemplar(2))
+    assert m.use_cohort is False
+    monkeypatch.setenv(NO_COHORT_ENV, "0")
+    assert cohort_enabled()
+    assert ConventionalMachine(exemplar(2)).use_cohort is True
+
+
+def test_explicit_flag_overrides_env(monkeypatch):
+    monkeypatch.setenv(NO_COHORT_ENV, "1")
+    m = ConventionalMachine(exemplar(2), use_cohort=True)
+    assert m.use_cohort is True

@@ -79,3 +79,24 @@ def test_scaling_preserves_total(oc, k):
 @given(opcounts_strategy())
 def test_mem_fraction_bounded(oc):
     assert 0.0 <= oc.mem_fraction <= 1.0
+
+
+def test_each_negative_field_names_the_offender():
+    # the hot constructor fast-guards, then reports the exact field
+    for name in ("ialu", "falu", "load", "store", "branch", "sync"):
+        with pytest.raises(ValueError, match=name):
+            OpCounts(**{name: -1.0})
+
+
+def test_replace_covers_every_field():
+    oc = OpCounts(ialu=1, falu=2, load=3, store=4, branch=5, sync=6)
+    assert oc.replace(sync=9.0) == OpCounts(ialu=1, falu=2, load=3,
+                                            store=4, branch=5, sync=9)
+    assert oc.replace() == oc
+
+
+def test_nan_counts_pass_validation_unchanged():
+    # NaN < 0 is False: the explicit fast guard must keep admitting
+    # NaN exactly like the historical fields() loop did
+    oc = OpCounts(ialu=float("nan"))
+    assert oc.ialu != oc.ialu
