@@ -7,7 +7,9 @@ Usage::
     python -m repro run table5 fig3 autopar   # several
     python -m repro all                       # everything
     python -m repro all -j 4 --profile        # in parallel, with timings
+    python -m repro all --metrics             # per-experiment sim rollups
     python -m repro report                    # EXPERIMENTS.md to stdout
+    python -m repro trace table5 -o t5.json   # Chrome/Perfetto trace
     python -m repro bench                     # cohort-vs-DES kernel timings
     python -m repro bench --verify            # full-registry equivalence
     python -m repro feedback                  # compiler feedback, Programs 1-4
@@ -64,6 +66,23 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--profile", action="store_true",
                        help="print per-experiment wall time and cache "
                             "hit/miss counts")
+    all_p.add_argument("--metrics", action="store_true",
+                       help="print per-experiment simulation rollups "
+                            "(regions, wall split, lock contention)")
+    all_p.add_argument("--metrics-json", metavar="PATH", default=None,
+                       help="write the rollups (plus every per-run "
+                            "stats record) as JSON")
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one experiment with event tracing and export a "
+             "Chrome-trace JSON (chrome://tracing / Perfetto)")
+    trace_p.add_argument("id", metavar="ID")
+    trace_p.add_argument("--output", "-o", metavar="PATH", default=None,
+                         help="trace file (default: trace-<ID>.json)")
+    trace_p.add_argument("--max-events", type=int, default=1_000_000,
+                         metavar="N",
+                         help="record cap; past it records are counted "
+                              "but dropped (default 1000000)")
     bench_p = sub.add_parser(
         "bench",
         help="measure the cohort fast path against pure DES")
@@ -111,9 +130,15 @@ def _cmd_run(ids: list[str], data: BenchmarkData,
     return status
 
 
-def _cmd_all(data: BenchmarkData, jobs: int | None,
-             profile: bool) -> int:
-    from repro.harness.parallel import render_profile, run_experiments
+def _cmd_all(data: BenchmarkData, jobs: int | None, profile: bool,
+             metrics: bool = False,
+             metrics_json: str | None = None) -> int:
+    from repro.harness.parallel import (
+        metrics_to_dict,
+        render_metrics,
+        render_profile,
+        run_experiments,
+    )
 
     results, profiles = run_experiments(
         threat_scale=data.threat_scale, terrain_scale=data.terrain_scale,
@@ -126,7 +151,45 @@ def _cmd_all(data: BenchmarkData, jobs: int | None,
             status = 1
     if profile:
         print(render_profile(profiles))
+    if metrics:
+        print(render_metrics(profiles))
+    if metrics_json is not None:
+        import json
+
+        with open(metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(metrics_to_dict(profiles), fh, indent=2)
     return status
+
+
+def _cmd_trace(experiment_id: str, data: BenchmarkData,
+               output: str | None, max_events: int) -> int:
+    import json
+
+    from repro.obs.trace import (
+        TraceRecorder,
+        tracing,
+        validate_chrome_trace,
+    )
+
+    recorder = TraceRecorder(max_events=max_events)
+    with tracing(recorder):
+        try:
+            result = run_experiment(experiment_id, data)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    print(result.render())
+    trace = recorder.to_chrome()
+    validate_chrome_trace(trace)
+    path = output or f"trace-{experiment_id}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    note = (f" ({recorder.dropped} records dropped; raise --max-events)"
+            if recorder.dropped else "")
+    print(f"\nwrote {len(trace['traceEvents'])} trace events to "
+          f"{path}{note}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0 if result.all_checks_pass() else 1
 
 
 def _cmd_report(threat_scale: float, terrain_scale: float,
@@ -200,7 +263,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         return _cmd_run(args.ids, data, args.json)
     if args.command == "all":
-        return _cmd_all(data, args.jobs, args.profile)
+        return _cmd_all(data, args.jobs, args.profile,
+                        metrics=args.metrics,
+                        metrics_json=args.metrics_json)
+    if args.command == "trace":
+        return _cmd_trace(args.id, data, args.output, args.max_events)
     if args.command == "bench":
         from repro.harness.bench import run_kernel_bench, run_verify
 

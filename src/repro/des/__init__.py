@@ -27,8 +27,9 @@ pure function of its inputs.
 """
 
 from repro.des.batch import BatchServer, CohortEngine
-from repro.des.errors import DesError, Interrupt, SimulationDeadlock
-from repro.des.events import AllOf, AnyOf, Event, Timeout
+from repro.des.errors import (DeadlockDiagnostic, DesError, Interrupt,
+                              SimulationDeadlock)
+from repro.des.events import AllOf, AnyOf, Event, Timeout, WaitEvent
 from repro.des.process import Process
 from repro.des.resources import FairShareServer, Request, Resource
 from repro.des.simulator import Simulator
@@ -41,6 +42,7 @@ __all__ = [
     "AnyOf",
     "BatchServer",
     "CohortEngine",
+    "DeadlockDiagnostic",
     "DesError",
     "Event",
     "FairShareServer",
@@ -58,4 +60,5 @@ __all__ = [
     "Store",
     "TimeSeries",
     "Timeout",
+    "WaitEvent",
 ]

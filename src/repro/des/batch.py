@@ -448,13 +448,18 @@ class _Thread:
 
 
 class _LockState:
-    __slots__ = ("holder", "queue", "waits", "wait_time")
+    __slots__ = ("holder", "queue", "waits", "wait_time", "max_depth",
+                 "hist")
 
     def __init__(self) -> None:
         self.holder: Optional[int] = None
         self.queue: deque[tuple[int, float]] = deque()
         self.waits = 0
         self.wait_time = 0.0
+        # convoy statistics -- the same formula Resource applies: depth
+        # seen by each contended acquire, max + power-of-two histogram
+        self.max_depth = 0
+        self.hist: dict[int, int] = {}
 
 
 class CohortEngine:
@@ -676,6 +681,11 @@ class CohortEngine:
                 else:
                     # contended: counted at request time, like Resource
                     lk.waits += 1
+                    depth = len(lk.queue) + 1
+                    if depth > lk.max_depth:
+                        lk.max_depth = depth
+                    bucket = 1 << (depth.bit_length() - 1)
+                    lk.hist[bucket] = lk.hist.get(bucket, 0) + 1
                     lk.queue.append((tid, now))
                     th.idx = i
                     self._seq = seq

@@ -12,6 +12,31 @@ class SimulationDeadlock(DesError):
     no events are scheduled -- i.e. the simulation can never advance."""
 
 
+class DeadlockDiagnostic(SimulationDeadlock):
+    """A :class:`SimulationDeadlock` carrying a structured diagnosis.
+
+    Built by :mod:`repro.obs.watchdog` when the event heap drains with
+    live waiters (or the stall watchdog trips).  The message names every
+    blocked thread, what it is waiting on, and -- when the wait-for
+    graph contains one -- the cycle of threads and held resources.
+
+    Attributes
+    ----------
+    blocked:
+        ``(thread_name, wait_description)`` pairs, one per live waiter.
+    cycle:
+        Thread names forming a wait cycle (empty when none was found,
+        e.g. a barrier missing a party).
+    """
+
+    def __init__(self, message: str,
+                 blocked: tuple[tuple[str, str], ...] = (),
+                 cycle: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.blocked = blocked
+        self.cycle = cycle
+
+
 class Interrupt(DesError):
     """Thrown into a process that another process interrupted.
 

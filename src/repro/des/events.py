@@ -126,6 +126,22 @@ def _internal_event(sim: "Simulator",
     return ev
 
 
+class WaitEvent(Event):
+    """An event a synchronization primitive hands to a waiter.
+
+    Carries the primitive's kind and name so traces and deadlock
+    diagnostics can say *what* a blocked thread is waiting on
+    (``barrier 'phase-sync'``) instead of showing an anonymous event.
+    """
+
+    __slots__ = ("kind", "source_name")
+
+    def __init__(self, sim: "Simulator", kind: str, source_name: str):
+        super().__init__(sim)
+        self.kind = kind
+        self.source_name = source_name
+
+
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 

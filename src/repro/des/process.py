@@ -35,7 +35,7 @@ ProcessGenerator = Generator[Event, object, object]
 class Process(Event):
     """A simulated thread of control (and its completion event)."""
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "tid")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: Optional[str] = None):
@@ -46,6 +46,13 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        #: index into ``sim.processes`` -- the trace thread id, and the
+        #: handle deadlock diagnostics use to walk live waiters
+        self.tid = len(sim.processes)
+        sim.processes.append(self)
+        tr = sim.trace
+        if tr is not None:
+            tr.thread_start(self.tid, sim.now, self.name)
         # Bootstrap: resume the generator at time now, as soon as the
         # event loop gets control.  (sim._enqueue inlined: one process
         # is created per simulated thread.)
@@ -84,6 +91,9 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Callback attached to whatever event this process waits on."""
         self._waiting_on = None
+        tr = self.sim.trace
+        if tr is not None:
+            tr.unblock(self.tid, self.sim.now)
         if event._exc is not None:
             event._mark_defused()
             self._step(throw=event._exc)
@@ -101,9 +111,13 @@ class Process(Event):
                 target = self.generator.send(send)
         except StopIteration as stop:
             self.succeed(stop.value)
+            if sim.trace is not None:
+                sim.trace.thread_end(self.tid, sim.now)
             return
         except BaseException as exc:
             self.fail(exc)
+            if sim.trace is not None:
+                sim.trace.thread_end(self.tid, sim.now, error=repr(exc))
             return
         finally:
             sim._active_process = None
@@ -130,6 +144,9 @@ class Process(Event):
             self.sim._enqueue(kick, priority=0)
         else:
             target.callbacks.append(self._resume)
+            tr = sim.trace
+            if tr is not None:
+                tr.block(self.tid, sim.now, target)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         status = "done" if self.triggered else "alive"

@@ -43,11 +43,14 @@ class Request(Event):
             ... hold the resource ...
     """
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "owner")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
+        #: the process that issued the request (None outside a process);
+        #: lets deadlock diagnostics walk resource -> holder edges
+        self.owner = resource.sim._active_process
 
     def __enter__(self) -> "Request":
         return self
@@ -60,7 +63,8 @@ class Resource:
     """A k-server resource with a FIFO wait queue."""
 
     __slots__ = ("sim", "capacity", "name", "_users", "_queue",
-                 "total_waits", "total_wait_time", "_wait_started")
+                 "total_waits", "total_wait_time", "_wait_started",
+                 "max_queue_depth", "queue_depth_hist")
 
     def __init__(self, sim: "Simulator", capacity: int = 1,
                  name: str = "resource"):
@@ -75,6 +79,11 @@ class Resource:
         self.total_waits = 0
         self.total_wait_time = 0.0
         self._wait_started: dict[Request, float] = {}
+        #: deepest the wait queue (lock convoy) ever got
+        self.max_queue_depth = 0
+        #: power-of-two histogram of queue depth seen by each
+        #: contended request at enqueue time (depth 1, 2, 4, 8, ...)
+        self.queue_depth_hist: dict[int, int] = {}
 
     @property
     def count(self) -> int:
@@ -87,18 +96,37 @@ class Resource:
 
     def request(self) -> Request:
         req = Request(self)
+        tr = self.sim.trace
         if len(self._users) < self.capacity:
             self._users.add(req)
             req.succeed(req)
+            if tr is not None:
+                tr.acquire(self._owner_tid(req), self.sim.now, self.name)
         else:
             self.total_waits += 1
+            depth = len(self._queue) + 1
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+            bucket = 1 << (depth.bit_length() - 1)
+            self.queue_depth_hist[bucket] = (
+                self.queue_depth_hist.get(bucket, 0) + 1)
             self._wait_started[req] = self.sim.now
             self._queue.append(req)
+            if tr is not None:
+                tr.enqueue(self._owner_tid(req), self.sim.now, self.name,
+                           depth)
         return req
+
+    @staticmethod
+    def _owner_tid(req: Request) -> int:
+        return req.owner.tid if req.owner is not None else -1
 
     def release(self, req: Request) -> None:
         if req in self._users:
             self._users.discard(req)
+            tr = self.sim.trace
+            if tr is not None:
+                tr.release(self._owner_tid(req), self.sim.now, self.name)
         elif req in self._queue:  # cancelled before being granted
             self._queue.remove(req)
             self._wait_started.pop(req, None)
@@ -110,6 +138,9 @@ class Resource:
             self.total_wait_time += self.sim.now - self._wait_started.pop(nxt)
             self._users.add(nxt)
             nxt.succeed(nxt)
+            tr = self.sim.trace
+            if tr is not None:
+                tr.acquire(self._owner_tid(nxt), self.sim.now, self.name)
 
 
 class _Job:
@@ -210,6 +241,11 @@ class FairShareServer:
         if demand == 0:
             done.succeed(None)
             return done
+        tr = self.sim.trace
+        if tr is not None:
+            ap = self.sim._active_process
+            tr.serve(ap.tid if ap is not None else -1, self.sim.now,
+                     self.name, demand)
         if self.sim.now != self._last_update:
             self._advance()
         if cap is not None:

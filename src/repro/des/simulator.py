@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import heapq
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.des.errors import DesError, SimulationDeadlock
 from repro.des.events import Event, Timeout
 from repro.des.process import Process, ProcessGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import TraceRecorder
 
 
 class Simulator:
@@ -25,15 +28,33 @@ class Simulator:
         p = sim.process(worker(sim))
         sim.run()
         assert sim.now == 3.0 and p.value == "done"
+
+    Observability hooks (both default off and cost nothing beyond a
+    ``None`` check on the paths that consult them):
+
+    * ``trace`` -- an :class:`repro.obs.trace.TraceRecorder`; when set,
+      the kernel primitives emit typed thread/resource records into it.
+    * ``stall_limit`` -- a watchdog: when set to an integer N, ``run()``
+      uses a guarded loop that raises a
+      :class:`~repro.des.errors.DeadlockDiagnostic` if more than N
+      events are processed without simulated time advancing (a
+      same-timestamp livelock the plain loop would spin on forever).
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_active_process")
+    __slots__ = ("now", "_heap", "_seq", "_active_process", "trace",
+                 "processes", "stall_limit")
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 stall_limit: Optional[int] = None):
         self.now: float = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: optional TraceRecorder consulted by the kernel primitives
+        self.trace: Optional["TraceRecorder"] = None
+        #: every Process ever registered, in creation (tid) order
+        self.processes: list[Process] = []
+        self.stall_limit = stall_limit
 
     # ------------------------------------------------------------------
     # event construction helpers
@@ -104,6 +125,9 @@ class Simulator:
                 raise ValueError(
                     f"until={stop_time} is in the past (now={self.now})")
 
+        if self.stall_limit is not None:
+            return self._run_watched(stop_event, stop_time)
+
         # The event dispatch below is step() inlined: the loop dominates
         # every simulation's profile, and the per-event function call and
         # attribute lookups are a measurable fraction of its cost.
@@ -137,11 +161,69 @@ class Simulator:
         if stop_event is not None:
             if stop_event.processed:
                 return stop_event.value
-            raise SimulationDeadlock(
+            self._deadlock(
                 "ran out of events before the awaited event fired")
         if stop_time != float("inf"):
             self.now = stop_time
         return None
+
+    def _run_watched(self, stop_event: Optional[Event],
+                     stop_time: float) -> object:
+        """The watchdog variant of the event loop.
+
+        Identical event order to :meth:`run`, but counts events
+        processed since the last simulated-time advance and raises a
+        diagnostic once the count exceeds ``stall_limit`` -- catching
+        same-timestamp livelocks (e.g. two processes kicking each other
+        with zero-delay events) that would otherwise spin forever.
+        """
+        limit = self.stall_limit
+        heap = self._heap
+        pop = heapq.heappop
+        stalled = 0
+        while heap:
+            if stop_event is not None and stop_event.callbacks is None:
+                return stop_event.value
+            if heap[0][0] > stop_time:
+                self.now = stop_time
+                return None
+            when, _prio, _seq, event = pop(heap)
+            if when > self.now:
+                stalled = 0
+            else:
+                stalled += 1
+                if stalled > limit:
+                    self._deadlock(
+                        f"no simulated-time progress after {limit} "
+                        f"events at t={self.now!r} (stall watchdog)")
+            self.now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for cb in callbacks:
+                cb(event)
+            if event._exc is not None and not event._defused:
+                raise event._exc
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            self._deadlock(
+                "ran out of events before the awaited event fired")
+        if stop_time != float("inf"):
+            self.now = stop_time
+        return None
+
+    def _deadlock(self, headline: str) -> None:
+        """Raise the richest deadlock diagnostic available.
+
+        Delegates to :mod:`repro.obs.watchdog` (imported lazily: the
+        kernel never pays for the observability layer until something
+        already went wrong) to name the blocked threads, what each one
+        waits on, and any wait-for cycle.
+        """
+        try:
+            from repro.obs.watchdog import diagnose_deadlock
+        except ImportError:  # pragma: no cover - partial installs
+            raise SimulationDeadlock(headline) from None
+        raise diagnose_deadlock(self, headline)
 
     def run_all(self, *processes: Process) -> float:
         """Convenience: run to exhaustion, assert the given processes all
@@ -149,7 +231,7 @@ class Simulator:
         self.run()
         for p in processes:
             if not p.triggered:
-                raise SimulationDeadlock(f"process {p.name} never finished")
+                self._deadlock(f"process {p.name} never finished")
             if not p.ok:  # re-raise the process failure
                 p.value
         return self.now

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.des.errors import DesError
-from repro.des.events import Event
+from repro.des.events import Event, WaitEvent
 from repro.des.resources import Request, Resource
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,6 +55,14 @@ class SimLock:
     def total_wait_time(self) -> float:
         return self._res.total_wait_time
 
+    @property
+    def max_queue_depth(self) -> int:
+        return self._res.max_queue_depth
+
+    @property
+    def queue_depth_hist(self) -> dict[int, int]:
+        return self._res.queue_depth_hist
+
 
 class SimSemaphore:
     """A counting semaphore."""
@@ -73,7 +81,7 @@ class SimSemaphore:
         return self._value
 
     def acquire(self) -> Event:
-        ev = Event(self.sim)
+        ev = WaitEvent(self.sim, "semaphore", self.name)
         if self._value > 0:
             self._value -= 1
             ev.succeed(None)
@@ -82,10 +90,17 @@ class SimSemaphore:
         return ev
 
     def release(self) -> None:
-        if self._waiters:
-            self._waiters.pop(0).succeed(None)
-        else:
-            self._value += 1
+        # A queued waiter may have been triggered by someone else in the
+        # meantime (timeout race, explicit cancellation): handing it the
+        # permit would raise "already triggered" and, worse, lose the
+        # permit.  Skip non-pending waiters until a live one is found.
+        waiters = self._waiters
+        while waiters:
+            ev = waiters.pop(0)
+            if not ev.triggered:
+                ev.succeed(None)
+                return
+        self._value += 1
 
 
 class SimBarrier:
@@ -109,7 +124,7 @@ class SimBarrier:
         return len(self._waiting)
 
     def wait(self) -> Event:
-        ev = Event(self.sim)
+        ev = WaitEvent(self.sim, "barrier", self.name)
         self._waiting.append(ev)
         if len(self._waiting) >= self.parties:
             released, self._waiting = self._waiting, []
@@ -169,7 +184,7 @@ class FullEmptyCell:
 
     def read_fe(self) -> Event:
         """Atomically wait-until-full, read, set empty."""
-        ev = Event(self.sim)
+        ev = WaitEvent(self.sim, "cell-read", self.name)
         if self._full:
             self._full = False
             ev.succeed(self._value)
@@ -181,7 +196,7 @@ class FullEmptyCell:
 
     def write_ef(self, value: object) -> Event:
         """Atomically wait-until-empty, write, set full."""
-        ev = Event(self.sim)
+        ev = WaitEvent(self.sim, "cell-write", self.name)
         if not self._full:
             self._value = value
             ev.succeed(None)
@@ -198,7 +213,7 @@ class FullEmptyCell:
 
     def read_ff(self) -> Event:
         """Wait until full, read, leave full."""
-        ev = Event(self.sim)
+        ev = WaitEvent(self.sim, "cell-read", self.name)
         if self._full:
             ev.succeed(self._value)
         else:

@@ -35,13 +35,10 @@ class ExperimentProfile:
     wall_seconds: float
     cache_hits: int
     cache_misses: int
-
-
-def _cache_counters() -> tuple[int, int]:
-    cache = store.active_cache()
-    if cache is None:
-        return (0, 0)
-    return (cache.hits, cache.misses)
+    #: one record per simulation the experiment consulted
+    #: (``BenchmarkData.metrics_log`` entries: kind/machine/job/
+    #: seconds/stats) -- the raw material of ``repro all --metrics``
+    metrics: tuple[dict, ...] = ()
 
 
 def _run_one(experiment_id: str, threat_scale: float,
@@ -51,18 +48,22 @@ def _run_one(experiment_id: str, threat_scale: float,
 
     Top-level (picklable) for ProcessPoolExecutor.  ``default_data`` is
     lru-cached per process, so a worker reuses its kernels across every
-    experiment it is handed.  Tasks run sequentially within a worker,
-    so counter deltas around the run are that experiment's hits/misses.
+    experiment it is handed.  Hit/miss attribution uses
+    :func:`repro.harness.store.cache_scope`, which counts the lookups
+    made in this call's context exactly -- unlike snapshot deltas of
+    the process-cumulative counters, it stays correct even if runs
+    ever interleave within one process.
     """
-    h0, m0 = _cache_counters()
+    data = default_data(threat_scale, terrain_scale)
+    n0 = len(data.metrics_log)
     t0 = time.perf_counter()
-    result = run_experiment(
-        experiment_id, default_data(threat_scale, terrain_scale))
+    with store.cache_scope() as sc:
+        result = run_experiment(experiment_id, data)
     wall = time.perf_counter() - t0
-    h1, m1 = _cache_counters()
     return result, ExperimentProfile(
         experiment_id=experiment_id, wall_seconds=wall,
-        cache_hits=h1 - h0, cache_misses=m1 - m0)
+        cache_hits=sc.hits, cache_misses=sc.misses,
+        metrics=tuple(data.metrics_log[n0:]))
 
 
 def run_experiments(
@@ -91,14 +92,15 @@ def run_experiments(
         results: dict[str, ExperimentResult] = {}
         profiles: list[ExperimentProfile] = []
         for eid in ids:
-            h0, m0 = _cache_counters()
+            n0 = len(data.metrics_log)
             t0 = time.perf_counter()
-            results[eid] = run_experiment(eid, data)
+            with store.cache_scope() as sc:
+                results[eid] = run_experiment(eid, data)
             wall = time.perf_counter() - t0
-            h1, m1 = _cache_counters()
             profiles.append(ExperimentProfile(
                 experiment_id=eid, wall_seconds=wall,
-                cache_hits=h1 - h0, cache_misses=m1 - m0))
+                cache_hits=sc.hits, cache_misses=sc.misses,
+                metrics=tuple(data.metrics_log[n0:])))
         return results, profiles
 
     with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -108,6 +110,69 @@ def run_experiments(
         pairs = {eid: fut.result() for eid, fut in futures.items()}
     return ({eid: pairs[eid][0] for eid in ids},
             [pairs[eid][1] for eid in ids])
+
+
+def metrics_rollup(profile: ExperimentProfile) -> dict:
+    """Aggregate one experiment's simulation records into totals."""
+    totals = {
+        "sim_runs": 0,
+        "simulated_seconds": 0.0,
+        "cohort_regions": 0.0,
+        "des_regions": 0.0,
+        "region_wall_seconds": 0.0,
+        "serial_wall_seconds": 0.0,
+        "lock_wait_seconds": 0.0,
+        "lock_convoy_max": 0.0,
+    }
+    for rec in profile.metrics:
+        stats = rec.get("stats") or {}
+        totals["sim_runs"] += 1
+        totals["simulated_seconds"] += float(rec.get("seconds", 0.0))
+        totals["cohort_regions"] += stats.get("cohort_regions", 0.0)
+        totals["des_regions"] += stats.get("des_regions", 0.0)
+        totals["region_wall_seconds"] += stats.get(
+            "region_wall_seconds", 0.0)
+        totals["serial_wall_seconds"] += stats.get(
+            "serial_wall_seconds", 0.0)
+        totals["lock_wait_seconds"] += stats.get("lock_wait_time", 0.0)
+        convoy = stats.get("lock_convoy_max", 0.0)
+        if convoy > totals["lock_convoy_max"]:
+            totals["lock_convoy_max"] = convoy
+    return totals
+
+
+def metrics_to_dict(profiles: list[ExperimentProfile]) -> dict:
+    """Machine-readable ``--metrics-json`` payload (for CI)."""
+    return {
+        "schema": 1,
+        "experiments": [
+            {"experiment_id": p.experiment_id,
+             "rollup": metrics_rollup(p),
+             "runs": list(p.metrics)}
+            for p in profiles
+        ],
+    }
+
+
+def render_metrics(profiles: list[ExperimentProfile]) -> str:
+    """The ``--metrics`` table: per-experiment simulation rollups."""
+    lines = [
+        f"{'experiment':<26} {'sims':>5} {'sim-sec':>10} "
+        f"{'regions c/d':>12} {'region-wall':>12} {'lock-wait':>10} "
+        f"{'convoy':>7}",
+        "-" * 88,
+    ]
+    for p in profiles:
+        t = metrics_rollup(p)
+        regions = (f"{t['cohort_regions']:.0f}/"
+                   f"{t['des_regions']:.0f}")
+        lines.append(
+            f"{p.experiment_id:<26} {t['sim_runs']:>5d} "
+            f"{t['simulated_seconds']:>10.3f} {regions:>12} "
+            f"{t['region_wall_seconds']:>12.3f} "
+            f"{t['lock_wait_seconds']:>10.3f} "
+            f"{t['lock_convoy_max']:>7.0f}")
+    return "\n".join(lines)
 
 
 def render_profile(profiles: list[ExperimentProfile]) -> str:

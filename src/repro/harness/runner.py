@@ -19,6 +19,7 @@ from functools import lru_cache
 from repro.c3i import terrain as TE
 from repro.c3i import threat as TH
 from repro.harness import store
+from repro.obs.trace import active_tracer
 from repro.machines import ConventionalMachine, exemplar, ppro
 from repro.machines.catalog import ALPHASTATION_500
 from repro.machines.spec import MachineSpec
@@ -39,6 +40,10 @@ class BenchmarkData:
         #: id(job) -> (job, fingerprint); the job reference keeps the
         #: id stable, the identity check guards against id reuse.
         self._job_fps: dict[int, tuple[Job, str]] = {}
+        #: one entry per _simulate call (including memo/cache hits):
+        #: {"kind", "machine", "job", "seconds", "stats"} -- the raw
+        #: material of ``repro all --metrics``
+        self.metrics_log: list[dict] = []
 
     # ------------------------------------------------------------------
     # kernels (step 1)
@@ -138,21 +143,40 @@ class BenchmarkData:
             terrain_scale=self.terrain_scale,
             seed_offset=self.seed_offset))
         memo_key = "sim-" + key
-        if memo_key in self._cache:
-            return self._cache[memo_key]
-        cache = store.active_cache()
+        memo = self._cache.get(memo_key)
+        if memo is not None:
+            self.metrics_log.append(memo)
+            return memo["seconds"]
+        # Tracing must observe an actual simulation, not a cached
+        # number, so an active tracer bypasses the persistent cache
+        # (the in-process memo still applies: one trace per distinct
+        # run is exactly what a trace viewer wants).
+        cache = store.active_cache() if active_tracer() is None else None
         entry = cache.get(key) if cache is not None else None
         if entry is not None:
-            seconds = float(entry["seconds"])
+            record = {
+                "kind": key_payload["kind"],
+                "machine": entry.get("machine", ""),
+                "job": entry.get("job", ""),
+                "seconds": float(entry["seconds"]),
+                "stats": entry.get("stats") or {},
+            }
         else:
             result = run()
-            seconds = result.seconds
+            record = {
+                "kind": key_payload["kind"],
+                "machine": result.machine,
+                "job": result.job,
+                "seconds": result.seconds,
+                "stats": dict(result.stats),
+            }
             if cache is not None:
                 payload = dataclasses.asdict(result)
                 payload["kind"] = key_payload["kind"]
                 cache.put(key, payload)
-        self._cache[memo_key] = seconds
-        return seconds
+        self._cache[memo_key] = record
+        self.metrics_log.append(record)
+        return record["seconds"]
 
     def run_conventional(self, spec: MachineSpec, job: Job, *,
                          slices_per_phase: int = 16,

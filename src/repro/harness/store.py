@@ -24,14 +24,16 @@ Two layers live here:
 
 from __future__ import annotations
 
+import contextvars
 import dataclasses
 import enum
 import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from functools import lru_cache
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.harness.experiment import ExperimentResult, Row, ShapeCheck
 
@@ -226,8 +228,40 @@ def fingerprint(obj) -> str:
 #: packages whose source determines simulation output for a given
 #: (spec, job) pair -- including every calibration constant.  The c3i
 #: kernels are deliberately absent: they only shape the *job content*,
-#: which is fingerprinted directly.
-_MODEL_PACKAGES = ("des", "machines", "mta", "workload", "threads")
+#: which is fingerprinted directly.  ``obs`` is included because the
+#: machine models import it for metrics rollups (and the equivalence
+#: arithmetic for lock summaries lives there).
+_MODEL_PACKAGES = ("des", "machines", "mta", "obs", "workload", "threads")
+
+
+def _model_source_files(root: str) -> Iterator[str]:
+    """Every source file whose content feeds the epoch hash, in a
+    deterministic order.  Paths are absolute; ``root`` is the ``repro``
+    package directory.
+
+    Exposed separately from the hashing so tests can assert that a
+    given file *is* covered (e.g. the cohort compilers, whose output
+    the DES path never checks at runtime).
+    """
+    for pkg in _MODEL_PACKAGES:
+        pkg_dir = os.path.join(root, pkg)
+        if not os.path.isdir(pkg_dir):
+            continue
+        for name in sorted(os.listdir(pkg_dir)):
+            if name.endswith(".py"):
+                yield os.path.join(pkg_dir, name)
+
+
+def _compute_epoch(root: str, version: str) -> str:
+    """The epoch digest for a package tree (uncached; see
+    :func:`model_epoch`)."""
+    h = hashlib.sha256()
+    h.update(version.encode("utf-8"))
+    for path in _model_source_files(root):
+        h.update(os.path.basename(path).encode("utf-8"))
+        with open(path, "rb") as fh:
+            h.update(fh.read())
+    return h.hexdigest()[:16]
 
 
 @lru_cache(maxsize=1)
@@ -240,20 +274,48 @@ def model_epoch() -> str:
     """
     import repro
 
-    h = hashlib.sha256()
-    h.update(getattr(repro, "__version__", "").encode("utf-8"))
     root = os.path.dirname(os.path.abspath(repro.__file__))
-    for pkg in _MODEL_PACKAGES:
-        pkg_dir = os.path.join(root, pkg)
-        if not os.path.isdir(pkg_dir):
-            continue
-        for name in sorted(os.listdir(pkg_dir)):
-            if not name.endswith(".py"):
-                continue
-            h.update(name.encode("utf-8"))
-            with open(os.path.join(pkg_dir, name), "rb") as fh:
-                h.update(fh.read())
-    return h.hexdigest()[:16]
+    return _compute_epoch(root, getattr(repro, "__version__", ""))
+
+
+class CacheScope:
+    """Hit/miss counts attributed to one unit of work (see
+    :func:`cache_scope`)."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+_scope_var: contextvars.ContextVar[Optional[CacheScope]] = \
+    contextvars.ContextVar("repro_cache_scope", default=None)
+
+
+@contextmanager
+def cache_scope() -> Iterator[CacheScope]:
+    """Attribute cache hits/misses to the enclosed work, exactly.
+
+    The process-wide :class:`ResultCache` counters are cumulative;
+    subtracting snapshots taken around a task is only correct when
+    tasks never interleave in one process.  A scope instead counts via
+    a :class:`contextvars.ContextVar`, so it sees precisely the lookups
+    made in the current context -- concurrent scopes (e.g. experiment
+    runners on different threads) never bleed into each other::
+
+        with store.cache_scope() as sc:
+            run_experiment(...)
+        profile = (sc.hits, sc.misses)
+
+    Scopes nest: only the innermost active scope counts a lookup.
+    """
+    scope = CacheScope()
+    token = _scope_var.set(scope)
+    try:
+        yield scope
+    finally:
+        _scope_var.reset(token)
 
 
 class ResultCache:
@@ -291,10 +353,15 @@ class ResultCache:
                     os.remove(path)
                 except OSError:
                     pass
+        scope = _scope_var.get()
         if payload is None:
             self.misses += 1
+            if scope is not None:
+                scope.misses += 1
             return None
         self.hits += 1
+        if scope is not None:
+            scope.hits += 1
         return payload
 
     def put(self, key: str, payload: dict) -> None:

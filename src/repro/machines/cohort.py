@@ -27,6 +27,7 @@ from typing import Union
 
 from repro.des.batch import ACQ, REL, SLEEP, SRV, CohortEngine, serve_alone
 from repro.machines.locality import miss_traffic_bytes
+from repro.obs.metrics import lock_summary_from_engine
 from repro.workload.cohort import region_cohort_signature, region_phases
 from repro.workload.phase import Phase
 from repro.workload.task import (
@@ -88,11 +89,14 @@ def run_serial_phase(machine, phase: Phase, t: float, cpu, bus) -> float:
 
 
 def run_region(machine, step: Union[ParallelRegion, WorkQueueRegion],
-               t: float, cpu, bus) -> tuple[float, int, float]:
-    """Execute an eligible region; returns (end_time, waits, wait_time).
+               t: float, cpu, bus) -> tuple[float, dict]:
+    """Execute an eligible region; returns (end_time, lock_summary).
 
-    Credits the live servers' busy-time/served-work statistics so the
-    final utilization numbers match the DES path.
+    The lock summary is the dict shape of
+    :func:`repro.obs.metrics.lock_summary_from_engine` (waits,
+    wait_time, convoy_max, hist).  Credits the live servers'
+    busy-time/served-work statistics so the final utilization numbers
+    match the DES path.
     """
     spec = machine.spec
     clock = spec.core.clock_hz
@@ -124,7 +128,7 @@ def run_region(machine, step: Union[ParallelRegion, WorkQueueRegion],
     for server, batch in ((cpu, eng.servers[CPU]), (bus, eng.servers[BUS])):
         server.busy_time += batch.busy_time
         server.total_served += batch.total_served
-    return end, eng.total_lock_waits(), eng.total_lock_wait_time()
+    return end, lock_summary_from_engine(eng)
 
 
 # ----------------------------------------------------------------------

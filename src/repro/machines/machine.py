@@ -44,6 +44,14 @@ from repro.des import (
     SimLock,
     Store,
 )
+from repro.obs.metrics import (
+    MachineMetrics,
+    hist_fields,
+    lock_summary_from_resources,
+    merge_lock_summaries,
+)
+from repro.obs.trace import active_tracer
+from repro.workload.describe import step_label
 from repro.workload.phase import Phase
 from repro.workload.task import (
     Compute,
@@ -98,6 +106,11 @@ class ConventionalMachine:
     def run(self, job: Job) -> RunResult:
         spec = self.spec
         sim = Simulator()
+        tracer = active_tracer()
+        metrics = MachineMetrics(tracer)
+        if tracer is not None:
+            tracer.begin_run(f"{spec.name}/{job.name}")
+            sim.trace = tracer
         clock = spec.core.clock_hz
         cpu = FairShareServer(
             sim, capacity=spec.n_cpus * clock, per_customer_cap=clock,
@@ -110,35 +123,42 @@ class ConventionalMachine:
         # cohort-vs-DES coverage and fast-path lock statistics
         acct = {"cohort_regions": 0, "des_regions": 0,
                 "cohort_serial_steps": 0, "des_serial_steps": 0,
-                "lock_waits": 0, "lock_wait_time": 0.0}
+                "locks": {"waits": 0, "wait_time": 0.0, "convoy_max": 0,
+                          "hist": {}}}
 
         main = sim.process(
-            self._job_body(sim, job, cpu, bus, locks, peak, acct),
+            self._job_body(sim, job, cpu, bus, locks, peak, acct,
+                           metrics),
             name=job.name)
         sim.run_all(main)
+        if tracer is not None:
+            tracer.end_run(sim.now)
 
         total = sim.now
-        lock_wait = (sum(lk.total_wait_time for lk in locks.values())
-                     + acct["lock_wait_time"])
+        lock_sum = merge_lock_summaries(
+            lock_summary_from_resources(locks.values()), acct["locks"])
+        stats = {
+            "cpu_busy_time": cpu.busy_time,
+            "bus_busy_time": bus.busy_time,
+            "lock_acquisitions": float(lock_sum["waits"]),
+            "cohort_regions": float(acct["cohort_regions"]),
+            "des_regions": float(acct["des_regions"]),
+            "cohort_serial_steps": float(acct["cohort_serial_steps"]),
+            "des_serial_steps": float(acct["des_serial_steps"]),
+            "lock_wait_time": lock_sum["wait_time"],
+            "lock_convoy_max": float(lock_sum["convoy_max"]),
+        }
+        stats.update(metrics.rollup())
+        stats.update(hist_fields(lock_sum["hist"]))
         return RunResult(
             machine=spec.name,
             job=job.name,
             seconds=total,
             cpu_utilization=cpu.utilization(total) if total > 0 else 0.0,
             bus_utilization=bus.utilization(total) if total > 0 else 0.0,
-            lock_wait_seconds=lock_wait,
+            lock_wait_seconds=lock_sum["wait_time"],
             n_threads_peak=peak[0],
-            stats={
-                "cpu_busy_time": cpu.busy_time,
-                "bus_busy_time": bus.busy_time,
-                "lock_acquisitions": float(
-                    sum(lk.total_waits for lk in locks.values())
-                    + acct["lock_waits"]),
-                "cohort_regions": float(acct["cohort_regions"]),
-                "des_regions": float(acct["des_regions"]),
-                "cohort_serial_steps": float(acct["cohort_serial_steps"]),
-                "des_serial_steps": float(acct["des_serial_steps"]),
-            },
+            stats=stats,
         )
 
     # ------------------------------------------------------------------
@@ -148,36 +168,44 @@ class ConventionalMachine:
             locks[name] = SimLock(sim, name=name)
         return locks[name]
 
-    def _job_body(self, sim, job, cpu, bus, locks, peak, acct):
+    def _job_body(self, sim, job, cpu, bus, locks, peak, acct, metrics):
         # ``cursor`` runs ahead of sim.now through fast-path steps; one
         # timeout folds the accumulated span back into the DES clock
         # before (and after) any step that needs real events.
         spec = self.spec
         cursor = sim.now
-        for step in job.steps:
+        for i, step in enumerate(job.steps):
+            label = step_label(step, i)
             if isinstance(step, SerialStep):
                 if self.use_cohort:
+                    t0 = cursor
                     cursor = cohort.run_serial_phase(
                         self, step.phase, cursor, cpu, bus)
                     acct["cohort_serial_steps"] += 1
+                    metrics.region("serial", "cohort", label, t0, cursor)
                     continue
                 acct["des_serial_steps"] += 1
                 if cursor > sim.now:
                     yield sim.timeout(cursor - sim.now)
+                t0 = sim.now
                 yield from self._run_phase(sim, step.phase, cpu, bus)
                 cursor = sim.now
+                metrics.region("serial", "des", label, t0, cursor)
             elif isinstance(step, ParallelRegion):
                 peak[0] = max(peak[0], step.n_threads)
                 if self.use_cohort and cohort.region_eligible(self, step):
-                    cursor, waits, wait_time = cohort.run_region(
+                    t0 = cursor
+                    cursor, lock_sum = cohort.run_region(
                         self, step, cursor, cpu, bus)
                     acct["cohort_regions"] += 1
-                    acct["lock_waits"] += waits
-                    acct["lock_wait_time"] += wait_time
+                    merge_lock_summaries(acct["locks"], lock_sum)
+                    metrics.region("parallel", "cohort", label, t0,
+                                   cursor, step.n_threads)
                     continue
                 acct["des_regions"] += 1
                 if cursor > sim.now:
                     yield sim.timeout(cursor - sim.now)
+                t0 = sim.now
                 costs = spec.costs_for(step.thread_kind)
                 # the parent creates every thread before any runs
                 yield cpu.submit(costs.create_cycles * step.n_threads,
@@ -190,18 +218,23 @@ class ConventionalMachine:
                 ]
                 yield AllOf(sim, procs)
                 cursor = sim.now
+                metrics.region("parallel", "des", label, t0, cursor,
+                               step.n_threads)
             elif isinstance(step, WorkQueueRegion):
                 peak[0] = max(peak[0], step.n_threads)
                 if self.use_cohort and cohort.region_eligible(self, step):
-                    cursor, waits, wait_time = cohort.run_region(
+                    t0 = cursor
+                    cursor, lock_sum = cohort.run_region(
                         self, step, cursor, cpu, bus)
                     acct["cohort_regions"] += 1
-                    acct["lock_waits"] += waits
-                    acct["lock_wait_time"] += wait_time
+                    merge_lock_summaries(acct["locks"], lock_sum)
+                    metrics.region("parallel", "cohort", label, t0,
+                                   cursor, step.n_threads)
                     continue
                 acct["des_regions"] += 1
                 if cursor > sim.now:
                     yield sim.timeout(cursor - sim.now)
+                t0 = sim.now
                 costs = spec.costs_for(step.thread_kind)
                 yield cpu.submit(costs.create_cycles * step.n_threads,
                                  cap=spec.core.clock_hz)
@@ -217,6 +250,8 @@ class ConventionalMachine:
                 ]
                 yield AllOf(sim, procs)
                 cursor = sim.now
+                metrics.region("parallel", "des", label, t0, cursor,
+                               step.n_threads)
             else:  # pragma: no cover - Job validates step types
                 raise TypeError(f"unknown job step {step!r}")
         if cursor > sim.now:

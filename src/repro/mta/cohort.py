@@ -32,6 +32,7 @@ from repro.des.batch import (
     CohortEngine,
     serve_alone,
 )
+from repro.obs.metrics import lock_summary_from_engine
 from repro.workload.cohort import region_cohort_signature, region_phases
 from repro.workload.phase import Phase
 from repro.workload.task import Critical, ParallelRegion, WorkQueueRegion
@@ -120,8 +121,10 @@ def run_serial_phase(machine, phase: Phase, t: float, issue,
 
 
 def run_region(machine, step: Union[ParallelRegion, WorkQueueRegion],
-               t: float, issue, network) -> tuple[float, int, float]:
-    """Execute an eligible region; returns (end_time, waits, wait_time)."""
+               t: float, issue, network) -> tuple[float, dict]:
+    """Execute an eligible region; returns (end_time, lock_summary),
+    the summary being the dict shape of
+    :func:`repro.obs.metrics.lock_summary_from_engine`."""
     spec = machine.spec
     costs = spec.costs_for(step.thread_kind)
     # parent-side creation: a single stream issuing at pipeline rate
@@ -162,7 +165,7 @@ def run_region(machine, step: Union[ParallelRegion, WorkQueueRegion],
         issue[q].total_served += eng.servers[q].total_served
     network.busy_time += eng.servers[net_sid].busy_time
     network.total_served += eng.servers[net_sid].total_served
-    return end, eng.total_lock_waits(), eng.total_lock_wait_time()
+    return end, lock_summary_from_engine(eng)
 
 
 # ----------------------------------------------------------------------

@@ -38,6 +38,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.des import AllOf, FairShareServer, SimLock, Simulator, Store
+from repro.obs.metrics import (
+    MachineMetrics,
+    hist_fields,
+    lock_summary_from_resources,
+    merge_lock_summaries,
+)
+from repro.obs.trace import active_tracer
+from repro.workload.describe import step_label
 from repro.workload.phase import Phase
 from repro.workload.task import (
     Compute,
@@ -85,6 +93,11 @@ class MtaMachine:
     def run(self, job: Job) -> MtaRunResult:
         spec = self.spec
         sim = Simulator()
+        tracer = active_tracer()
+        metrics = MachineMetrics(tracer)
+        if tracer is not None:
+            tracer.begin_run(f"{spec.name}/{job.name}")
+            sim.trace = tracer
         issue = [
             FairShareServer(sim, capacity=spec.clock_hz,
                             name=f"issue-p{p}")
@@ -97,18 +110,35 @@ class MtaMachine:
         peak = [1]
         acct = {"cohort_regions": 0, "des_regions": 0,
                 "cohort_serial_steps": 0, "des_serial_steps": 0,
-                "lock_waits": 0, "lock_wait_time": 0.0}
+                "locks": {"waits": 0, "wait_time": 0.0, "convoy_max": 0,
+                          "hist": {}}}
 
         main = sim.process(
-            self._job_body(sim, job, issue, network, locks, peak, acct),
+            self._job_body(sim, job, issue, network, locks, peak, acct,
+                           metrics),
             name=job.name)
         sim.run_all(main)
+        if tracer is not None:
+            tracer.end_run(sim.now)
 
         total = sim.now
-        lock_wait = (sum(lk.total_wait_time for lk in locks.values())
-                     + acct["lock_wait_time"])
+        lock_sum = merge_lock_summaries(
+            lock_summary_from_resources(locks.values()), acct["locks"])
         issue_util = (sum(s.utilization(total) for s in issue) / len(issue)
                       if total > 0 else 0.0)
+        stats = {
+            "network_busy_time": network.busy_time,
+            "issue_busy_time_total": float(
+                sum(s.busy_time for s in issue)),
+            "cohort_regions": float(acct["cohort_regions"]),
+            "des_regions": float(acct["des_regions"]),
+            "cohort_serial_steps": float(acct["cohort_serial_steps"]),
+            "des_serial_steps": float(acct["des_serial_steps"]),
+            "lock_wait_time": lock_sum["wait_time"],
+            "lock_convoy_max": float(lock_sum["convoy_max"]),
+        }
+        stats.update(metrics.rollup())
+        stats.update(hist_fields(lock_sum["hist"]))
         return MtaRunResult(
             machine=spec.name,
             job=job.name,
@@ -116,17 +146,9 @@ class MtaMachine:
             issue_utilization=issue_util,
             network_utilization=(network.utilization(total)
                                  if total > 0 else 0.0),
-            lock_wait_seconds=lock_wait,
+            lock_wait_seconds=lock_sum["wait_time"],
             n_threads_peak=peak[0],
-            stats={
-                "network_busy_time": network.busy_time,
-                "issue_busy_time_total": float(
-                    sum(s.busy_time for s in issue)),
-                "cohort_regions": float(acct["cohort_regions"]),
-                "des_regions": float(acct["des_regions"]),
-                "cohort_serial_steps": float(acct["cohort_serial_steps"]),
-                "des_serial_steps": float(acct["des_serial_steps"]),
-            },
+            stats=stats,
         )
 
     # ------------------------------------------------------------------
@@ -150,37 +172,46 @@ class MtaMachine:
         # at full pipeline rate (creation is not memory-bound).
         return issue0.submit(cycles, cap=self.spec.clock_hz)
 
-    def _job_body(self, sim, job, issue, network, locks, peak, acct):
+    def _job_body(self, sim, job, issue, network, locks, peak, acct,
+                  metrics):
         # ``cursor`` runs ahead of sim.now through fast-path steps; one
         # timeout folds the accumulated span back into the DES clock
         # around any step that needs real events.
         spec = self.spec
         cursor = sim.now
-        for step in job.steps:
+        for idx, step in enumerate(job.steps):
+            label = step_label(step, idx)
             if isinstance(step, SerialStep):
                 if self.use_cohort:
+                    t0 = cursor
                     cursor = cohort.run_serial_phase(
                         self, step.phase, cursor, issue, network)
                     acct["cohort_serial_steps"] += 1
+                    metrics.region("serial", "cohort", label, t0, cursor)
                     continue
                 acct["des_serial_steps"] += 1
                 if cursor > sim.now:
                     yield sim.timeout(cursor - sim.now)
+                t0 = sim.now
                 yield from self._run_phase(sim, step.phase, 0, issue,
                                            network)
                 cursor = sim.now
+                metrics.region("serial", "des", label, t0, cursor)
             elif isinstance(step, ParallelRegion):
                 peak[0] = max(peak[0], step.n_threads)
                 if self.use_cohort and cohort.region_eligible(step):
-                    cursor, waits, wait_time = cohort.run_region(
+                    t0 = cursor
+                    cursor, lock_sum = cohort.run_region(
                         self, step, cursor, issue, network)
                     acct["cohort_regions"] += 1
-                    acct["lock_waits"] += waits
-                    acct["lock_wait_time"] += wait_time
+                    merge_lock_summaries(acct["locks"], lock_sum)
+                    metrics.region("parallel", "cohort", label, t0,
+                                   cursor, step.n_threads)
                     continue
                 acct["des_regions"] += 1
                 if cursor > sim.now:
                     yield sim.timeout(cursor - sim.now)
+                t0 = sim.now
                 ev = self._creation(issue[0], step.thread_kind,
                                     step.n_threads)
                 if ev is not None:
@@ -195,18 +226,23 @@ class MtaMachine:
                 ]
                 yield AllOf(sim, procs)
                 cursor = sim.now
+                metrics.region("parallel", "des", label, t0, cursor,
+                               step.n_threads)
             elif isinstance(step, WorkQueueRegion):
                 peak[0] = max(peak[0], step.n_threads)
                 if self.use_cohort and cohort.region_eligible(step):
-                    cursor, waits, wait_time = cohort.run_region(
+                    t0 = cursor
+                    cursor, lock_sum = cohort.run_region(
                         self, step, cursor, issue, network)
                     acct["cohort_regions"] += 1
-                    acct["lock_waits"] += waits
-                    acct["lock_wait_time"] += wait_time
+                    merge_lock_summaries(acct["locks"], lock_sum)
+                    metrics.region("parallel", "cohort", label, t0,
+                                   cursor, step.n_threads)
                     continue
                 acct["des_regions"] += 1
                 if cursor > sim.now:
                     yield sim.timeout(cursor - sim.now)
+                t0 = sim.now
                 ev = self._creation(issue[0], step.thread_kind,
                                     step.n_threads)
                 if ev is not None:
@@ -224,6 +260,8 @@ class MtaMachine:
                 ]
                 yield AllOf(sim, procs)
                 cursor = sim.now
+                metrics.region("parallel", "des", label, t0, cursor,
+                               step.n_threads)
             else:  # pragma: no cover
                 raise TypeError(f"unknown job step {step!r}")
         if cursor > sim.now:

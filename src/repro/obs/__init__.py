@@ -1,0 +1,62 @@
+"""Structured observability for the simulation engines.
+
+Three cooperating pieces, all opt-in and all outside the kernel's hot
+path:
+
+* :mod:`~repro.obs.trace` -- an event-trace recorder the DES kernel
+  primitives feed (thread start/block/unblock, resource
+  acquire/queue/release, server submissions, machine-level region
+  enter/exit) plus a Chrome-trace (``chrome://tracing`` / Perfetto)
+  exporter.  A :class:`~repro.obs.trace.TraceRecorder` is attached to a
+  :class:`~repro.des.Simulator` via ``sim.trace``; when it is ``None``
+  (the default) the kernel pays one ``is not None`` check per
+  instrumented operation and nothing else.
+
+* :mod:`~repro.obs.metrics` -- per-region / per-resource rollups
+  (busy vs. wait vs. queue time, contention histograms, lock convoy
+  depth) computed identically for the DES path and the cohort fast
+  path, so the two engines surface comparable numbers on
+  ``RunResult.stats``.
+
+* :mod:`~repro.obs.watchdog` -- post-mortem deadlock diagnosis: when
+  the event heap drains with live waiters (or the stall watchdog
+  trips), the simulator raises a
+  :class:`~repro.des.errors.DeadlockDiagnostic` naming every blocked
+  thread, what it waits on, and the wait-for cycle if there is one.
+
+Import direction: ``obs`` imports ``des``; the kernel itself only
+reaches back lazily (inside the deadlock failure path), so simulations
+that never enable observability never import this package.
+"""
+
+from repro.obs.metrics import (
+    MachineMetrics,
+    RegionMetric,
+    hist_fields,
+    lock_summary_from_engine,
+    lock_summary_from_resources,
+    merge_lock_summaries,
+)
+from repro.obs.trace import (
+    TraceRecorder,
+    active_tracer,
+    describe_event,
+    tracing,
+    validate_chrome_trace,
+)
+from repro.obs.watchdog import diagnose_deadlock
+
+__all__ = [
+    "MachineMetrics",
+    "RegionMetric",
+    "TraceRecorder",
+    "active_tracer",
+    "describe_event",
+    "diagnose_deadlock",
+    "hist_fields",
+    "lock_summary_from_engine",
+    "lock_summary_from_resources",
+    "merge_lock_summaries",
+    "tracing",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,134 @@
+"""Per-region and per-resource metric rollups.
+
+The machine models record one :class:`RegionMetric` per job step via a
+:class:`MachineMetrics` collector, plus aggregated lock-contention
+summaries, and fold the result into ``RunResult.stats``.  Both
+execution engines feed the same fields through the same arithmetic --
+the cohort fast path from :class:`~repro.des.batch.CohortEngine` lock
+states, the DES path from :class:`~repro.des.resources.Resource`
+counters -- so for a homogeneous region the two report identical
+numbers (within the engines' 1e-9 equivalence tolerance).
+
+Lock *convoy* statistics follow one formula in both engines: at each
+contended acquire, the queue depth seen by the arriving thread
+(``len(queue) + 1``) updates a running maximum and a power-of-two
+histogram bucketed by ``1 << (depth.bit_length() - 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.batch import CohortEngine
+    from repro.des.resources import Resource
+    from repro.obs.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class RegionMetric:
+    """Wall-clock span of one job step on one engine."""
+
+    label: str
+    kind: str        # "serial" | "parallel"
+    engine: str      # "cohort" | "des"
+    start: float
+    end: float
+    n_threads: int = 1
+
+    @property
+    def wall(self) -> float:
+        return self.end - self.start
+
+
+class MachineMetrics:
+    """Collects region spans during one machine run.
+
+    When a tracer is attached, every recorded region is also emitted
+    as a trace record, so the metrics rollup and the Chrome trace
+    always agree on region boundaries.
+    """
+
+    __slots__ = ("regions", "tracer")
+
+    def __init__(self, tracer: Optional["TraceRecorder"] = None):
+        self.regions: list[RegionMetric] = []
+        self.tracer = tracer
+
+    def region(self, kind: str, engine: str, label: str, start: float,
+               end: float, n_threads: int = 1) -> None:
+        self.regions.append(
+            RegionMetric(label, kind, engine, start, end, n_threads))
+        tr = self.tracer
+        if tr is not None:
+            tr.region(start, end, label, engine, n_threads)
+
+    def rollup(self) -> dict[str, float]:
+        """Aggregate step spans into ``RunResult.stats`` fields."""
+        serial = 0.0
+        parallel = 0.0
+        for r in self.regions:
+            if r.kind == "serial":
+                serial += r.end - r.start
+            else:
+                parallel += r.end - r.start
+        return {
+            "serial_wall_seconds": serial,
+            "region_wall_seconds": parallel,
+        }
+
+
+# ----------------------------------------------------------------------
+# lock contention summaries
+# ----------------------------------------------------------------------
+def lock_summary_from_engine(engine: "CohortEngine") -> dict:
+    """Aggregate a cohort engine's per-lock states into one summary."""
+    waits = 0
+    wait_time = 0.0
+    convoy = 0
+    hist: dict[int, int] = {}
+    for lk in engine.locks.values():
+        waits += lk.waits
+        wait_time += lk.wait_time
+        if lk.max_depth > convoy:
+            convoy = lk.max_depth
+        for b, c in lk.hist.items():
+            hist[b] = hist.get(b, 0) + c
+    return {"waits": waits, "wait_time": wait_time, "convoy_max": convoy,
+            "hist": hist}
+
+
+def lock_summary_from_resources(resources: Iterable["Resource"]) -> dict:
+    """Aggregate DES :class:`Resource` contention counters likewise."""
+    waits = 0
+    wait_time = 0.0
+    convoy = 0
+    hist: dict[int, int] = {}
+    for res in resources:
+        waits += res.total_waits
+        wait_time += res.total_wait_time
+        if res.max_queue_depth > convoy:
+            convoy = res.max_queue_depth
+        for b, c in res.queue_depth_hist.items():
+            hist[b] = hist.get(b, 0) + c
+    return {"waits": waits, "wait_time": wait_time, "convoy_max": convoy,
+            "hist": hist}
+
+
+def merge_lock_summaries(into: dict, other: dict) -> dict:
+    """Accumulate ``other`` into ``into`` (in place) and return it."""
+    into["waits"] = into.get("waits", 0) + other["waits"]
+    into["wait_time"] = into.get("wait_time", 0.0) + other["wait_time"]
+    if other["convoy_max"] > into.get("convoy_max", 0):
+        into["convoy_max"] = other["convoy_max"]
+    hist = into.setdefault("hist", {})
+    for b, c in other.get("hist", {}).items():
+        hist[b] = hist.get(b, 0) + c
+    return into
+
+
+def hist_fields(hist: dict[int, int],
+                prefix: str = "lock_convoy_hist_") -> dict[str, float]:
+    """Flatten a depth histogram into float-valued stats keys."""
+    return {f"{prefix}{b}": float(c) for b, c in sorted(hist.items())}

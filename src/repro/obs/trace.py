@@ -1,0 +1,318 @@
+"""Event-trace recording and Chrome-trace export.
+
+A :class:`TraceRecorder` collects typed records from the DES kernel
+primitives (and region records from the machine models) into a flat
+list of tuples.  Recording is enabled by attaching the recorder to a
+simulator (``sim.trace = recorder``); every kernel hook is guarded by
+``if sim.trace is not None``, so the disabled cost is one attribute
+load and identity test per instrumented operation.
+
+Record tuples are ``(kind, pid, tid, t, a, b)``:
+
+====================  ======================================  =========
+kind                  a                                       b
+====================  ======================================  =========
+``"start"``           thread name                             --
+``"end"``             error repr or ``None``                  --
+``"block"``           wait description (str)                  --
+``"unblock"``         --                                      --
+``"acquire"``         resource name                           --
+``"release"``         resource name                           --
+``"queue"``           resource name                           depth
+``"serve"``           server name                             demand
+``"region"``          ``(label, engine, n_threads)``          end time
+``"run-end"``         --                                      --
+====================  ======================================  =========
+
+``pid`` groups records by machine run (see :meth:`TraceRecorder
+.begin_run`); ``tid`` is the process's creation index within its
+simulator (``Process.tid``), or ``-1`` for submissions made outside
+any process (the cohort fast path's parent-side bookkeeping).
+
+:meth:`TraceRecorder.to_chrome` converts the record list to the Chrome
+trace-event JSON format (the ``chrome://tracing`` / Perfetto "JSON
+Array with metadata" flavor): thread lifetimes, wait intervals and
+lock-hold intervals become complete (``"X"``) slices, queue/serve
+records become instants, and machine regions land on a dedicated
+virtual thread row per run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.des.events import AllOf, AnyOf, Event, Timeout, WaitEvent
+from repro.des.process import Process
+from repro.des.resources import Request
+
+#: virtual thread row carrying machine-level region slices
+REGION_TID = 1_000_000
+
+#: simulated seconds -> trace microseconds
+_US = 1e6
+
+
+def describe_event(ev: object) -> str:
+    """A short human label for whatever a process is waiting on."""
+    if isinstance(ev, Timeout):
+        return f"timeout({ev.delay:g})"
+    if isinstance(ev, WaitEvent):
+        return f"{ev.kind} '{ev.source_name}'"
+    if isinstance(ev, Request):
+        return f"resource '{ev.resource.name}'"
+    if isinstance(ev, Process):
+        return f"join '{ev.name}'"
+    if isinstance(ev, AllOf):
+        return f"all-of({len(ev.events)})"
+    if isinstance(ev, AnyOf):
+        return f"any-of({len(ev.events)})"
+    if isinstance(ev, Event):
+        return "event"
+    return repr(ev)
+
+
+class TraceRecorder:
+    """Collects typed records; exports Chrome trace JSON.
+
+    ``max_events`` bounds memory: past it, new records are counted in
+    ``dropped`` instead of stored (the exporter reports the count), so
+    a runaway simulation cannot OOM the tracer.
+    """
+
+    __slots__ = ("records", "dropped", "max_events", "pid", "run_labels",
+                 "thread_names")
+
+    def __init__(self, max_events: int = 1_000_000):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.records: list[tuple] = []
+        self.dropped = 0
+        self.max_events = max_events
+        #: current run id; 0 until the first begin_run()
+        self.pid = 0
+        self.run_labels: dict[int, str] = {}
+        self.thread_names: dict[tuple[int, int], str] = {}
+
+    # ------------------------------------------------------------------
+    # run grouping (called by the machine models)
+    # ------------------------------------------------------------------
+    def begin_run(self, label: str) -> int:
+        """Start a new record group (one machine run); returns its pid."""
+        self.pid += 1
+        self.run_labels[self.pid] = label
+        return self.pid
+
+    def end_run(self, t: float) -> None:
+        self._rec(("run-end", self.pid, 0, t, None, None))
+
+    # ------------------------------------------------------------------
+    # kernel hooks (called with sim.trace already known non-None)
+    # ------------------------------------------------------------------
+    def _rec(self, rec: tuple) -> None:
+        records = self.records
+        if len(records) >= self.max_events:
+            self.dropped += 1
+            return
+        records.append(rec)
+
+    def thread_start(self, tid: int, t: float, name: str) -> None:
+        self.thread_names[(self.pid, tid)] = name
+        self._rec(("start", self.pid, tid, t, name, None))
+
+    def thread_end(self, tid: int, t: float,
+                   error: Optional[str] = None) -> None:
+        self._rec(("end", self.pid, tid, t, error, None))
+
+    def block(self, tid: int, t: float, target: object) -> None:
+        # described eagerly: the record must not keep the event alive
+        self._rec(("block", self.pid, tid, t, describe_event(target), None))
+
+    def unblock(self, tid: int, t: float) -> None:
+        self._rec(("unblock", self.pid, tid, t, None, None))
+
+    def acquire(self, tid: int, t: float, name: str) -> None:
+        self._rec(("acquire", self.pid, tid, t, name, None))
+
+    def release(self, tid: int, t: float, name: str) -> None:
+        self._rec(("release", self.pid, tid, t, name, None))
+
+    def enqueue(self, tid: int, t: float, name: str, depth: int) -> None:
+        self._rec(("queue", self.pid, tid, t, name, depth))
+
+    def serve(self, tid: int, t: float, name: str, demand: float) -> None:
+        self._rec(("serve", self.pid, tid, t, name, demand))
+
+    def region(self, t0: float, t1: float, label: str, engine: str,
+               n_threads: int) -> None:
+        self._rec(("region", self.pid, REGION_TID, t0,
+                   (label, engine, n_threads), t1))
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """The records as a Chrome trace-event JSON object.
+
+        Load the serialized result in ``chrome://tracing`` or
+        https://ui.perfetto.dev.  Timestamps are simulated seconds
+        scaled to microseconds.
+        """
+        events: list[dict] = []
+        for pid, label in sorted(self.run_labels.items()):
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": label}})
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": REGION_TID, "args": {"name": "regions"}})
+        for (pid, tid), name in sorted(self.thread_names.items()):
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": name}})
+
+        # open interval state, keyed by (pid, tid)
+        alive: dict[tuple[int, int], tuple[float, str]] = {}
+        waiting: dict[tuple[int, int], tuple[float, str]] = {}
+        holding: dict[tuple[int, int, str], float] = {}
+        last_t: dict[int, float] = {}
+
+        def slice_(pid: int, tid: int, name: str, t0: float, t1: float,
+                   args: Optional[dict] = None) -> None:
+            ev = {"ph": "X", "name": name, "pid": pid, "tid": tid,
+                  "ts": t0 * _US, "dur": (t1 - t0) * _US}
+            if args:
+                ev["args"] = args
+            events.append(ev)
+
+        def instant(pid: int, tid: int, name: str, t: float,
+                    args: Optional[dict] = None) -> None:
+            ev = {"ph": "i", "name": name, "pid": pid, "tid": tid,
+                  "ts": t * _US, "s": "t"}
+            if args:
+                ev["args"] = args
+            events.append(ev)
+
+        def close_run(pid: int, t: float) -> None:
+            for key in [k for k in alive if k[0] == pid]:
+                t0, name = alive.pop(key)
+                slice_(pid, key[1], name, t0, t)
+            for key in [k for k in waiting if k[0] == pid]:
+                t0, desc = waiting.pop(key)
+                slice_(pid, key[1], f"wait {desc}", t0, t)
+            for key in [k for k in holding if k[0] == pid]:
+                t0 = holding.pop(key)
+                slice_(pid, key[1], f"hold {key[2]}", t0, t)
+
+        for kind, pid, tid, t, a, b in self.records:
+            if t > last_t.get(pid, 0.0):
+                last_t[pid] = t
+            key = (pid, tid)
+            if kind == "start":
+                alive[key] = (t, a)
+            elif kind == "end":
+                opened = alive.pop(key, None)
+                if opened is not None:
+                    args = {"error": a} if a else None
+                    slice_(pid, tid, opened[1], opened[0], t, args)
+            elif kind == "block":
+                waiting[key] = (t, a)
+            elif kind == "unblock":
+                opened = waiting.pop(key, None)
+                if opened is not None:
+                    slice_(pid, tid, f"wait {opened[1]}", opened[0], t)
+            elif kind == "acquire":
+                holding[(pid, tid, a)] = t
+            elif kind == "release":
+                t0 = holding.pop((pid, tid, a), None)
+                if t0 is not None:
+                    slice_(pid, tid, f"hold {a}", t0, t)
+            elif kind == "queue":
+                instant(pid, tid, f"queue {a}", t, {"depth": b})
+            elif kind == "serve":
+                instant(pid, tid, f"serve {a}", t, {"demand": b})
+            elif kind == "region":
+                label, engine, n_threads = a
+                slice_(pid, REGION_TID, label, t, b,
+                       {"engine": engine, "n_threads": n_threads})
+            elif kind == "run-end":
+                close_run(pid, t)
+        # close anything a run never explicitly ended
+        for pid, t in sorted(last_t.items()):
+            close_run(pid, t)
+
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "tool": "repro trace",
+                "dropped_records": self.dropped,
+            },
+        }
+
+
+def validate_chrome_trace(obj: object) -> int:
+    """Check an object against the Chrome trace-event schema subset
+    this exporter emits; returns the event count or raises ValueError.
+
+    Used by the tests and the CI ``obs`` job to guarantee the emitted
+    JSON stays loadable by ``chrome://tracing`` / Perfetto.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(obj)}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            raise ValueError(f"traceEvents[{i}]: unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str):
+            raise ValueError(f"traceEvents[{i}]: missing name")
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+                ev.get("tid"), int):
+            raise ValueError(f"traceEvents[{i}]: missing pid/tid")
+        if ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                raise ValueError(f"traceEvents[{i}]: metadata needs args")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"traceEvents[{i}]: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}]: bad dur {dur!r}")
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# process-wide active tracer
+# ----------------------------------------------------------------------
+# The harness runs machines several layers below the CLI; rather than
+# threading a recorder through every call signature, the CLI activates
+# one here and the machine models pick it up at run() time.
+_active: Optional[TraceRecorder] = None
+
+
+def active_tracer() -> Optional[TraceRecorder]:
+    """The tracer machine runs should attach, or None when tracing is off."""
+    return _active
+
+
+@contextmanager
+def tracing(tracer: Optional[TraceRecorder] = None
+            ) -> Iterator[TraceRecorder]:
+    """Activate a tracer for the duration of the with-block::
+
+        with tracing() as tr:
+            machine.run(job)
+        json.dump(tr.to_chrome(), fh)
+    """
+    global _active
+    tr = tracer if tracer is not None else TraceRecorder()
+    prev = _active
+    _active = tr
+    try:
+        yield tr
+    finally:
+        _active = prev

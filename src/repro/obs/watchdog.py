@@ -1,0 +1,111 @@
+"""Post-mortem deadlock diagnosis.
+
+Called by :meth:`Simulator._deadlock` when the event heap drains with
+live waiters (or the stall watchdog trips).  Walks the simulator's
+process registry to name every blocked thread and what it waits on,
+builds the wait-for graph -- thread A waits on a resource held by
+thread B -- from :class:`~repro.des.resources.Request` owner
+back-pointers, and reports the first cycle found.
+
+Two canonical shapes:
+
+* **ABBA**: two threads each hold one lock and want the other's.  The
+  resource wait-for edges close a cycle, which the diagnostic prints
+  as ``a -> b -> a``.
+* **Missing barrier party**: threads blocked on a barrier that will
+  never fill.  No cycle exists; the diagnostic still names each
+  blocked thread and the barrier (via
+  :class:`~repro.des.events.WaitEvent`), which is what a user needs to
+  spot the miscounted party.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.des.errors import DeadlockDiagnostic
+from repro.des.events import AllOf, AnyOf, Event
+from repro.des.process import Process
+from repro.des.resources import Request
+from repro.obs.trace import describe_event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.simulator import Simulator
+
+
+def diagnose_deadlock(sim: "Simulator",
+                      headline: str) -> DeadlockDiagnostic:
+    """Build (not raise) the diagnostic for a stuck simulation."""
+    waiters = [p for p in sim.processes
+               if not p.triggered and p._waiting_on is not None]
+    blocked = tuple((p.name, describe_event(p._waiting_on))
+                    for p in waiters)
+    cycle = _find_cycle(waiters)
+
+    lines = [headline]
+    if blocked:
+        lines.append(f"{len(blocked)} thread(s) still blocked:")
+        for name, desc in blocked:
+            lines.append(f"  - {name}: waiting on {desc}")
+    if cycle:
+        lines.append("wait-for cycle: " + " -> ".join(cycle + (cycle[0],)))
+    return DeadlockDiagnostic("\n".join(lines), blocked=blocked,
+                              cycle=cycle)
+
+
+# ----------------------------------------------------------------------
+def _edges(process: Process) -> list[Process]:
+    """Live processes that must act before ``process`` can resume."""
+    out: list[Process] = []
+    _collect(process._waiting_on, out)
+    return [p for p in out if not p.triggered]
+
+
+def _collect(ev: object, out: list[Process]) -> None:
+    if isinstance(ev, Request):
+        for req in ev.resource._users:
+            if req.owner is not None:
+                out.append(req.owner)
+    elif isinstance(ev, Process):
+        out.append(ev)
+    elif isinstance(ev, (AllOf, AnyOf)):
+        for sub in ev.events:
+            if isinstance(sub, Event) and not sub.triggered:
+                _collect(sub, out)
+
+
+def _find_cycle(waiters: list[Process]) -> tuple[str, ...]:
+    """First wait-for cycle among the blocked processes (names, in
+    order), or an empty tuple.  Iterative colored DFS."""
+    graph = {id(p): (p, _edges(p)) for p in waiters}
+    color: dict[int, int] = {}          # 1 = on stack, 2 = done
+    for start in graph:
+        if start in color:
+            continue
+        stack: list[tuple[int, int]] = [(start, 0)]
+        path: list[int] = []
+        while stack:
+            node, i = stack.pop()
+            if i == 0:
+                color[node] = 1
+                path.append(node)
+            entry = graph.get(node)
+            succs = entry[1] if entry is not None else []
+            advanced = False
+            while i < len(succs):
+                nxt = id(succs[i])
+                i += 1
+                c = color.get(nxt)
+                if c == 1:
+                    # back edge: the cycle is path from nxt onward
+                    k = path.index(nxt)
+                    return tuple(graph[n][0].name for n in path[k:])
+                if c is None and nxt in graph:
+                    stack.append((node, i))
+                    stack.append((nxt, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                path.pop()
+    return ()

@@ -43,7 +43,8 @@ from repro.workload.cohort import (
     region_cohort_signature,
 )
 from repro.workload.instrument import OpCounter
-from repro.workload.describe import describe_job, job_summary
+from repro.workload.describe import (describe_job, job_summary,
+                                     step_label)
 
 __all__ = [
     "AccessPattern",
@@ -72,4 +73,5 @@ __all__ = [
     "program_signature",
     "region_cohort_signature",
     "single_thread_job",
+    "step_label",
 ]

@@ -10,10 +10,29 @@ from __future__ import annotations
 from repro.workload.ops import OpCounts
 from repro.workload.task import (
     Job,
+    JobStep,
     ParallelRegion,
     SerialStep,
     WorkQueueRegion,
 )
+
+
+def step_label(step: JobStep, index: int) -> str:
+    """A stable short label for one job step.
+
+    Used by the observability layer to name region spans in traces and
+    metrics: serial steps carry their phase name, parallel regions
+    their width and thread kind.
+    """
+    if isinstance(step, SerialStep):
+        return f"[{index}] serial '{step.phase.name}'"
+    if isinstance(step, ParallelRegion):
+        return (f"[{index}] parallel x{step.n_threads} "
+                f"{step.thread_kind}")
+    if isinstance(step, WorkQueueRegion):
+        return (f"[{index}] work-queue {len(step.items)} items "
+                f"x{step.n_threads} {step.thread_kind}")
+    return f"[{index}] {type(step).__name__}"  # pragma: no cover
 
 
 def _fmt_ops(ops: OpCounts) -> str:

@@ -109,6 +109,54 @@ def test_semaphore_negative_initial_rejected():
         SimSemaphore(sim, value=-1)
 
 
+def test_semaphore_release_skips_triggered_waiter():
+    """Regression: release() used to hand the permit to the waiter at
+    the head of the queue even if its wait event had already been
+    triggered elsewhere (timeout race / cancellation), raising
+    "already triggered" and losing the permit."""
+    sim = Simulator()
+    sem = SimSemaphore(sim, value=0)
+    order = []
+
+    def waiter(sim, tag):
+        yield sem.acquire()
+        order.append((tag, sim.now))
+
+    sim.process(waiter(sim, "a"))
+    sim.process(waiter(sim, "b"))
+
+    def releaser(sim):
+        yield sim.timeout(1)
+        # cancel "a"'s wait out from under the semaphore: its queued
+        # event fires without a permit being granted
+        sem._waiters[0].succeed(None)
+        yield sim.timeout(1)
+        sem.release()
+
+    sim.process(releaser(sim))
+    sim.run()
+    # "a" woke from the cancellation at t=1; the real permit must go
+    # to "b", the first still-pending waiter, not explode on "a"
+    assert sorted(order) == [("a", 1), ("b", 2)]
+    assert sem.value == 0
+
+
+def test_semaphore_release_keeps_permit_when_all_waiters_cancelled():
+    sim = Simulator()
+    sem = SimSemaphore(sim, value=0)
+
+    def waiter(sim):
+        yield sem.acquire()
+
+    sim.process(waiter(sim))
+    sim.run()
+    sem._waiters[0].succeed(None)   # cancelled, never given a permit
+    sim.run()
+    sem.release()
+    assert sem.value == 1           # permit preserved, not lost
+    assert not sem._waiters
+
+
 # ----------------------------------------------------------------------
 # SimBarrier
 # ----------------------------------------------------------------------

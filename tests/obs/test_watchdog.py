@@ -1,0 +1,145 @@
+"""Deadlock detection: diagnostics must name the cycle, never hang.
+
+Regression suite from the observability issue: the two canonical
+deadlock shapes (ABBA lock ordering and a barrier that never fills)
+previously surfaced as a bare "process never finished" -- or, for
+same-timestamp livelocks, as a hang.
+"""
+
+import pytest
+
+from repro.des import (
+    DeadlockDiagnostic,
+    SimBarrier,
+    SimLock,
+    SimulationDeadlock,
+    Simulator,
+)
+
+
+# ----------------------------------------------------------------------
+# ABBA: two locks taken in opposite orders
+# ----------------------------------------------------------------------
+
+def abba_sim():
+    sim = Simulator()
+    la = SimLock(sim, name="A")
+    lb = SimLock(sim, name="B")
+
+    def locker(sim, first, second):
+        g1 = yield first.acquire()
+        yield sim.timeout(1)
+        g2 = yield second.acquire()      # deadlocks here
+        second.release(g2)
+        first.release(g1)
+
+    p1 = sim.process(locker(sim, la, lb), name="fwd")
+    p2 = sim.process(locker(sim, lb, la), name="rev")
+    return sim, p1, p2
+
+
+def test_abba_deadlock_raises_diagnostic_with_cycle():
+    sim, p1, p2 = abba_sim()
+    with pytest.raises(DeadlockDiagnostic) as exc_info:
+        sim.run_all(p1, p2)
+    diag = exc_info.value
+    assert set(diag.cycle) == {"fwd", "rev"}
+    assert {name for name, _ in diag.blocked} == {"fwd", "rev"}
+    descs = dict(diag.blocked)
+    assert descs["fwd"] == "resource 'B'"
+    assert descs["rev"] == "resource 'A'"
+    msg = str(diag)
+    assert "2 thread(s) still blocked" in msg
+    assert "wait-for cycle:" in msg
+    assert "fwd" in msg and "rev" in msg
+
+
+def test_diagnostic_is_a_simulation_deadlock():
+    # callers catching the pre-existing exception keep working
+    sim, p1, p2 = abba_sim()
+    with pytest.raises(SimulationDeadlock):
+        sim.run_all(p1, p2)
+
+
+# ----------------------------------------------------------------------
+# barrier that never fills (missing party)
+# ----------------------------------------------------------------------
+
+def test_barrier_missing_party_names_blocked_threads():
+    sim = Simulator()
+    bar = SimBarrier(sim, parties=3, name="sync-point")
+
+    def worker(sim):
+        yield bar.wait()
+
+    procs = [sim.process(worker(sim), name=f"party{i}") for i in range(2)]
+    with pytest.raises(DeadlockDiagnostic) as exc_info:
+        sim.run_all(*procs)
+    diag = exc_info.value
+    assert diag.cycle == ()               # no wait-for cycle, just stuck
+    assert {name for name, _ in diag.blocked} == {"party0", "party1"}
+    assert all(desc == "barrier 'sync-point'"
+               for _, desc in diag.blocked)
+    assert "barrier 'sync-point'" in str(diag)
+
+
+# ----------------------------------------------------------------------
+# awaited event that can never fire
+# ----------------------------------------------------------------------
+
+def test_run_until_unreachable_event_diagnoses():
+    sim = Simulator()
+    never = sim.event()
+
+    def waiter(sim):
+        yield never
+
+    sim.process(waiter(sim), name="stuck")
+    with pytest.raises(DeadlockDiagnostic) as exc_info:
+        sim.run(until=never)
+    diag = exc_info.value
+    assert ("stuck", "event") in diag.blocked
+
+
+# ----------------------------------------------------------------------
+# stall watchdog: same-timestamp livelock must terminate
+# ----------------------------------------------------------------------
+
+def test_stall_watchdog_catches_zero_delay_livelock():
+    sim = Simulator(stall_limit=200)
+
+    def spinner(sim):
+        while True:
+            yield sim.timeout(0)          # time never advances
+
+    sim.process(spinner(sim), name="spin")
+    with pytest.raises(DeadlockDiagnostic, match="stall watchdog"):
+        sim.run()
+    assert sim.now == 0.0
+
+
+def test_stall_watchdog_ignores_real_progress():
+    sim = Simulator(stall_limit=10)
+
+    def worker(sim):
+        for _ in range(500):               # far more events than the
+            yield sim.timeout(0.01)        # limit, but time advances
+        return sim.now
+
+    p = sim.process(worker(sim))
+    sim.run_all(p)
+    assert p.value == pytest.approx(5.0)
+
+
+def test_watched_loop_honors_until_time():
+    sim = Simulator(stall_limit=50)
+
+    def worker(sim):
+        for _ in range(10):
+            yield sim.timeout(1)
+
+    sim.process(worker(sim))
+    sim.run(until=3.5)
+    assert sim.now == 3.5
+    sim.run()
+    assert sim.now == 10.0

@@ -33,6 +33,31 @@ def test_run_table_with_small_kernels(capsys):
     assert "Alpha" in out and "Tera" in out
 
 
+def test_trace_command_writes_valid_chrome_json(tmp_path, capsys):
+    import json
+
+    from repro.obs.trace import validate_chrome_trace
+
+    out = str(tmp_path / "trace.json")
+    code = main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                 "trace", "table2", "-o", out])
+    stdout = capsys.readouterr().out
+    assert code == 0
+    assert "wrote" in stdout and "trace events" in stdout
+    with open(out) as fh:
+        obj = json.load(fh)
+    assert validate_chrome_trace(obj) > 0
+    # one trace process per simulated machine run, each named
+    names = [e["args"]["name"] for e in obj["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"]
+    assert len(names) == 4 and any("Alpha" in n for n in names)
+
+
+def test_trace_unknown_experiment(capsys):
+    assert main(["trace", "table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
 def test_feedback_command(capsys):
     assert main(["feedback"]) == 0
     out = capsys.readouterr().out
