@@ -12,6 +12,8 @@ Usage::
     python -m repro trace table5 -o t5.json   # Chrome/Perfetto trace
     python -m repro bench                     # cohort-vs-DES kernel timings
     python -m repro bench --verify            # full-registry equivalence
+    python -m repro race table5 table11       # race/sync-hazard detector
+    python -m repro race --all --fixtures --json race.json
     python -m repro feedback                  # compiler feedback, Programs 1-4
     python -m repro cache info                # persistent result cache
     python -m repro cache clear
@@ -95,6 +97,26 @@ def _build_parser() -> argparse.ArgumentParser:
                               "registry experiment with the cohort "
                               "path on and off (cache disabled) and "
                               "check the rows agree to 1e-9")
+    race_p = sub.add_parser(
+        "race",
+        help="run the deterministic race / sync-hazard detector over "
+             "experiments' simulated-thread jobs")
+    race_p.add_argument("ids", nargs="*", metavar="ID",
+                        help="experiment ids to analyze")
+    race_p.add_argument("--all", action="store_true", dest="race_all",
+                        help="analyze every registered experiment")
+    race_p.add_argument("--fixtures", action="store_true",
+                        help="also run the intentionally buggy fixtures "
+                             "and require each to be flagged")
+    race_p.add_argument("--json", metavar="PATH", default=None,
+                        help="write the schema-versioned report as JSON")
+    race_p.add_argument("--engine", choices=("des", "cohort"),
+                        default=None,
+                        help="extraction to report (default: whichever "
+                             "the simulators would use)")
+    race_p.add_argument("--no-parity", action="store_true",
+                        help="skip the DES-vs-cohort verdict "
+                             "cross-check")
     sub.add_parser("feedback",
                    help="compiler feedback for Programs 1-4")
     cache_p = sub.add_parser(
@@ -275,6 +297,16 @@ def main(argv: list[str] | None = None) -> int:
             return run_verify(data)
         return run_kernel_bench(data, repeat=args.repeat,
                                 json_path=args.json)
+    if args.command == "race":
+        from repro.analysis.race import run_race
+
+        if not args.ids and not args.race_all and not args.fixtures:
+            print("race: give experiment ids, --all, or --fixtures",
+                  file=sys.stderr)
+            return 2
+        return run_race(args.ids, data, run_all=args.race_all,
+                        fixtures=args.fixtures, json_path=args.json,
+                        engine=args.engine, parity=not args.no_parity)
     return 2  # pragma: no cover
 
 

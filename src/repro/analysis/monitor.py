@@ -1,0 +1,110 @@
+"""Live sync-hazard monitoring of a DES simulation.
+
+The static job walk in :mod:`repro.analysis.hb` cannot see hazards
+that only exist in the *dynamics* of the sync primitives: a producer
+that clobbers a full/empty cell before the consumer drained it, a
+consumer parked forever on a cell nobody fills, a barrier whose party
+count was sized for more threads than ever arrive.  For those, the
+primitives themselves carry a guarded hook -- ``sim.monitor`` -- that
+is ``None`` in normal runs (a single predictable branch, the same
+zero-cost pattern as ``sim.trace``) and a :class:`SyncMonitor` under
+``repro race --fixtures`` or in tests.
+
+Usage::
+
+    with monitoring(sim) as mon:
+        ... build cells/barriers, run the simulation ...
+    findings = mon.finish(job="fixture-skipped-writeef")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.report import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.simulator import Simulator
+    from repro.des.sync import FullEmptyCell, SimBarrier
+
+
+class SyncMonitor:
+    """Collects dynamic sync hazards from a simulation run.
+
+    The primitives self-register at construction (so the monitor sees
+    every cell and barrier without the workload threading references
+    through), and report overwrite events as they happen;
+    :meth:`finish` inspects the end-of-run state for everything that
+    never resolved.
+    """
+
+    def __init__(self) -> None:
+        self.cells: list["FullEmptyCell"] = []
+        self.barriers: list["SimBarrier"] = []
+        self._overwrites: list[tuple[str, float]] = []
+
+    # -- hooks called from des.sync (guarded by ``sim.monitor``) --
+
+    def register_cell(self, cell: "FullEmptyCell") -> None:
+        self.cells.append(cell)
+
+    def register_barrier(self, barrier: "SimBarrier") -> None:
+        self.barriers.append(barrier)
+
+    def overwrite_full(self, cell: "FullEmptyCell") -> None:
+        self._overwrites.append((cell.name, cell.sim.now))
+
+    # -- verdict --
+
+    @property
+    def overwrite_count(self) -> int:
+        return len(self._overwrites)
+
+    def finish(self, job: str = "", region: str = "run") -> list[Finding]:
+        """The run's dynamic findings: overwrites seen live plus every
+        sync object left in a stuck state."""
+        findings: list[Finding] = []
+        for name, when in self._overwrites:
+            findings.append(Finding(
+                hazard="write-to-full", job=job, region=region,
+                location=name, units=(name,),
+                detail=f"full cell clobbered at t={when:g}; the "
+                       f"unconsumed value was lost (writeef would "
+                       f"have blocked)"))
+        for cell in self.cells:
+            if cell._readers:
+                findings.append(Finding(
+                    hazard="read-from-empty", job=job, region=region,
+                    location=cell.name, units=(cell.name,),
+                    detail=f"{len(cell._readers)} reader(s) still "
+                           f"blocked on an empty cell at end of run"))
+            if cell._writers:
+                findings.append(Finding(
+                    hazard="write-to-full", job=job, region=region,
+                    location=cell.name, units=(cell.name,),
+                    detail=f"{len(cell._writers)} writer(s) still "
+                           f"blocked on a full cell at end of run"))
+        for barrier in self.barriers:
+            if barrier._waiting:
+                findings.append(Finding(
+                    hazard="barrier-mismatch", job=job, region=region,
+                    location=barrier.name, units=(barrier.name,),
+                    detail=f"{barrier.n_waiting} of {barrier.parties} "
+                           f"parties waiting after "
+                           f"{barrier.generations} completed "
+                           f"generation(s)"))
+        findings.sort(key=lambda f: f.key)
+        return findings
+
+
+@contextmanager
+def monitoring(sim: "Simulator") -> Iterator[SyncMonitor]:
+    """Attach a fresh :class:`SyncMonitor` to ``sim`` for the block."""
+    mon = SyncMonitor()
+    prev = sim.monitor
+    sim.monitor = mon
+    try:
+        yield mon
+    finally:
+        sim.monitor = prev

@@ -1,0 +1,121 @@
+"""The ``repro race`` driver.
+
+Analyzes registered experiments (or all of them) with the
+happens-before detector, optionally checks the buggy fixtures, and
+writes the schema-versioned JSON report.  Exit status is the CI
+contract:
+
+* ``0`` -- every analyzed job clean (and, with ``--fixtures``, every
+  fixture flagged with exactly its expected hazard classes);
+* ``1`` -- a finding in a registered experiment, a fixture that failed
+  to trip, or an engine-parity divergence;
+* ``2`` -- unknown experiment id.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.hb import analyze_job, analyze_job_both, current_engine
+from repro.analysis.report import (
+    JobReport,
+    RACE_REPORT_SCHEMA,
+    render_report,
+    report_to_dict,
+)
+from repro.analysis.targets import experiment_jobs
+from repro.harness.runner import BenchmarkData
+
+
+def _analyze_experiments(ids: Sequence[str], data: BenchmarkData,
+                         engine: str, parity: bool
+                         ) -> tuple[dict[str, list[JobReport]], int]:
+    """Per-experiment job reports; jobs shared between experiments are
+    analyzed once.  Returns the reports and a status (0 clean, 1 not)."""
+    status = 0
+    memo: dict[str, JobReport] = {}
+    out: dict[str, list[JobReport]] = {}
+    for eid in ids:
+        reports = []
+        for name, job in experiment_jobs(eid, data).items():
+            if name not in memo:
+                if parity:
+                    des, cohort = analyze_job_both(job)
+                    if des.findings != cohort.findings \
+                            or des.suppressed != cohort.suppressed:
+                        print(f"ENGINE PARITY FAILURE for {name}:\n"
+                              f"  des:    {[f.render() for f in des.findings]}\n"
+                              f"  cohort: {[f.render() for f in cohort.findings]}",
+                              file=sys.stderr)
+                        status = 1
+                    memo[name] = des if engine == "des" else cohort
+                else:
+                    memo[name] = analyze_job(job, engine)
+            reports.append(memo[name])
+        out[eid] = reports
+    return out, status
+
+
+def run_race(ids: Sequence[str], data: BenchmarkData, *,
+             run_all: bool = False, fixtures: bool = False,
+             json_path: Optional[str] = None,
+             engine: Optional[str] = None,
+             parity: bool = True) -> int:
+    """Drive the detector; returns the process exit status."""
+    from repro.harness.registry import EXPERIMENT_IDS, list_experiments
+
+    if engine is None:
+        engine = current_engine()
+    if run_all:
+        ids = list(EXPERIMENT_IDS)
+    known = set(list_experiments())
+    for eid in ids:
+        if eid not in known:
+            print(f"unknown experiment {eid!r}; known: "
+                  f"{sorted(known)}", file=sys.stderr)
+            return 2
+    status = 0
+    reports: dict[str, list[JobReport]] = {}
+    if ids:
+        reports, status = _analyze_experiments(ids, data, engine, parity)
+        print(render_report(reports, engine))
+        if any(f for rs in reports.values() for r in rs
+               for f in r.findings):
+            status = 1
+
+    dynamic = ()
+    if fixtures:
+        fx_status, dynamic = _check_fixtures(engine)
+        status = status or fx_status
+
+    if json_path is not None:
+        payload = report_to_dict(reports, engine,
+                                 dynamic_findings=tuple(dynamic))
+        payload["status"] = status
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {RACE_REPORT_SCHEMA} report to {json_path}")
+    return status
+
+
+def _check_fixtures(engine: str):
+    """Every fixture must trip exactly its expected hazard classes."""
+    from repro.analysis.fixtures import FIXTURES
+
+    status = 0
+    dynamic = []
+    print(f"\nfixture checks ({engine} engine)")
+    for fx in FIXTURES:
+        flagged, findings = fx.check(engine)
+        dynamic.extend(findings)
+        expected = ",".join(sorted(fx.expected))
+        seen = ",".join(sorted({f.hazard for f in findings})) or "none"
+        mark = "ok " if flagged else "FAIL"
+        print(f"  [{mark}] {fx.name:18s} expected {expected}; got {seen}")
+        if not flagged:
+            for f in findings:
+                print(f"         {f.render()}")
+            status = 1
+    return status, dynamic

@@ -34,10 +34,11 @@ from repro.workload import (
     Job,
     OpCounts,
     SerialStep,
-    ThreadProgram,
     WorkItem,
     WorkQueueRegion,
     make_phase,
+    read_of,
+    write_of,
 )
 
 #: the benchmark's elevation grids are 16-bit integers
@@ -106,6 +107,7 @@ def _init_phase(scenario: TerrainScenario, f: float,
         unique_bytes=grid_cells * ELEV_BYTES,
         pattern=AccessPattern.SEQUENTIAL, access_bytes=ELEV_BYTES,
         parallelism=parallelism,
+        accesses=(write_of("masking"),),
     )
 
 
@@ -120,6 +122,7 @@ def _output_phase(scenario: TerrainScenario, result, f: float):
         f"t{scenario.index}-output", OPS_PER_OUTPUT_CELL * cells,
         unique_bytes=cells * ELEV_BYTES,
         pattern=AccessPattern.SEQUENTIAL, access_bytes=ELEV_BYTES,
+        accesses=(read_of("masking"),),
     )
 
 
@@ -150,17 +153,20 @@ def sequential_benchmark_job(
             f"t{scenario.index}-copy",
             OPS_PER_COPY_CELL * (result.n_region_cells_total * f),
             unique_bytes=region, pattern=AccessPattern.SEQUENTIAL,
-            access_bytes=ELEV_BYTES)))
+            access_bytes=ELEV_BYTES,
+            accesses=(read_of("masking"),))))
         steps.append(SerialStep(make_phase(
             f"t{scenario.index}-propagate",
             OPS_PER_RING_CELL * (result.ring_cells_total * f),
             unique_bytes=region, pattern=AccessPattern.STRIDED,
-            access_bytes=ELEV_BYTES)))
+            access_bytes=ELEV_BYTES,
+            accesses=(read_of("terrain"), write_of("masking")))))
         steps.append(SerialStep(make_phase(
             f"t{scenario.index}-merge",
             OPS_PER_MERGE_CELL * (result.n_region_cells_total * f),
             unique_bytes=region, pattern=AccessPattern.SEQUENTIAL,
-            access_bytes=ELEV_BYTES)))
+            access_bytes=ELEV_BYTES,
+            accesses=(write_of("masking"),))))
         steps.append(SerialStep(_output_phase(scenario, result, f)))
     return Job("terrain-sequential", tuple(steps))
 
@@ -180,6 +186,10 @@ def blocked_benchmark_job(
         for t_idx, (cells, ring_cells, blocks) in enumerate(
                 result.per_threat_blocks):
             region = _region_bytes(cells * f)
+            # reset/propagate touch only the worker-private temp array
+            # (the paper's per-thread storage), so they carry no shared
+            # accesses; the merges min into the shared masking array at
+            # block granularity under the per-block locks.
             work = [
                 Compute(make_phase(
                     f"t{scenario.index}-th{t_idx}-reset",
@@ -192,7 +202,8 @@ def blocked_benchmark_job(
                     OPS_PER_RING_CELL * (ring_cells * f),
                     unique_bytes=region,
                     pattern=AccessPattern.STRIDED,
-                    access_bytes=ELEV_BYTES)),
+                    access_bytes=ELEV_BYTES,
+                    accesses=(read_of("terrain"),))),
             ]
             for bid, overlap_cells in blocks:
                 work.append(Critical(
@@ -203,7 +214,9 @@ def blocked_benchmark_job(
                         unique_bytes=overlap_cells * f * ELEV_BYTES * 2,
                         pattern=AccessPattern.SEQUENTIAL,
                         access_bytes=ELEV_BYTES,
-                        shared_fraction=0.2)))
+                        shared_fraction=0.2,
+                        accesses=(read_of("masking", bid, bid),
+                                  write_of("masking", bid, bid)))))
             items.append(WorkItem(f"t{scenario.index}-threat{t_idx}",
                                   tuple(work)))
         steps.append(WorkQueueRegion(tuple(items), n_threads=n_threads,
@@ -238,7 +251,8 @@ def finegrained_benchmark_job(
                 unique_bytes=region,
                 pattern=AccessPattern.SEQUENTIAL,
                 access_bytes=ELEV_BYTES,
-                parallelism=rows)))
+                parallelism=rows,
+                accesses=(read_of("masking"),))))
             steps.append(SerialStep(make_phase(
                 f"t{scenario.index}-th{t_idx}-propagate",
                 OPS_PER_RING_CELL * (ring_cells * f),
@@ -246,14 +260,16 @@ def finegrained_benchmark_job(
                 pattern=AccessPattern.STRIDED,
                 access_bytes=ELEV_BYTES,
                 parallelism=width,
-                serial_cycles=n_rings * f ** 0.5 * RING_START_CYCLES)))
+                serial_cycles=n_rings * f ** 0.5 * RING_START_CYCLES,
+                accesses=(read_of("terrain"), write_of("masking")))))
             steps.append(SerialStep(make_phase(
                 f"t{scenario.index}-th{t_idx}-merge",
                 OPS_PER_MERGE_CELL * (cells * f),
                 unique_bytes=region,
                 pattern=AccessPattern.SEQUENTIAL,
                 access_bytes=ELEV_BYTES,
-                parallelism=rows)))
+                parallelism=rows,
+                accesses=(write_of("masking"),))))
         steps.append(SerialStep(_output_phase(scenario, result, f)))
     return Job("terrain-finegrained", tuple(steps))
 

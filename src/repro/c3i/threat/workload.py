@@ -36,6 +36,8 @@ from repro.workload import (
     SerialStep,
     ThreadProgram,
     make_phase,
+    read_of,
+    write_of,
 )
 
 from repro.c3i.threat.chunked import chunk_bounds
@@ -135,6 +137,7 @@ def _setup_phase(scenario: Scenario, stats: FullScaleThreatStats):
         f"s{scenario.index}-setup", ops,
         unique_bytes=_footprint(stats.n_threats, scenario.n_weapons),
         pattern=AccessPattern.SEQUENTIAL,
+        accesses=(write_of("threats", 0, stats.n_threats - 1),),
     )
 
 
@@ -165,6 +168,8 @@ def sequential_benchmark_job(
             f"s{scenario.index}-scan", ops,
             unique_bytes=_footprint(stats.n_threats, scenario.n_weapons),
             pattern=AccessPattern.SEQUENTIAL,
+            accesses=(read_of("threats", 0, stats.n_threats - 1),
+                      write_of("intervals"), write_of("num_intervals")),
         )))
     return Job("threat-sequential", tuple(steps))
 
@@ -189,10 +194,20 @@ def chunked_benchmark_job(
             first, last = chunk_bounds(stats.n_threats, n_chunks, c)
             n_in_chunk = max(0, last - first + 1)
             ops = _threat_range_ops(stats, first, last)
+            # Program 2 writes intervals[chunk][num_intervals[chunk]]:
+            # the element extent is opaque at the workload level, so
+            # only the compiler's dependence fact (the chunk subscript
+            # provably separates iterations) keeps these writes from
+            # reading as cross-chunk conflicts.
+            accesses = () if n_in_chunk == 0 else (
+                read_of("threats", first, last),
+                write_of("intervals"),
+                write_of("num_intervals"))
             phase = make_phase(
                 f"s{scenario.index}-chunk{c}", ops,
                 unique_bytes=_footprint(n_in_chunk, scenario.n_weapons),
                 pattern=AccessPattern.SEQUENTIAL,
+                accesses=accesses,
             )
             threads.append(ThreadProgram(
                 f"s{scenario.index}-chunk{c}", (Compute(phase),)))
@@ -225,14 +240,21 @@ def finegrained_benchmark_job(
                 unique_bytes=_footprint(last - first + 1,
                                         scenario.n_weapons),
                 pattern=AccessPattern.SEQUENTIAL,
+                accesses=(read_of("threats", first, last),
+                          write_of("trajectory", first, last)),
             )
             appends = sum(stats.intervals[first:last + 1])
+            # the shared append is guarded by the num_intervals
+            # full/empty counter (the Critical below): every thread
+            # holds the same lock, so the whole-array writes are safe
             append = make_phase(
                 f"s{scenario.index}-fg{i}-append",
                 OPS_PER_SYNC_APPEND * appends,
                 unique_bytes=4096.0,
                 pattern=AccessPattern.SEQUENTIAL,
                 shared_fraction=1.0,
+                accesses=(write_of("intervals"),
+                          write_of("num_intervals")),
             )
             threads.append(ThreadProgram(
                 f"s{scenario.index}-fg{i}",

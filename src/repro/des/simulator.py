@@ -10,6 +10,7 @@ from repro.des.events import Event, Timeout
 from repro.des.process import Process, ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.monitor import SyncMonitor
     from repro.obs.trace import TraceRecorder
 
 
@@ -34,6 +35,10 @@ class Simulator:
 
     * ``trace`` -- an :class:`repro.obs.trace.TraceRecorder`; when set,
       the kernel primitives emit typed thread/resource records into it.
+    * ``monitor`` -- a :class:`repro.analysis.monitor.SyncMonitor`; when
+      set, the sync primitives in :mod:`repro.des.sync` report hazard
+      events (full-cell overwrites, stuck readers/writers, barrier
+      shortfalls) into it.
     * ``stall_limit`` -- a watchdog: when set to an integer N, ``run()``
       uses a guarded loop that raises a
       :class:`~repro.des.errors.DeadlockDiagnostic` if more than N
@@ -42,7 +47,7 @@ class Simulator:
     """
 
     __slots__ = ("now", "_heap", "_seq", "_active_process", "trace",
-                 "processes", "stall_limit")
+                 "monitor", "processes", "stall_limit")
 
     def __init__(self, start_time: float = 0.0,
                  stall_limit: Optional[int] = None):
@@ -52,6 +57,8 @@ class Simulator:
         self._active_process: Optional[Process] = None
         #: optional TraceRecorder consulted by the kernel primitives
         self.trace: Optional["TraceRecorder"] = None
+        #: optional SyncMonitor consulted by the sync primitives
+        self.monitor: Optional["SyncMonitor"] = None
         #: every Process ever registered, in creation (tid) order
         self.processes: list[Process] = []
         self.stall_limit = stall_limit

@@ -118,6 +118,9 @@ class SimBarrier:
         self.name = name
         self._waiting: list[Event] = []
         self.generations = 0
+        m = sim.monitor
+        if m is not None:
+            m.register_barrier(self)
 
     @property
     def n_waiting(self) -> int:
@@ -158,6 +161,9 @@ class FullEmptyCell:
         self._writers: list[Event] = []   # waiting for empty
         self.total_blocked_reads = 0
         self.total_blocked_writes = 0
+        m = sim.monitor
+        if m is not None:
+            m.register_cell(self)
 
     @property
     def is_full(self) -> bool:
@@ -234,6 +240,12 @@ class FullEmptyCell:
     def write_ff(self, value: object) -> Event:
         """Unconditional write that sets full (producer reset)."""
         ev = Event(self.sim)
+        if self._full:
+            # clobbering a full cell loses the unconsumed value -- the
+            # classic write-to-full hazard a writeef would have blocked
+            m = self.sim.monitor
+            if m is not None:
+                m.overwrite_full(self)
         self._value = value
         ev.succeed(None)
         if not self._full:

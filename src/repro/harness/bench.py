@@ -136,7 +136,16 @@ def run_verify(data: BenchmarkData) -> int:
     des_rows = run_all_rows(no_cohort=True)
     t2 = time.perf_counter()
 
-    assert cohort_rows.keys() == des_rows.keys()
+    # an explicit check, not an assert: `python -O` strips asserts and
+    # CI must fail loudly when the two walks disagree on row identity
+    missing = cohort_rows.keys() ^ des_rows.keys()
+    if missing:
+        print(f"row sets differ between cohort and DES walks; "
+              f"{len(missing)} one-sided rows:")
+        for key in sorted(missing):
+            side = "cohort-only" if key in cohort_rows else "des-only"
+            print(f"  {side}: {key[0]} / {key[1]}")
+        return 1
     bad = []
     for key, sim_c in cohort_rows.items():
         sim_d = des_rows[key]

@@ -17,7 +17,15 @@ benchmark kernels in :mod:`repro.c3i` produce it from instrumented
 runs of the real algorithms.
 """
 
-from repro.workload.ops import OpClass, OpCounts, WORD_BYTES
+from repro.workload.ops import (
+    AccessMode,
+    OpClass,
+    OpCounts,
+    SharedAccess,
+    WORD_BYTES,
+    read_of,
+    write_of,
+)
 from repro.workload.phase import AccessPattern, MemoryProfile, Phase
 from repro.workload.task import (
     Compute,
@@ -47,6 +55,7 @@ from repro.workload.describe import (describe_job, job_summary,
                                      step_label)
 
 __all__ = [
+    "AccessMode",
     "AccessPattern",
     "Compute",
     "Critical",
@@ -60,6 +69,7 @@ __all__ = [
     "ParallelRegion",
     "Phase",
     "SerialStep",
+    "SharedAccess",
     "ThreadProgram",
     "ThreadProgramBuilder",
     "WORD_BYTES",
@@ -71,7 +81,9 @@ __all__ = [
     "job_summary",
     "make_phase",
     "program_signature",
+    "read_of",
     "region_cohort_signature",
     "single_thread_job",
     "step_label",
+    "write_of",
 ]

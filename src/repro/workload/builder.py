@@ -13,7 +13,7 @@ builders keep that code readable::
 
 from __future__ import annotations
 
-from repro.workload.ops import OpCounts
+from repro.workload.ops import OpCounts, SharedAccess
 from repro.workload.phase import AccessPattern, MemoryProfile, Phase
 from repro.workload.task import (
     Compute,
@@ -34,7 +34,8 @@ def make_phase(name: str, ops: OpCounts,
                shared_fraction: float = 0.0,
                access_bytes: float = 8.0,
                parallelism: float = 1.0,
-               serial_cycles: float = 0.0) -> Phase:
+               serial_cycles: float = 0.0,
+               accesses: tuple[SharedAccess, ...] = ()) -> Phase:
     """Convenience constructor assembling a Phase and its MemoryProfile."""
     return Phase(
         name=name,
@@ -44,6 +45,7 @@ def make_phase(name: str, ops: OpCounts,
                              access_bytes=access_bytes),
         parallelism=parallelism,
         serial_cycles=serial_cycles,
+        accesses=accesses,
     )
 
 

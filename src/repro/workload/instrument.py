@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.workload.ops import OpCounts
+from repro.workload.ops import AccessMode, OpCounts, SharedAccess
 
 
 @dataclass
@@ -26,6 +26,9 @@ class OpCounter:
     sync: float = 0.0
     #: free-form structural event counts (time steps, ring points, ...)
     events: dict[str, float] = field(default_factory=dict)
+    #: shared-array location ranges touched, keyed (array, mode)
+    touched: dict[tuple[str, AccessMode], tuple[float, float]] = field(
+        default_factory=dict)
 
     def tick(self, recipe: OpCounts, times: float = 1.0) -> None:
         """Add ``times`` repetitions of a per-event op recipe."""
@@ -46,6 +49,30 @@ class OpCounter:
     def event(self, name: str, times: float = 1.0) -> None:
         self.events[name] = self.events.get(name, 0.0) + times
 
+    def touch(self, array: str, mode: AccessMode,
+              lo: float, hi: float | None = None) -> None:
+        """Record that the run touched ``array[lo:hi]`` (inclusive).
+
+        Repeated touches of the same (array, mode) widen the recorded
+        range to the union hull, so per-element instrumentation stays
+        O(1) in memory.
+        """
+        if hi is None:
+            hi = lo
+        key = (array, mode)
+        prev = self.touched.get(key)
+        if prev is not None:
+            lo, hi = min(prev[0], lo), max(prev[1], hi)
+        self.touched[key] = (lo, hi)
+
+    def accesses(self) -> tuple[SharedAccess, ...]:
+        """The recorded shared accesses as Phase-ready records."""
+        return tuple(
+            SharedAccess(array, mode, lo, hi)
+            for (array, mode), (lo, hi) in sorted(
+                self.touched.items(),
+                key=lambda kv: (kv[0][0], kv[0][1].value)))
+
     def to_ops(self) -> OpCounts:
         return OpCounts(ialu=self.ialu, falu=self.falu, load=self.load,
                         store=self.store, branch=self.branch, sync=self.sync)
@@ -54,3 +81,5 @@ class OpCounter:
         self.tick(other.to_ops())
         for name, v in other.events.items():
             self.event(name, v)
+        for (array, mode), (lo, hi) in other.touched.items():
+            self.touch(array, mode, lo, hi)

@@ -21,6 +21,74 @@ class OpClass(enum.Enum):
     SYNC = "sync"      #: synchronized memory op (full/empty, atomic, lock)
 
 
+class AccessMode(enum.Enum):
+    """How a phase touches a shared array (see :class:`SharedAccess`)."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessMode.WRITE
+
+
+@dataclass(frozen=True)
+class SharedAccess:
+    """One phase's footprint on a *shared* array, as a location range.
+
+    ``array`` names the shared object (thread-private storage such as
+    Program 4's per-worker ``temp`` is deliberately not annotated --
+    these records exist for the race detector in
+    :mod:`repro.analysis`, which reasons about cross-thread conflicts).
+
+    ``lo``/``hi`` bound the element range touched, inclusive.  ``None``
+    on both means the subscripts are opaque at the workload level (e.g.
+    ``intervals[chunk][num_intervals[chunk]]``): the access potentially
+    covers the whole array, and only a compiler dependence fact
+    (:mod:`repro.analysis.facts`) can prove instances independent.
+    """
+
+    array: str
+    mode: AccessMode
+    lo: float | None = None
+    hi: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.lo is None) != (self.hi is None):
+            raise ValueError("lo and hi must both be set or both be None")
+        if self.lo is not None and self.lo > self.hi:
+            raise ValueError(f"empty range [{self.lo}, {self.hi}]")
+
+    @property
+    def bounded(self) -> bool:
+        """Whether the element range is known."""
+        return self.lo is not None
+
+    def overlaps(self, other: "SharedAccess") -> bool:
+        """Whether the two accesses can touch a common element."""
+        if self.array != other.array:
+            return False
+        if self.lo is None or other.lo is None:
+            return True  # opaque extent: assume the whole array
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def span(self) -> str:
+        """Human-readable location, e.g. ``intervals[0:249]``."""
+        if self.lo is None:
+            return f"{self.array}[*]"
+        return f"{self.array}[{self.lo:g}:{self.hi:g}]"
+
+
+def read_of(array: str, lo: float | None = None,
+            hi: float | None = None) -> SharedAccess:
+    return SharedAccess(array, AccessMode.READ, lo, hi)
+
+
+def write_of(array: str, lo: float | None = None,
+             hi: float | None = None) -> SharedAccess:
+    return SharedAccess(array, AccessMode.WRITE, lo, hi)
+
+
 @dataclass(frozen=True)
 class OpCounts:
     """A vector of operation counts.

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
-from repro.workload.ops import OpCounts
+from repro.workload.ops import OpCounts, SharedAccess
 
 
 class AccessPattern(enum.Enum):
@@ -80,6 +80,12 @@ class Phase:
     path (e.g. the ring-by-ring wavefront in Terrain Masking: each ring
     must finish before the next starts, so ``n_rings * ring_start``
     cycles can never be hidden however many streams are available).
+
+    ``accesses`` records which *shared* arrays the phase reads and
+    writes, with element ranges where the workload knows them (see
+    :class:`~repro.workload.ops.SharedAccess`).  The machine models
+    ignore it; the race detector in :mod:`repro.analysis` is its
+    consumer.
     """
 
     name: str
@@ -87,12 +93,17 @@ class Phase:
     memory: MemoryProfile = field(default_factory=MemoryProfile)
     parallelism: float = 1.0
     serial_cycles: float = 0.0
+    accesses: tuple[SharedAccess, ...] = ()
 
     def __post_init__(self) -> None:
         if self.parallelism < 1.0:
             raise ValueError("parallelism must be >= 1")
         if self.serial_cycles < 0:
             raise ValueError("serial_cycles must be >= 0")
+        object.__setattr__(self, "accesses", tuple(self.accesses))
+        for a in self.accesses:
+            if not isinstance(a, SharedAccess):
+                raise TypeError(f"bad shared access {a!r}")
 
     def scaled(self, k: float) -> "Phase":
         """The same phase with ``k`` times the work (footprint unchanged)."""

@@ -1,6 +1,5 @@
 """Tests for the advisory (suggestion) machinery."""
 
-import pytest
 
 from repro.compiler import (
     AdvisoryKind,

@@ -7,7 +7,6 @@ parallelize the manually transformed programs without the explicit
 pragmas.
 """
 
-import pytest
 
 from repro.compiler import (
     Assign,

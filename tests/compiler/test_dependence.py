@@ -1,6 +1,5 @@
 """Unit tests for the dependence analysis on hand-built loops."""
 
-import pytest
 
 from repro.compiler import (
     ArrayRef,

@@ -7,7 +7,6 @@ both as regression coverage and as executable documentation of the
 analyzer's strength and (deliberate) conservatism.
 """
 
-import pytest
 
 from repro.compiler import (
     ArrayRef,

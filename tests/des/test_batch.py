@@ -236,3 +236,46 @@ def test_engine_deadlock_raises():
     programs = [[(ACQ, "L"), (ACQ, "L"), (REL, "L")]]
     with pytest.raises(DesError):
         CohortEngine(0.0, [10.0], programs).run()
+
+
+def test_engine_lock_handoff_is_fifo_by_arrival():
+    """Contended releases must hand the lock to the *earliest* waiter.
+
+    Three threads reach the lock at t=0, 0.1 and 0.2 with critical
+    sections of 1, 10 and 1 seconds.  Under FIFO hand-off the waits
+    are 0.9 and 10.8 (total 11.7); a LIFO hand-off would total 2.7,
+    so the aggregate wait time pins the ordering.
+    """
+    def prog(delay, crit):
+        return [(SLEEP, delay), (ACQ, "L"), (SRV, 0, crit, None),
+                (REL, "L")]
+
+    eng = CohortEngine(0.0, [1.0, 1.0],
+                       [prog(0.0, 1.0), prog(0.1, 10.0),
+                        prog(0.2, 1.0)])
+    end = eng.run()
+    assert end == pytest.approx(12.0)
+    assert eng.locks["L"].waits == 2
+    assert eng.total_lock_wait_time() == pytest.approx(11.7)
+
+
+def test_engine_lock_handoff_matches_des_lock():
+    """The same staggered-contention scenario on the DES SimLock must
+    produce the identical timeline and wait accounting."""
+    from repro.des import SimLock
+
+    sim = Simulator()
+    lock = SimLock(sim)
+
+    def worker(sim, delay, crit):
+        yield sim.timeout(delay)
+        grant = yield lock.acquire()
+        yield sim.timeout(crit)
+        lock.release(grant)
+
+    for delay, crit in ((0.0, 1.0), (0.1, 10.0), (0.2, 1.0)):
+        sim.process(worker(sim, delay, crit))
+    sim.run()
+    assert sim.now == pytest.approx(12.0)
+    assert lock.total_waits == 2
+    assert lock.total_wait_time == pytest.approx(11.7)

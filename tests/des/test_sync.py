@@ -440,3 +440,69 @@ def test_store_invalid_capacity():
     sim = Simulator()
     with pytest.raises(ValueError):
         Store(sim, capacity=0)
+
+
+def test_semaphore_release_skips_cancelled_middle_waiter():
+    """A cancellation in the *middle* of the queue must not shadow the
+    live waiters behind it: each release walks past triggered events
+    and grants the first still-pending one."""
+    sim = Simulator()
+    sem = SimSemaphore(sim, value=0)
+    order = []
+
+    def waiter(sim, tag):
+        yield sem.acquire()
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(waiter(sim, tag))
+    sim.run()
+    sem._waiters[1].succeed(None)   # cancel "b" mid-queue
+    sim.run()
+    sem.release()
+    sem.release()
+    sim.run()
+    assert order == ["b", "a", "c"]  # b woke from the cancellation
+    assert sem.value == 0
+    assert not sem._waiters
+
+
+def test_barrier_wait_returns_generation_number():
+    sim = Simulator()
+    bar = SimBarrier(sim, parties=2)
+    gens = []
+
+    def worker(sim):
+        for _ in range(2):
+            gen = yield bar.wait()
+            gens.append(gen)
+
+    sim.process(worker(sim))
+    sim.process(worker(sim))
+    sim.run()
+    assert sorted(gens) == [1, 1, 2, 2]
+    assert bar.generations == 2
+
+
+def test_barrier_reuse_across_phases_staggered():
+    """The same barrier separates three phases; each generation fires
+    when its slowest party arrives, and no party from the next phase
+    leaks into the current generation."""
+    sim = Simulator()
+    bar = SimBarrier(sim, parties=2)
+    crossings = []
+
+    def worker(sim, tag, delays):
+        for phase, d in enumerate(delays):
+            yield sim.timeout(d)
+            yield bar.wait()
+            crossings.append((phase, tag, sim.now))
+
+    sim.process(worker(sim, "fast", (1, 1, 1)))
+    sim.process(worker(sim, "slow", (4, 4, 4)))
+    sim.run()
+    assert bar.generations == 3
+    # every phase crossing happens at the slow party's arrival time
+    assert [(p, t) for p, _tag, t in sorted(crossings)] == [
+        (0, 4), (0, 4), (1, 8), (1, 8), (2, 12), (2, 12)]
+    assert bar.n_waiting == 0

@@ -3,7 +3,7 @@ variables, parallel loops)."""
 
 import pytest
 
-from repro.mta import MTA_2, SyncVariable, TeraRuntime, mta
+from repro.mta import MTA_2, TeraRuntime, mta
 
 
 def test_cycles_advance_simulated_time():

@@ -69,3 +69,72 @@ def test_feedback_command(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_race_requires_target(capsys):
+    assert main(["race"]) == 2
+    assert "give experiment ids" in capsys.readouterr().err
+
+
+def test_race_unknown_experiment(capsys):
+    assert main(["race", "table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_race_clean_experiment_writes_report(tmp_path, capsys):
+    import json
+
+    out = str(tmp_path / "race.json")
+    code = main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                 "race", "table2", "table9", "--json", out])
+    stdout = capsys.readouterr().out
+    assert code == 0
+    assert "race detector" in stdout and "clean" in stdout
+    with open(out) as fh:
+        payload = json.load(fh)
+    assert payload["schema"] == "repro-race-report/v1"
+    assert payload["clean"] is True and payload["status"] == 0
+    assert set(payload["experiments"]) == {"table2", "table9"}
+
+
+def test_race_fixtures_all_flagged(capsys):
+    code = main(["race", "--fixtures"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "FAIL" not in out
+    for name in ("chunk-overlap", "dropped-lock", "skipped-writeef",
+                 "barrier-mismatch", "overwrite-full"):
+        assert name in out
+
+
+def test_race_finding_exits_nonzero(monkeypatch, capsys):
+    from repro.analysis import targets
+    from repro.workload.builder import make_phase
+    from repro.workload.ops import OpCounts, write_of
+    from repro.workload.task import (
+        Compute,
+        Job,
+        ParallelRegion,
+        ThreadProgram,
+    )
+
+    def racy_job(_data):
+        threads = tuple(
+            ThreadProgram(f"t{i}", (Compute(make_phase(
+                f"p{i}", OpCounts(ialu=10),
+                accesses=(write_of("x", 0, 9),))),))
+            for i in range(2))
+        return Job("planted-racy", (ParallelRegion(threads),))
+
+    monkeypatch.setitem(targets.EXPERIMENT_JOBS, "autopar", (racy_job,))
+    code = main(["race", "autopar"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "data-race" in out
+
+
+def test_race_alias_resolves(capsys):
+    code = main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                 "race", "fig3", "--no-parity"])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out

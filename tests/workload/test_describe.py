@@ -2,7 +2,6 @@
 
 from repro.c3i import threat as TH
 from repro.workload import (
-    Critical,
     JobBuilder,
     OpCounts,
     ThreadProgramBuilder,
