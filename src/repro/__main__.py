@@ -14,6 +14,8 @@ Usage::
     python -m repro bench --verify            # full-registry equivalence
     python -m repro race table5 table11       # race/sync-hazard detector
     python -m repro race --all --fixtures --json race.json
+    python -m repro chaos table5 --seed 7     # fault-injected runs
+    python -m repro chaos --all --faults streams:0.5:0.8 --json chaos.json
     python -m repro feedback                  # compiler feedback, Programs 1-4
     python -m repro cache info                # persistent result cache
     python -m repro cache clear
@@ -117,6 +119,24 @@ def _build_parser() -> argparse.ArgumentParser:
     race_p.add_argument("--no-parity", action="store_true",
                         help="skip the DES-vs-cohort verdict "
                              "cross-check")
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run experiments under deterministic fault injection "
+             "(stream revocation, bank hot-spots, cache degradation, "
+             "latency inflation)")
+    chaos_p.add_argument("ids", nargs="*", metavar="ID",
+                         help="experiment ids to fault")
+    chaos_p.add_argument("--all", action="store_true", dest="chaos_all",
+                         help="fault every registered experiment")
+    chaos_p.add_argument("--faults", metavar="SPEC", default=None,
+                         help="comma-separated kind[:when[:severity]] "
+                              "list (default: one fault of every kind, "
+                              "times/severities derived from the seed)")
+    chaos_p.add_argument("--seed", type=int, default=0, metavar="N",
+                         help="closes open when/severity fields "
+                              "deterministically (default 0)")
+    chaos_p.add_argument("--json", metavar="PATH", default=None,
+                         help="write the schema-versioned report as JSON")
     sub.add_parser("feedback",
                    help="compiler feedback for Programs 1-4")
     cache_p = sub.add_parser(
@@ -297,6 +317,12 @@ def main(argv: list[str] | None = None) -> int:
             return run_verify(data)
         return run_kernel_bench(data, repeat=args.repeat,
                                 json_path=args.json)
+    if args.command == "chaos":
+        from repro.faults.chaos import DEFAULT_FAULTS, run_chaos
+
+        return run_chaos(args.ids, data, run_all=args.chaos_all,
+                         faults=args.faults or DEFAULT_FAULTS,
+                         seed=args.seed, json_path=args.json)
     if args.command == "race":
         from repro.analysis.race import run_race
 

@@ -57,21 +57,36 @@ def block_of(x: int, y: int, n: int, num_blocks: int) -> int:
     return bx * num_blocks + by
 
 
+def _block_start(b: int, n: int, num_blocks: int) -> int:
+    """First cell of block ``b``: smallest x with x*num_blocks >= b*n.
+
+    Integer arithmetic throughout -- float block widths (n/num_blocks)
+    round inconsistently at block edges (e.g. n=64, num_blocks=10:
+    5*6.4 rounds to exactly 32.0 while 32//6.4 floors to 4), which
+    silently dropped boundary rows/columns from the merge.
+    """
+    return (b * n + num_blocks - 1) // num_blocks
+
+
 def blocks_overlapping(window, n: int, num_blocks: int
                        ) -> list[tuple[int, tuple[slice, slice]]]:
-    """Blocks intersecting a region window, with the overlap slices."""
+    """Blocks intersecting a region window, with the overlap slices.
+
+    Consistent with :func:`block_of`: cell x lies in block
+    ``x * num_blocks // n``, so block b covers
+    ``[_block_start(b), _block_start(b + 1))``.
+    """
     out = []
-    bw = n / num_blocks
-    bx0 = int(window.x0 // bw)
-    bx1 = int((window.x1 - 1) // bw)
-    by0 = int(window.y0 // bw)
-    by1 = int((window.y1 - 1) // bw)
+    bx0 = window.x0 * num_blocks // n
+    bx1 = (window.x1 - 1) * num_blocks // n
+    by0 = window.y0 * num_blocks // n
+    by1 = (window.y1 - 1) * num_blocks // n
     for bx in range(bx0, min(bx1, num_blocks - 1) + 1):
         for by in range(by0, min(by1, num_blocks - 1) + 1):
-            x_lo = max(window.x0, int(np.ceil(bx * bw)) if bx else 0)
-            x_hi = min(window.x1, int(np.ceil((bx + 1) * bw)))
-            y_lo = max(window.y0, int(np.ceil(by * bw)) if by else 0)
-            y_hi = min(window.y1, int(np.ceil((by + 1) * bw)))
+            x_lo = max(window.x0, _block_start(bx, n, num_blocks))
+            x_hi = min(window.x1, _block_start(bx + 1, n, num_blocks))
+            y_lo = max(window.y0, _block_start(by, n, num_blocks))
+            y_hi = min(window.y1, _block_start(by + 1, n, num_blocks))
             if x_lo < x_hi and y_lo < y_hi:
                 out.append((bx * num_blocks + by,
                             (slice(x_lo, x_hi), slice(y_lo, y_hi))))

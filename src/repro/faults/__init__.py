@@ -1,0 +1,45 @@
+"""Deterministic fault injection and chaos testing.
+
+Machine-level faults derate the platform specs (stream revocation,
+bank hot-spotting, full/empty stalls, cache-way loss, latency
+inflation) through :mod:`repro.faults.inject`; harness-level faults
+(worker crashes, cache corruption, watchdog timeouts) live in the
+harness itself (:mod:`repro.harness.parallel`,
+:mod:`repro.harness.store`, :mod:`repro.obs.watchdog`).  Everything is
+seeded and schedule-deterministic: identical ``(plan, seed)`` yields
+byte-identical fault schedules under both simulation engines.
+"""
+
+from repro.faults.inject import (
+    FaultedRun,
+    derate_conventional,
+    derate_mta,
+    run_faulted_conventional,
+    run_faulted_mta,
+    split_job,
+)
+from repro.faults.plan import (
+    CONVENTIONAL_KINDS,
+    FAULT_KINDS,
+    MTA_KINDS,
+    FaultPlan,
+    FaultSpec,
+    ScheduledFault,
+    derive_unit,
+)
+
+__all__ = [
+    "CONVENTIONAL_KINDS",
+    "FAULT_KINDS",
+    "MTA_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultedRun",
+    "ScheduledFault",
+    "derate_conventional",
+    "derate_mta",
+    "derive_unit",
+    "run_faulted_conventional",
+    "run_faulted_mta",
+    "split_job",
+]

@@ -1,0 +1,176 @@
+"""Deterministic fault plans and schedules.
+
+A :class:`FaultPlan` says *what* goes wrong (a fault kind), *when*
+(a fraction of the job's step sequence) and *how badly* (a severity in
+``(0, 1]``).  Fields the user leaves open are filled deterministically
+from the plan seed, so ``repro chaos --faults streams --seed 7`` is
+fully reproducible -- and because every derived quantity comes from
+:func:`hashlib.sha256` over the plan, the seed and the job/machine
+names (never from simulation state), the realized schedule is
+byte-identical under the DES and cohort engines, across platforms and
+across processes.
+
+Fault kinds (see DESIGN.md section 10 for the exact derating math):
+
+==============  =======================================================
+``streams``     MTA stream revocation: the runtime reclaims a fraction
+                of the 128 hardware streams per processor.
+``bank-hotspot``  Memory-bank hot-spotting: effective network/bus
+                bandwidth drops (MTA words-per-cycle, SMP bus bytes/s).
+``febit-stall`` Full/empty-bit retry storms: memory latency and
+                synchronization cost inflate on the MTA.
+``cache-ways``  Cache-way failure on conventional machines: lost
+                associativity and proportional capacity.
+``mem-latency`` Miss-latency inflation on conventional machines (a
+                degraded bus or DRAM path).
+==============  =======================================================
+
+Kinds that do not apply to a machine family (``cache-ways`` on the
+cache-less MTA, ``streams`` on an SMP) are scheduled but ignored by the
+derating step; the schedule payload records them so cross-engine diffs
+stay trivial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+#: the fault kinds understood by the injector
+FAULT_KINDS = ("streams", "bank-hotspot", "febit-stall", "cache-ways",
+               "mem-latency")
+
+#: kinds that derate each machine family
+MTA_KINDS = ("streams", "bank-hotspot", "febit-stall")
+CONVENTIONAL_KINDS = ("bank-hotspot", "cache-ways", "mem-latency")
+
+
+def derive_unit(*parts: object) -> float:
+    """A deterministic float in ``[0, 1)`` from the given parts.
+
+    Pure stdlib (sha256 over the ``|``-joined string forms), hence
+    identical on every platform, process and engine.
+    """
+    text = "|".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One requested fault: what / when / how badly.
+
+    ``when`` is a fraction of the job's step sequence in ``[0, 1)``
+    (0 = before the first step); ``severity`` is in ``(0, 1]``.
+    Either may be ``None`` -- "derive it from the seed".
+    """
+
+    kind: str
+    when: Optional[float] = None
+    severity: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}")
+        if self.when is not None and not 0.0 <= self.when < 1.0:
+            raise ValueError("when must be in [0, 1)")
+        if self.severity is not None and not 0.0 < self.severity <= 1.0:
+            raise ValueError("severity must be in (0, 1]")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``kind[:when[:severity]]``; ``~`` leaves a field open."""
+        parts = text.strip().split(":")
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(
+                f"bad fault spec {text!r}: expected kind[:when[:severity]]")
+
+        def _field(i: int) -> Optional[float]:
+            if i >= len(parts) or parts[i] in ("", "~"):
+                return None
+            try:
+                return float(parts[i])
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {text!r}: {parts[i]!r} is not a "
+                    f"number") from None
+
+        return cls(kind=parts[0].strip(), when=_field(1),
+                   severity=_field(2))
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """A fault realized against one (job, machine) pair."""
+
+    kind: str
+    step: int          # job-step index at which the fault activates
+    severity: float    # in (0, 1]
+
+    def to_payload(self) -> dict:
+        return {"kind": self.kind, "step": self.step,
+                "severity": round(self.severity, 9)}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault specs plus the seed that closes them."""
+
+    specs: tuple[FaultSpec, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        if not self.specs:
+            raise ValueError("a fault plan needs at least one fault")
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a comma-separated list of fault specs."""
+        items = [p for p in text.split(",") if p.strip()]
+        if not items:
+            raise ValueError("empty fault spec")
+        return cls(specs=tuple(FaultSpec.parse(p) for p in items),
+                   seed=seed)
+
+    def to_payload(self) -> dict:
+        """Canonical JSON-ready form (recorded into run stats)."""
+        return {
+            "seed": self.seed,
+            "faults": [
+                {"kind": s.kind, "when": s.when, "severity": s.severity}
+                for s in self.specs
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    def schedule(self, job_name: str, n_steps: int,
+                 machine_name: str) -> tuple[ScheduledFault, ...]:
+        """Realize the plan against one job on one machine.
+
+        Open ``when``/``severity`` fields are filled from
+        ``sha256(seed | index | kind | job | machine | field)``; the
+        activation step is ``floor(when * n_steps)``.  Deterministic by
+        construction -- no RNG state, no simulation feedback.
+        """
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        out = []
+        for i, spec in enumerate(self.specs):
+            when = spec.when
+            if when is None:
+                when = derive_unit(self.seed, i, spec.kind, job_name,
+                                   machine_name, "when")
+            severity = spec.severity
+            if severity is None:
+                # (0, 1]: low severities are uninteresting, keep >= 0.25
+                unit = derive_unit(self.seed, i, spec.kind, job_name,
+                                   machine_name, "severity")
+                severity = 0.25 + 0.75 * unit
+            step = min(n_steps - 1, int(when * n_steps))
+            out.append(ScheduledFault(kind=spec.kind, step=step,
+                                      severity=severity))
+        return tuple(out)

@@ -11,13 +11,25 @@ duplicate the expensive work that experiments have in common.
 
 ``run_experiments`` also collects a per-experiment profile (wall time
 and cache hit/miss counts) for the CLI's ``--profile`` flag.
+
+The pool path is crash-resilient: a worker dying mid-experiment (a
+real segfault/OOM kill, or an injected fault -- see
+``REPRO_CHAOS_CRASH``) breaks the whole ProcessPoolExecutor, but
+results that finished before the crash are salvaged, the pool is
+rebuilt and only the unfinished experiments are retried, with bounded
+attempts (``REPRO_RETRY_MAX``, default 3) and exponential backoff
+(base ``REPRO_RETRY_BACKOFF_S``, default 0.25 s).  An experiment that
+*raises* in a worker travels back as :class:`WorkerError` carrying the
+full child traceback, not just the exception repr.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -25,6 +37,69 @@ from repro.harness import store
 from repro.harness.experiment import ExperimentResult
 from repro.harness.registry import EXPERIMENT_IDS, run_experiment
 from repro.harness.runner import BenchmarkData, default_data
+
+#: ``seed:rate[:mode]`` -- deterministically crash-fault workers.  A
+#: worker handling experiment ``eid`` on attempt ``a`` dies iff
+#: ``sha256(seed|eid|a|worker-crash)`` maps below ``rate``; mode
+#: ``exit`` (default) kills the process (breaking the pool), ``raise``
+#: raises inside the experiment instead.
+CHAOS_CRASH_ENV = "REPRO_CHAOS_CRASH"
+
+RETRY_MAX_ENV = "REPRO_RETRY_MAX"
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF_S"
+
+
+class WorkerError(RuntimeError):
+    """An experiment failed inside a worker process.
+
+    ProcessPoolExecutor pickles exceptions across the process boundary
+    and the traceback does not survive the trip -- debugging a parallel
+    run used to mean re-running serially.  Workers therefore catch
+    everything, format the traceback *in the child*, and send it back
+    attached to this exception.
+    """
+
+    def __init__(self, experiment_id: str, child_traceback: str):
+        self.experiment_id = experiment_id
+        self.child_traceback = child_traceback
+        super().__init__(
+            f"experiment {experiment_id!r} failed in a worker process\n"
+            f"--- worker traceback ---\n{child_traceback}")
+
+    def __reduce__(self):
+        # default exception pickling replays args (the joined message)
+        # into __init__, which takes two fields -- rebuild explicitly
+        return (WorkerError, (self.experiment_id, self.child_traceback))
+
+
+def _crash_config() -> Optional[tuple[int, float, str]]:
+    raw = os.environ.get(CHAOS_CRASH_ENV, "")
+    if not raw:
+        return None
+    parts = raw.split(":")
+    if len(parts) < 2:
+        raise ValueError(
+            f"{CHAOS_CRASH_ENV} must be seed:rate[:mode], got {raw!r}")
+    mode = parts[2] if len(parts) > 2 else "exit"
+    if mode not in ("exit", "raise"):
+        raise ValueError(f"unknown crash mode {mode!r}")
+    return int(parts[0]), float(parts[1]), mode
+
+
+def _maybe_crash(experiment_id: str, attempt: int) -> None:
+    """Deterministic worker-crash injection (chaos testing)."""
+    cfg = _crash_config()
+    if cfg is None:
+        return
+    seed, rate, mode = cfg
+    from repro.faults.plan import derive_unit
+
+    if derive_unit(seed, experiment_id, attempt, "worker-crash") < rate:
+        if mode == "raise":
+            raise RuntimeError(
+                f"injected worker fault for {experiment_id!r} "
+                f"(attempt {attempt})")
+        os._exit(17)  # no cleanup -- model a hard crash/OOM kill
 
 
 @dataclass(frozen=True)
@@ -42,8 +117,9 @@ class ExperimentProfile:
 
 
 def _run_one(experiment_id: str, threat_scale: float,
-             terrain_scale: float) -> tuple[ExperimentResult,
-                                            ExperimentProfile]:
+             terrain_scale: float, attempt: int = 0,
+             started_dir: Optional[str] = None
+             ) -> tuple[ExperimentResult, ExperimentProfile]:
     """Worker body: run one experiment and account for it.
 
     Top-level (picklable) for ProcessPoolExecutor.  ``default_data`` is
@@ -53,17 +129,33 @@ def _run_one(experiment_id: str, threat_scale: float,
     made in this call's context exactly -- unlike snapshot deltas of
     the process-cumulative counters, it stays correct even if runs
     ever interleave within one process.
+
+    ``started_dir`` is the pool's start-sentinel scratch directory:
+    touching ``<eid>.<attempt>`` *before* any crash can happen lets the
+    parent distinguish experiments whose worker actually died from
+    experiments merely poisoned by someone else's pool breakage.
     """
-    data = default_data(threat_scale, terrain_scale)
-    n0 = len(data.metrics_log)
-    t0 = time.perf_counter()
-    with store.cache_scope() as sc:
-        result = run_experiment(experiment_id, data)
-    wall = time.perf_counter() - t0
-    return result, ExperimentProfile(
-        experiment_id=experiment_id, wall_seconds=wall,
-        cache_hits=sc.hits, cache_misses=sc.misses,
-        metrics=tuple(data.metrics_log[n0:]))
+    try:
+        if started_dir is not None:
+            with open(os.path.join(
+                    started_dir, f"{experiment_id}.{attempt}"), "w"):
+                pass
+        _maybe_crash(experiment_id, attempt)
+        data = default_data(threat_scale, terrain_scale)
+        n0 = len(data.metrics_log)
+        t0 = time.perf_counter()
+        with store.cache_scope() as sc:
+            result = run_experiment(experiment_id, data)
+        wall = time.perf_counter() - t0
+        return result, ExperimentProfile(
+            experiment_id=experiment_id, wall_seconds=wall,
+            cache_hits=sc.hits, cache_misses=sc.misses,
+            metrics=tuple(data.metrics_log[n0:]))
+    except WorkerError:
+        raise
+    except BaseException:
+        raise WorkerError(experiment_id, traceback.format_exc()) \
+            from None
 
 
 def run_experiments(
@@ -80,7 +172,33 @@ def run_experiments(
     completion order.  ``jobs=None`` uses the CPU count; ``jobs=1``
     runs serially in-process (sharing ``data`` when given, so tests and
     the single-core path pay no pickling or re-kerneling cost).
+
+    With ``REPRO_RUN_TIMEOUT_S=soft[:hard]`` set, a
+    :class:`~repro.obs.watchdog.RunWatchdog` shadows the whole run:
+    warn on stderr past ``soft`` wall-clock seconds, interrupt the run
+    past ``hard``.
     """
+    from contextlib import nullcontext
+
+    from repro.obs.watchdog import RUN_TIMEOUT_ENV, RunWatchdog
+
+    raw_timeout = os.environ.get(RUN_TIMEOUT_ENV, "")
+    guard = (RunWatchdog.from_env(raw_timeout) if raw_timeout
+             else nullcontext())
+    with guard:
+        return _run_experiments_inner(
+            experiment_ids, threat_scale=threat_scale,
+            terrain_scale=terrain_scale, jobs=jobs, data=data)
+
+
+def _run_experiments_inner(
+    experiment_ids: Optional[Iterable[str]] = None,
+    *,
+    threat_scale: float,
+    terrain_scale: float,
+    jobs: Optional[int] = None,
+    data: Optional[BenchmarkData] = None,
+) -> tuple[dict[str, ExperimentResult], list[ExperimentProfile]]:
     ids: Sequence[str] = tuple(experiment_ids or EXPERIMENT_IDS)
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -103,13 +221,121 @@ def run_experiments(
                 metrics=tuple(data.metrics_log[n0:])))
         return results, profiles
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {eid: pool.submit(_run_one, eid, threat_scale,
-                                    terrain_scale)
-                   for eid in ids}
-        pairs = {eid: fut.result() for eid, fut in futures.items()}
+    pairs = _pool_run(ids, threat_scale, terrain_scale, jobs)
     return ({eid: pairs[eid][0] for eid in ids},
             [pairs[eid][1] for eid in ids])
+
+
+def _pool_run(ids: Sequence[str], threat_scale: float,
+              terrain_scale: float, jobs: int
+              ) -> dict[str, tuple[ExperimentResult, ExperimentProfile]]:
+    """Fan experiments over a process pool, surviving worker crashes.
+
+    A worker that dies (``os._exit``, segfault, OOM kill) breaks the
+    entire pool: every unfinished future raises
+    :class:`BrokenProcessPool`.  Futures that completed *before* the
+    crash still hold their results, so those are salvaged; the pool is
+    rebuilt and only the failures are retried -- each experiment gets
+    ``REPRO_RETRY_MAX`` attempts with exponential backoff.  The attempt
+    number reaches the worker, so deterministic crash injection
+    (``REPRO_CHAOS_CRASH``) can fault attempt 0 and spare the retry.
+
+    Pool breakage poisons *every* unfinished future, including
+    experiments that were still queued (or mid-run on another worker)
+    when the culprit's worker died, and the executor gives no way to
+    tell them apart.  Charging every poisoned future an attempt would
+    let one bad experiment exhaust innocent budgets.  So workers touch
+    a start sentinel before running, and after a breakage the
+    experiments that had *started* the broken round (a superset
+    containing the culprit, at most pool-width wide) are re-run one at
+    a time: running alone, a crash identifies its experiment exactly,
+    and only that experiment's attempt counter moves.  Experiments
+    that never started are requeued uncharged.
+    """
+    import shutil
+    import tempfile
+
+    max_attempts = max(1, int(os.environ.get(RETRY_MAX_ENV, "3")))
+    backoff = float(os.environ.get(RETRY_BACKOFF_ENV, "0.25"))
+    done: dict[str, tuple[ExperimentResult, ExperimentProfile]] = {}
+    pending: dict[str, int] = {eid: 0 for eid in ids}
+    suspects: dict[str, int] = {}
+    started_dir = tempfile.mkdtemp(prefix="repro-pool-")
+    pool = ProcessPoolExecutor(max_workers=jobs)
+
+    def rebuild_pool() -> None:
+        nonlocal pool
+        # the broken pool cannot run anything anymore
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = ProcessPoolExecutor(max_workers=jobs)
+
+    try:
+        while pending or suspects:
+            # isolation phase: one suspect at a time, so a dead worker
+            # names its experiment unambiguously
+            while suspects:
+                eid, attempt = next(iter(suspects.items()))
+                fut = pool.submit(_run_one, eid, threat_scale,
+                                  terrain_scale, attempt, started_dir)
+                try:
+                    done[eid] = fut.result()
+                    del suspects[eid]
+                except BrokenProcessPool as exc:
+                    rebuild_pool()
+                    attempt += 1
+                    if attempt >= max_attempts:
+                        raise WorkerError(
+                            eid,
+                            f"worker process died "
+                            f"({max_attempts} attempts): {exc}") \
+                            from exc
+                    suspects[eid] = attempt
+                    time.sleep(backoff * (2.0 ** (attempt - 1)))
+                except Exception:
+                    attempt += 1
+                    if attempt >= max_attempts:
+                        raise
+                    suspects[eid] = attempt
+                    time.sleep(backoff * (2.0 ** (attempt - 1)))
+            if not pending:
+                break
+
+            # batch phase: fan everything still pending over the pool
+            futures = {
+                eid: pool.submit(_run_one, eid, threat_scale,
+                                 terrain_scale, attempt, started_dir)
+                for eid, attempt in pending.items()
+            }
+            retry: dict[str, int] = {}
+            rebuild = False
+            for eid, fut in futures.items():
+                try:
+                    done[eid] = fut.result()
+                except BrokenProcessPool:
+                    rebuild = True
+                    started = os.path.exists(os.path.join(
+                        started_dir, f"{eid}.{pending[eid]}"))
+                    if started:
+                        suspects[eid] = pending[eid]
+                    else:                # collateral: requeue uncharged
+                        retry[eid] = pending[eid]
+                except Exception:
+                    attempt = pending[eid] + 1
+                    if attempt >= max_attempts:
+                        raise
+                    retry[eid] = attempt
+                    time.sleep(backoff * (2.0 ** (attempt - 1)))
+            if rebuild:
+                rebuild_pool()
+                if not suspects:
+                    # sentinel writes failed somehow: isolate everyone
+                    # poisoned rather than loop without progress
+                    suspects, retry = retry, {}
+            pending = retry
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        shutil.rmtree(started_dir, ignore_errors=True)
+    return done
 
 
 def metrics_rollup(profile: ExperimentProfile) -> dict:

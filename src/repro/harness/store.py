@@ -331,28 +331,56 @@ class ResultCache:
         self.directory = directory
         self.hits = 0
         self.misses = 0
+        #: entries discarded because their checksum or shape failed
+        self.corrupt = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key + ".json")
 
+    @staticmethod
+    def payload_checksum(payload: dict) -> str:
+        """sha-256 over the canonical JSON form, checksum field
+        excluded.  Written by :meth:`put`, verified by :meth:`get`."""
+        body = {k: v for k, v in payload.items() if k != "sha256"}
+        raw = json.dumps(body, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+        return hashlib.sha256(raw).hexdigest()
+
     def get(self, key: str) -> Optional[dict]:
-        """The stored payload for ``key``, or ``None`` on any problem."""
+        """The stored payload for ``key``, or ``None`` on any problem.
+
+        Every read verifies the entry's embedded sha-256 checksum, so
+        silent on-disk corruption (bit rot, torn concurrent writes
+        through a non-atomic filesystem, hand edits) surfaces as a
+        cache miss -- the caller transparently recomputes and the
+        corrupt file is removed.  Entries written before checksums
+        existed fail the check and are rebuilt the same way.
+        """
         path = self._path(key)
+        corrupt = False
         try:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
             payload = None
+        except ValueError:
+            payload = None
+            corrupt = True
         else:
             if (not isinstance(payload, dict)
                     or payload.get("schema") != CACHE_SCHEMA_VERSION
                     or not isinstance(payload.get("seconds"),
-                                      (int, float))):
+                                      (int, float))
+                    or payload.get("sha256")
+                    != self.payload_checksum(payload)):
                 payload = None
-                try:  # corrupt entry: discard so it is rebuilt
-                    os.remove(path)
-                except OSError:
-                    pass
+                corrupt = True
+        if corrupt:
+            self.corrupt += 1
+            try:  # corrupt entry: discard so it is rebuilt
+                os.remove(path)
+            except OSError:
+                pass
         scope = _scope_var.get()
         if payload is None:
             self.misses += 1
@@ -367,6 +395,7 @@ class ResultCache:
     def put(self, key: str, payload: dict) -> None:
         """Atomically store ``payload`` (best effort; errors ignored)."""
         payload = dict(payload, schema=CACHE_SCHEMA_VERSION, key=key)
+        payload["sha256"] = self.payload_checksum(payload)
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -403,7 +432,8 @@ class ResultCache:
                 pass
         return {"directory": os.path.abspath(self.directory),
                 "entries": len(entries), "bytes": total,
-                "epoch": model_epoch()}
+                "epoch": model_epoch(),
+                "corrupt_discarded": self.corrupt}
 
     def clear(self) -> int:
         """Remove every entry; returns the number removed."""

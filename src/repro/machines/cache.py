@@ -34,8 +34,36 @@ class SetAssociativeCache:
         # each set: OrderedDict tag -> None, LRU at the front
         self._sets: list[OrderedDict[int, None]] = [
             OrderedDict() for _ in range(self.n_sets)]
+        #: ways disabled by fault injection (see :meth:`degrade_ways`)
+        self.disabled_ways = 0
         self.hits = 0
         self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_assoc(self) -> int:
+        """Ways still usable per set after any injected degradation."""
+        return max(1, self.assoc - self.disabled_ways)
+
+    def degrade_ways(self, n_ways: int) -> None:
+        """Disable ``n_ways`` ways per set (fault injection: partial
+        cache-way failure).  Lines in the disabled ways are dropped
+        immediately -- their next reference misses -- and every set is
+        capped at the surviving associativity from now on.  At least
+        one way always survives.
+        """
+        if n_ways < 0:
+            raise ValueError("n_ways must be >= 0")
+        self.disabled_ways = min(self.assoc - 1,
+                                 self.disabled_ways + n_ways)
+        cap = self.effective_assoc
+        for s in self._sets:
+            while len(s) > cap:
+                s.popitem(last=False)
+
+    def restore_ways(self) -> None:
+        """Undo :meth:`degrade_ways` (repair)."""
+        self.disabled_ways = 0
 
     # ------------------------------------------------------------------
     def _locate(self, address: int) -> tuple[int, int]:
@@ -53,7 +81,7 @@ class SetAssociativeCache:
             self.hits += 1
             return True
         self.misses += 1
-        if len(s) >= self.assoc:
+        if len(s) >= self.effective_assoc:
             s.popitem(last=False)  # evict LRU
         s[tag] = None
         return False

@@ -70,15 +70,30 @@ class InOrderCore:
     """An in-order scalar CPU with one cache level."""
 
     def __init__(self, spec: MachineSpec,
-                 cache: Optional[SetAssociativeCache] = None):
+                 cache: Optional[SetAssociativeCache] = None,
+                 latency_factor: float = 1.0):
+        if latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1")
         self.spec = spec
         self.cache = cache if cache is not None else SetAssociativeCache(
             capacity_bytes=int(spec.cache.capacity_bytes),
             line_bytes=spec.cache.line_bytes,
             assoc=spec.cache.assoc)
-        #: full miss penalty in core cycles
-        self.miss_penalty = (spec.mem.miss_latency_s
-                             * spec.core.clock_hz)
+        #: memory-latency inflation (fault injection: a degraded bus or
+        #: DRAM path serves misses slower); 1.0 = healthy
+        self.latency_factor = float(latency_factor)
+
+    @property
+    def miss_penalty(self) -> float:
+        """Full miss penalty in core cycles (inflated under faults)."""
+        return (self.spec.mem.miss_latency_s * self.spec.core.clock_hz
+                * self.latency_factor)
+
+    def inflate_latency(self, factor: float) -> None:
+        """Multiply the miss penalty by ``factor`` from now on."""
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        self.latency_factor *= factor
 
     def run(self, trace: Iterable[CoreInstruction]) -> CoreStats:
         """Execute a trace; returns cycle-level statistics."""

@@ -54,10 +54,44 @@ class InterleavedMemory:
         self.retry_interval_cycles = retry_interval_cycles
         self._words: dict[int, _Word] = {}
         self._bank_free: list[float] = [0.0] * n_banks
+        #: bank -> service cycles per request (default 1.0); raised by
+        #: :meth:`inject_hotspot` to model a degraded/contended bank
+        self._bank_service: dict[int, float] = {}
         # statistics
         self.requests = 0
         self.retries = 0
         self.bank_conflict_cycles = 0.0
+        self.hotspot_extra_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def inject_hotspot(self, bank: int, service_cycles: float) -> None:
+        """Degrade ``bank``: every request occupies it for
+        ``service_cycles`` instead of 1 (hot-spotting / partial bank
+        failure).  Conflicts behind the slow bank queue up exactly as
+        behind a busy healthy bank."""
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank {bank} out of range")
+        if service_cycles < 1.0:
+            raise ValueError("service_cycles must be >= 1")
+        self._bank_service[bank] = float(service_cycles)
+
+    def clear_hotspots(self) -> None:
+        self._bank_service.clear()
+
+    def force_empty(self, addrs) -> int:
+        """Set the full/empty tag of every address in ``addrs`` to
+        empty (fault injection: lost producer).  Synchronized loads on
+        those words stall in hardware retry until some store fills
+        them.  Returns the number of words flipped full->empty."""
+        flipped = 0
+        for addr in addrs:
+            w = self.word(addr)
+            if w.full:
+                flipped += 1
+            w.full = False
+        return flipped
 
     # ------------------------------------------------------------------
     def word(self, addr: int) -> _Word:
@@ -90,7 +124,9 @@ class InterleavedMemory:
         b = self._bank_of(addr)
         service = max(cycle, self._bank_free[b])
         self.bank_conflict_cycles += service - cycle
-        self._bank_free[b] = service + 1.0
+        occupancy = self._bank_service.get(b, 1.0)
+        self.hotspot_extra_cycles += occupancy - 1.0
+        self._bank_free[b] = service + occupancy
         return service
 
     def issue(self, req: MemRequest, cycle: float) -> Optional[float]:

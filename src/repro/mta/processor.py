@@ -24,11 +24,37 @@ class CycleProcessor:
     issued: int = 0
 
     def add_stream(self, stream: Stream) -> None:
-        if len(self.streams) >= self.max_streams:
+        if self.active_streams >= self.max_streams:
             raise ValueError(
                 f"processor {self.pid}: all {self.max_streams} hardware "
                 f"streams are occupied")
         self.streams.append(stream)
+
+    @property
+    def active_streams(self) -> int:
+        """Streams currently holding a hardware slot (not revoked)."""
+        return sum(1 for s in self.streams if not s.revoked)
+
+    def revoke_streams(self, n: int, cycle: float) -> list[Stream]:
+        """Revoke up to ``n`` of the most recently added live streams.
+
+        Models the runtime reclaiming hardware streams from a protection
+        domain mid-run (fault injection).  Returns the revoked streams,
+        newest first, so the system driver can migrate their residual
+        programs onto the survivors.  Streams that already finished are
+        not eligible; revoking more streams than are live revokes all
+        but the oldest (a processor never loses its last stream).
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        live = [s for s in self.streams if not s.revoked and not s.done]
+        revoked: list[Stream] = []
+        for stream in reversed(live[1:]):  # keep at least the oldest
+            if len(revoked) >= n:
+                break
+            stream.revoke(cycle)
+            revoked.append(stream)
+        return revoked
 
     def take_slot(self, ready_cycle: float) -> float:
         """Allocate the earliest issue slot at or after ``ready_cycle``."""

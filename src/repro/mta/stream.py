@@ -59,6 +59,11 @@ class Stream:
     #: values returned by loads, by instruction index
     results: dict[int, object] = field(default_factory=dict)
     issued: int = 0
+    #: cycle at which the runtime revoked this hardware stream (fault
+    #: injection); a revoked stream issues nothing more, and its
+    #: unissued instructions are migrated by the system driver once
+    #: in-flight references drain
+    revoked_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         for i, ins in enumerate(self.program):
@@ -69,8 +74,45 @@ class Stream:
 
     # ------------------------------------------------------------------
     @property
+    def revoked(self) -> bool:
+        return self.revoked_at is not None
+
+    @property
     def done(self) -> bool:
+        if self.revoked:
+            # a revoked stream is finished once its in-flight references
+            # drain; the driver owns its residual program
+            return not self.in_flight
         return self.pc >= len(self.program) and not self.in_flight
+
+    def revoke(self, cycle: float) -> None:
+        """Revoke the stream at ``cycle``: it issues nothing more.
+
+        The program counter freezes; :meth:`residual_program` hands the
+        unissued tail to whoever inherits the work.
+        """
+        if self.revoked:
+            raise ValueError(f"stream {self.sid} already revoked")
+        self.revoked_at = cycle
+
+    def residual_program(self) -> list[Instruction]:
+        """The unissued instructions, dependence indices rebased to a
+        fresh program.
+
+        A dependence on an already-issued instruction is dropped: the
+        driver migrates residual work only after every in-flight
+        reference of this stream has completed, so those dependences
+        are satisfied by construction.
+        """
+        residual = []
+        for i in range(self.pc, len(self.program)):
+            ins = self.program[i]
+            dep = ins.depends_on
+            if dep is not None:
+                dep = dep - self.pc if dep >= self.pc else None
+            residual.append(Instruction(kind=ins.kind, addr=ins.addr,
+                                        depends_on=dep, value=ins.value))
+        return residual
 
     @property
     def in_flight(self) -> int:
@@ -92,7 +134,7 @@ class Stream:
         re-evaluates on completion events).
         """
         ins = self.next_instruction()
-        if ins is None:
+        if ins is None or self.revoked:
             return False, None
         earliest = self.last_issue + issue_interval
         if ins.depends_on is not None:

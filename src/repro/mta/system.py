@@ -53,6 +53,10 @@ class MtaSystem:
         ]
         self._streams: list[tuple[Stream, CycleProcessor]] = []
         self._next_sid = 0
+        #: (cycle, processor, n) revocations to apply mid-run
+        self._revocations: list[tuple[float, int, int]] = []
+        self.revoked_streams = 0
+        self.migrated_instructions = 0
 
     # ------------------------------------------------------------------
     def add_stream(self, program: list[Instruction],
@@ -64,6 +68,25 @@ class MtaSystem:
         proc.add_stream(stream)
         self._streams.append((stream, proc))
         return stream
+
+    def schedule_revocation(self, cycle: float, processor: int,
+                            n_streams: int) -> None:
+        """Inject a stream-revocation fault: at ``cycle``, the runtime
+        reclaims ``n_streams`` hardware streams from ``processor``.
+
+        Revoked streams stop issuing; once their in-flight memory
+        references drain, their unissued instructions migrate onto the
+        oldest surviving stream of the same processor (the work is
+        conserved, it just runs at lower stream-level parallelism).
+        The processor always keeps at least one live stream.
+        """
+        if cycle < 0:
+            raise ValueError("cycle must be >= 0")
+        if not 0 <= processor < len(self.processors):
+            raise ValueError(f"processor {processor} out of range")
+        if n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        self._revocations.append((cycle, processor, n_streams))
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: float = 10_000_000.0) -> CycleStats:
@@ -79,10 +102,37 @@ class MtaSystem:
             seq += 1
 
         last_activity = 0.0
+        for when, pid, n in sorted(self._revocations):
+            push(when, "revoke", (pid, n))
         for stream, _proc in self._streams:
             push(0.0, "check", stream)
 
         proc_of = {s.sid: p for s, p in self._streams}
+        #: revoked streams whose residual work still awaits migration
+        pending_migration: set[int] = set()
+
+        def migrate(stream: Stream, proc: CycleProcessor,
+                    cycle: float) -> None:
+            """Append a drained revoked stream's residual program onto
+            the oldest surviving stream of the same processor.
+
+            This is what loses performance: the work is conserved but
+            now runs at reduced stream-level parallelism, so the
+            issue-interval bound bites harder."""
+            residual = stream.residual_program()
+            pending_migration.discard(stream.sid)
+            if not residual:
+                return
+            target = next(s for s in proc.streams if not s.revoked)
+            base = len(target.program)
+            for ins in residual:
+                dep = ins.depends_on
+                target.program.append(Instruction(
+                    kind=ins.kind, addr=ins.addr,
+                    depends_on=None if dep is None else base + dep,
+                    value=ins.value))
+            self.migrated_instructions += len(residual)
+            push(cycle, "check", target)
 
         def issue_memory(stream: Stream, idx: int, ins: Instruction,
                          slot: float) -> None:
@@ -109,9 +159,22 @@ class MtaSystem:
                 else:
                     last_activity = max(last_activity, result)
                 continue
+            if kind == "revoke":
+                pid, n = payload
+                for s in self.processors[pid].revoke_streams(n, cycle):
+                    self.revoked_streams += 1
+                    if s.in_flight:
+                        pending_migration.add(s.sid)
+                    else:
+                        migrate(s, proc_of[s.sid], cycle)
+                continue
 
             stream: Stream = payload
             proc = proc_of[stream.sid]
+            if stream.revoked:
+                if stream.sid in pending_migration and not stream.in_flight:
+                    migrate(stream, proc, cycle)
+                continue
             ready, earliest = stream.can_issue_at(
                 cycle, spec.issue_interval_cycles, spec.lookahead)
             if not ready:
@@ -146,7 +209,11 @@ class MtaSystem:
             memory_requests=mem.requests,
             memory_retries=mem.retries,
             completed=completed,
-            stats={"bank_conflict_cycles": mem.bank_conflict_cycles},
+            stats={"bank_conflict_cycles": mem.bank_conflict_cycles,
+                   "hotspot_extra_cycles": mem.hotspot_extra_cycles,
+                   "revoked_streams": float(self.revoked_streams),
+                   "migrated_instructions": float(
+                       self.migrated_instructions)},
         )
 
 

@@ -1,13 +1,19 @@
-"""Post-mortem deadlock diagnosis.
+"""Post-mortem deadlock diagnosis and the run-level watchdog.
 
-Called by :meth:`Simulator._deadlock` when the event heap drains with
-live waiters (or the stall watchdog trips).  Walks the simulator's
-process registry to name every blocked thread and what it waits on,
-builds the wait-for graph -- thread A waits on a resource held by
-thread B -- from :class:`~repro.des.resources.Request` owner
-back-pointers, and reports the first cycle found.
+Two watchdog layers live here:
 
-Two canonical shapes:
+* :func:`diagnose_deadlock` -- called by :meth:`Simulator._deadlock`
+  when the event heap drains with live waiters (or the stall watchdog
+  trips).  Walks the simulator's process registry to name every
+  blocked thread and what it waits on, builds the wait-for graph --
+  thread A waits on a resource held by thread B -- from
+  :class:`~repro.des.resources.Request` owner back-pointers, and
+  reports the first cycle found.
+* :class:`RunWatchdog` -- wall-clock escalation for a whole harness
+  run (``repro all``): warn at the soft deadline, abort at the hard
+  one.  Used by the harness when ``REPRO_RUN_TIMEOUT_S`` is set.
+
+Two canonical deadlock shapes:
 
 * **ABBA**: two threads each hold one lock and want the other's.  The
   resource wait-for edges close a cycle, which the diagnostic prints
@@ -21,7 +27,9 @@ Two canonical shapes:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import sys
+import threading
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.des.errors import DeadlockDiagnostic
 from repro.des.events import AllOf, AnyOf, Event
@@ -31,6 +39,107 @@ from repro.obs.trace import describe_event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.simulator import Simulator
+
+#: ``soft[:hard]`` wall-clock seconds for the harness run watchdog
+RUN_TIMEOUT_ENV = "REPRO_RUN_TIMEOUT_S"
+
+
+class RunWatchdog:
+    """Staged wall-clock escalation for a long-running harness run.
+
+    Two deadlines: at ``soft_seconds`` the watchdog *warns* (stderr by
+    default) that the run is slower than expected; at ``hard_seconds``
+    it *aborts* by raising :class:`KeyboardInterrupt` in the main
+    thread (``_thread.interrupt_main``), which unwinds the run loop,
+    tears the worker pool down through its ``finally`` and leaves the
+    persistent cache consistent (entry writes are atomic).
+
+    ``timer_factory`` is injectable so tests drive the escalation with
+    fake timers instead of wall clock; it must accept ``(interval,
+    function)`` and return an object with ``start``/``cancel``
+    (:class:`threading.Timer`'s shape).
+
+    Use as a context manager::
+
+        with RunWatchdog(soft_seconds=60, hard_seconds=300):
+            run_experiments(...)
+    """
+
+    def __init__(self, soft_seconds: float,
+                 hard_seconds: Optional[float] = None, *,
+                 on_warn: Optional[Callable[[], None]] = None,
+                 on_abort: Optional[Callable[[], None]] = None,
+                 timer_factory: Callable = threading.Timer):
+        if soft_seconds <= 0:
+            raise ValueError("soft_seconds must be positive")
+        if hard_seconds is not None and hard_seconds < soft_seconds:
+            raise ValueError("hard_seconds must be >= soft_seconds")
+        self.soft_seconds = soft_seconds
+        self.hard_seconds = hard_seconds
+        self._on_warn = on_warn
+        self._on_abort = on_abort
+        self._timer_factory = timer_factory
+        self._timers: list = []
+        self.warned = False
+        self.aborted = False
+
+    @classmethod
+    def from_env(cls, raw: str) -> "RunWatchdog":
+        """Parse ``soft[:hard]`` (the ``REPRO_RUN_TIMEOUT_S`` form)."""
+        parts = raw.split(":")
+        soft = float(parts[0])
+        hard = float(parts[1]) if len(parts) > 1 else None
+        return cls(soft_seconds=soft, hard_seconds=hard)
+
+    # ------------------------------------------------------------------
+    def _warn(self) -> None:
+        self.warned = True
+        if self._on_warn is not None:
+            self._on_warn()
+        else:
+            hard = (f"; aborting at {self.hard_seconds:.0f}s"
+                    if self.hard_seconds is not None else "")
+            print(f"watchdog: run exceeded {self.soft_seconds:.0f}s"
+                  f"{hard}", file=sys.stderr)
+
+    def _abort(self) -> None:
+        self.aborted = True
+        if self._on_abort is not None:
+            self._on_abort()
+        else:
+            import _thread
+
+            print(f"watchdog: run exceeded hard deadline "
+                  f"{self.hard_seconds:.0f}s, interrupting",
+                  file=sys.stderr)
+            _thread.interrupt_main()
+
+    def start(self) -> "RunWatchdog":
+        """Arm the deadline timers."""
+        if self._timers:
+            raise RuntimeError("watchdog already started")
+        stages = [(self.soft_seconds, self._warn)]
+        if self.hard_seconds is not None:
+            stages.append((self.hard_seconds, self._abort))
+        for seconds, fn in stages:
+            timer = self._timer_factory(seconds, fn)
+            if hasattr(timer, "daemon"):
+                timer.daemon = True
+            self._timers.append(timer)
+            timer.start()
+        return self
+
+    def cancel(self) -> None:
+        """Disarm every pending timer (run finished in time)."""
+        for timer in self._timers:
+            timer.cancel()
+        self._timers = []
+
+    def __enter__(self) -> "RunWatchdog":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.cancel()
 
 
 def diagnose_deadlock(sim: "Simulator",

@@ -1,0 +1,195 @@
+"""Property-based tests for the synthetic scenario generators.
+
+Two families of properties:
+
+* every generated scenario -- any index, any seed universe -- produces
+  output that passes its own correctness validators (the C3IPBS-style
+  checks in ``validate.py``);
+* the validators are not vacuous: mutated outputs are rejected.
+"""
+
+import dataclasses
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.c3i.terrain import scenarios as te_scenarios
+from repro.c3i.terrain import validate as te_validate
+from repro.c3i.terrain.blocked import run_blocked
+from repro.c3i.terrain.finegrained import run_finegrained as te_finegrained
+from repro.c3i.terrain.sequential import run_sequential as te_sequential
+from repro.c3i.threat import scenarios as th_scenarios
+from repro.c3i.threat import validate as th_validate
+from repro.c3i.threat.chunked import run_chunked
+from repro.c3i.threat.finegrained import run_finegrained as th_finegrained
+from repro.c3i.threat.model import Interval
+from repro.c3i.threat.sequential import run_sequential as th_sequential
+
+THREAT_SCALE = 0.01
+TERRAIN_SCALE = 0.02
+
+PROPERTY_SETTINGS = settings(
+    max_examples=8, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow])
+
+indices = st.integers(min_value=0, max_value=4)
+seed_offsets = st.integers(min_value=0, max_value=3)
+
+
+@functools.lru_cache(maxsize=None)
+def threat_case(index, seed_offset=0):
+    sc = th_scenarios.make_scenario(index, scale=THREAT_SCALE,
+                                    seed_offset=seed_offset)
+    return sc, th_sequential(sc)
+
+
+@functools.lru_cache(maxsize=None)
+def terrain_case(index, seed_offset=0):
+    sc = te_scenarios.make_scenario(index, scale=TERRAIN_SCALE,
+                                    seed_offset=seed_offset)
+    return sc, te_sequential(sc)
+
+
+# ----------------------------------------------------------------------
+# generated scenarios satisfy their own validators
+# ----------------------------------------------------------------------
+
+@PROPERTY_SETTINGS
+@given(index=indices, seed_offset=seed_offsets)
+def test_threat_scenarios_pass_validation(index, seed_offset):
+    scenario, reference = threat_case(index, seed_offset)
+    assert scenario.n_threats >= 4
+    assert scenario.n_weapons == th_scenarios.FULL_SCALE.n_weapons
+    assert scenario.n_steps >= 64
+    for threat in scenario.threats:
+        assert threat.launch_time < threat.impact_time
+        assert threat.detection_time < threat.impact_time
+
+    th_validate.check_intervals(scenario, reference.intervals)
+    th_validate.check_chunked(reference, run_chunked(scenario, n_chunks=4))
+    th_validate.check_finegrained(reference, th_finegrained(scenario))
+
+
+@PROPERTY_SETTINGS
+@given(index=indices, seed_offset=seed_offsets)
+def test_terrain_scenarios_pass_validation(index, seed_offset):
+    scenario, reference = terrain_case(index, seed_offset)
+    assert scenario.grid_n >= 64
+    assert scenario.n_threats == te_scenarios.FULL_SCALE.n_threats
+    for threat in scenario.threats:
+        assert 0 <= threat.x < scenario.grid_n
+        assert 0 <= threat.y < scenario.grid_n
+
+    te_validate.check_masking(scenario, reference.masking)
+    te_validate.check_blocked(reference, run_blocked(scenario))
+    te_validate.check_finegrained(reference, te_finegrained(scenario))
+
+
+@PROPERTY_SETTINGS
+@given(index=indices, seed_offset=seed_offsets)
+def test_threat_generation_is_deterministic(index, seed_offset):
+    a = th_scenarios.make_scenario(index, scale=THREAT_SCALE,
+                                   seed_offset=seed_offset)
+    b = th_scenarios.make_scenario(index, scale=THREAT_SCALE,
+                                   seed_offset=seed_offset)
+    assert a.threats == b.threats
+    assert a.weapons == b.weapons
+
+
+# ----------------------------------------------------------------------
+# the validators reject mutated output (they are not vacuous)
+# ----------------------------------------------------------------------
+
+def scenario_with_intervals():
+    for index in range(5):
+        scenario, reference = threat_case(index)
+        if reference.intervals:
+            return scenario, reference
+    raise AssertionError("no scenario produced intervals")
+
+
+@PROPERTY_SETTINGS
+@given(mutation=st.sampled_from(
+    ["threat-oob", "weapon-oob", "before-detection", "after-impact"]),
+    pick=st.integers(min_value=0, max_value=10**6))
+def test_interval_validator_rejects_mutations(mutation, pick):
+    scenario, reference = scenario_with_intervals()
+    intervals = list(reference.intervals)
+    k = pick % len(intervals)
+    iv = intervals[k]
+    if mutation == "threat-oob":
+        bad = dataclasses.replace(iv, threat=scenario.n_threats)
+    elif mutation == "weapon-oob":
+        bad = dataclasses.replace(iv, weapon=-1)
+    elif mutation == "before-detection":
+        t0 = scenario.threats[iv.threat].detection_time
+        bad = dataclasses.replace(iv, t_first=t0 - 1.0)
+    else:
+        t1 = scenario.threats[iv.threat].impact_time
+        bad = Interval(threat=iv.threat, weapon=iv.weapon,
+                       t_first=iv.t_first, t_last=t1 + 1.0)
+    intervals[k] = bad
+    with pytest.raises(th_validate.ValidationError):
+        th_validate.check_intervals(scenario, intervals)
+
+
+def test_chunked_validator_rejects_dropped_interval():
+    scenario, reference = scenario_with_intervals()
+    chunked = run_chunked(scenario, n_chunks=4)
+    for sec in chunked.intervals_per_chunk:
+        if sec:
+            sec.pop()
+            break
+    with pytest.raises(th_validate.ValidationError):
+        th_validate.check_chunked(reference, chunked)
+
+
+def test_finegrained_validator_rejects_dropped_interval():
+    scenario, reference = scenario_with_intervals()
+    fine = th_finegrained(scenario)
+    assert fine.intervals
+    fine.intervals.pop()
+    with pytest.raises(th_validate.ValidationError):
+        th_validate.check_finegrained(reference, fine)
+
+
+@PROPERTY_SETTINGS
+@given(mutation=st.sampled_from(
+    ["shape", "below-terrain", "threat-cell", "all-finite"]),
+    pick=st.integers(min_value=0, max_value=10**6))
+def test_masking_validator_rejects_mutations(mutation, pick):
+    scenario, reference = terrain_case(0)
+    masking = reference.masking.copy()
+    if mutation == "shape":
+        masking = masking[:-1, :]
+    elif mutation == "below-terrain":
+        finite = np.argwhere(np.isfinite(masking))
+        x, y = finite[pick % len(finite)]
+        masking[x, y] = scenario.terrain[x, y] - 1.0
+    elif mutation == "threat-cell":
+        t = scenario.threats[pick % scenario.n_threats]
+        masking[t.x, t.y] = scenario.terrain[t.x, t.y] + 5.0
+    else:
+        masking[~np.isfinite(masking)] = 1e6
+    with pytest.raises(te_validate.ValidationError):
+        te_validate.check_masking(scenario, masking)
+
+
+def test_blocked_validator_rejects_cell_flip():
+    scenario, reference = terrain_case(0)
+    blocked = run_blocked(scenario)
+    t = scenario.threats[0]
+    blocked.masking[t.x, t.y] += 1.0
+    with pytest.raises(te_validate.ValidationError):
+        te_validate.check_blocked(reference, blocked)
+
+
+def test_terrain_finegrained_validator_rejects_cell_flip():
+    scenario, reference = terrain_case(0)
+    fine = te_finegrained(scenario)
+    fine.masking[0, 0] = scenario.terrain[0, 0] + 1.0
+    with pytest.raises(te_validate.ValidationError):
+        te_validate.check_finegrained(reference, fine)

@@ -26,11 +26,7 @@ from repro.des.batch import (
     serve_alone,
 )
 
-REL_TOL = 1e-9
-
-
-def rel_err(a: float, b: float) -> float:
-    return abs(a - b) / max(abs(a), abs(b), 1e-300)
+from tests.parity import REL_TOL, rel_err  # noqa: E402
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,174 @@
+"""Harness-level fault tolerance: worker crashes, traceback
+propagation, cache-corruption detection, run watchdog."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import store
+from repro.harness.parallel import (
+    CHAOS_CRASH_ENV,
+    RETRY_BACKOFF_ENV,
+    RETRY_MAX_ENV,
+    WorkerError,
+    _maybe_crash,
+    run_experiments,
+)
+from repro.faults.plan import derive_unit
+
+SCALES = dict(threat_scale=0.01, terrain_scale=0.03)
+#: cheap experiments (no simulated jobs / one tiny job each)
+CHEAP = ["autopar", "ablation-temp-memory", "micro"]
+
+
+def crash_env(eids_to_crash, mode="exit", attempts=(0,), seed_limit=5000):
+    """Find a seed that crashes exactly the given (eid, attempt)
+    pairs among CHEAP experiments -- deterministic by construction."""
+    want = {(e, a) for e in eids_to_crash for a in attempts}
+    for seed in range(seed_limit):
+        hits = {(e, a) for e in CHEAP for a in (0, 1, 2)
+                if derive_unit(seed, e, a, "worker-crash") < 0.5}
+        if hits == want:
+            return f"{seed}:0.5:{mode}"
+    raise AssertionError("no suitable crash seed found")
+
+
+# ----------------------------------------------------------------------
+# worker traceback propagation (the old behaviour swallowed it)
+# ----------------------------------------------------------------------
+
+def test_worker_error_carries_child_traceback(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    monkeypatch.setenv(CHAOS_CRASH_ENV, "1:1.1:raise")  # always raise
+    monkeypatch.setenv(RETRY_MAX_ENV, "1")
+    with pytest.raises(WorkerError) as excinfo:
+        run_experiments(["autopar", "micro"], jobs=2, **SCALES)
+    err = excinfo.value
+    assert err.experiment_id in ("autopar", "micro")
+    assert "injected worker fault" in err.child_traceback
+    assert "Traceback (most recent call last)" in err.child_traceback
+    # the child traceback is part of the rendered message
+    assert "worker traceback" in str(err)
+
+
+def test_worker_error_survives_pickling():
+    import pickle
+
+    err = WorkerError("table5", "Traceback ...")
+    clone = pickle.loads(pickle.dumps(err))
+    assert isinstance(clone, WorkerError)
+    assert clone.experiment_id == "table5"
+    assert clone.child_traceback == "Traceback ..."
+
+
+# ----------------------------------------------------------------------
+# crash injection + retry + salvage
+# ----------------------------------------------------------------------
+
+def test_crash_config_validation(monkeypatch):
+    monkeypatch.setenv(CHAOS_CRASH_ENV, "7")
+    with pytest.raises(ValueError):
+        _maybe_crash("x", 0)
+    monkeypatch.setenv(CHAOS_CRASH_ENV, "7:0.5:explode")
+    with pytest.raises(ValueError):
+        _maybe_crash("x", 0)
+    monkeypatch.delenv(CHAOS_CRASH_ENV)
+    _maybe_crash("x", 0)  # no config: no-op
+
+
+def test_crashed_worker_retried_and_salvaged(monkeypatch, tmp_path):
+    """One experiment's worker dies on attempt 0; the pool is rebuilt,
+    completed results are salvaged, and the retry succeeds."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    monkeypatch.setenv(CHAOS_CRASH_ENV,
+                       crash_env(["autopar"], mode="exit"))
+    monkeypatch.setenv(RETRY_BACKOFF_ENV, "0.01")
+    results, profiles = run_experiments(CHEAP, jobs=2, **SCALES)
+    assert sorted(results) == sorted(CHEAP)
+    for eid in CHEAP:
+        assert results[eid].all_checks_pass(), eid
+    assert [p.experiment_id for p in profiles] == CHEAP
+
+
+def test_crash_every_attempt_exhausts_retries(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    monkeypatch.setenv(CHAOS_CRASH_ENV, "3:1.1:exit")  # always crash
+    monkeypatch.setenv(RETRY_MAX_ENV, "2")
+    monkeypatch.setenv(RETRY_BACKOFF_ENV, "0.01")
+    with pytest.raises(WorkerError) as excinfo:
+        run_experiments(["autopar", "micro"], jobs=2, **SCALES)
+    assert "worker process died" in str(excinfo.value)
+    assert "2 attempts" in str(excinfo.value)
+
+
+def test_serial_path_ignores_crash_injection(monkeypatch, tmp_path):
+    """jobs=1 runs in-process; crash faults target workers only."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    monkeypatch.setenv(CHAOS_CRASH_ENV, "3:1.1:exit")
+    results, _ = run_experiments(["autopar"], jobs=1, **SCALES)
+    assert results["autopar"].all_checks_pass()
+
+
+# ----------------------------------------------------------------------
+# cache corruption detection
+# ----------------------------------------------------------------------
+
+def test_cache_checksum_roundtrip(tmp_path):
+    cache = store.ResultCache(str(tmp_path))
+    cache.put("k" * 8, {"seconds": 1.5, "machine": "m", "job": "j"})
+    entry = cache.get("k" * 8)
+    assert entry is not None and entry["seconds"] == 1.5
+    assert entry["sha256"] == cache.payload_checksum(entry)
+    assert cache.corrupt == 0
+
+
+def test_cache_detects_silent_corruption(tmp_path):
+    """A bit flip that keeps the JSON valid -- the pre-checksum reader
+    would happily serve the wrong seconds."""
+    cache = store.ResultCache(str(tmp_path))
+    key = "a" * 8
+    cache.put(key, {"seconds": 1.5, "machine": "m", "job": "j"})
+    path = cache._path(key)
+    payload = json.loads(open(path).read())
+    payload["seconds"] = 99.0  # corrupted result, checksum stale
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+    assert cache.get(key) is None          # detected, not served
+    assert cache.corrupt == 1
+    assert not os.path.exists(path)        # discarded for recompute
+    assert cache.info()["corrupt_discarded"] == 1
+
+
+def test_cache_rejects_legacy_unchecksummed_entries(tmp_path):
+    cache = store.ResultCache(str(tmp_path))
+    key = "b" * 8
+    with open(cache._path(key), "w") as fh:
+        json.dump({"schema": store.CACHE_SCHEMA_VERSION,
+                   "seconds": 2.0, "key": key}, fh)
+    assert cache.get(key) is None
+    assert cache.corrupt == 1
+
+
+def test_corrupt_entry_transparently_recomputed(tmp_path, monkeypatch):
+    """End to end: corrupt a simulation entry on disk, re-run the
+    experiment, get the correct (recomputed) result."""
+    from repro.harness import BenchmarkData, run_experiment
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    data = BenchmarkData(**SCALES)
+    before = run_experiment("table2", data)
+
+    cache = store.active_cache()
+    for path in cache._entries():
+        payload = json.loads(open(path).read())
+        payload["seconds"] = payload["seconds"] * 10
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+
+    fresh = BenchmarkData(**SCALES)
+    after = run_experiment("table2", fresh)
+    assert [r.simulated for r in after.rows] == \
+        [r.simulated for r in before.rows]
+    assert cache.corrupt > 0

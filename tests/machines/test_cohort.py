@@ -18,25 +18,8 @@ from repro.workload import (
 )
 from repro.workload.cohort import NO_COHORT_ENV, cohort_enabled
 
-REL_TOL = 1e-9
-
-
-def rel_err(a: float, b: float) -> float:
-    return abs(a - b) / max(abs(a), abs(b), 1e-300)
-
-
-def run_both(job, n_cpus=4, fine_grained=False):
-    des = ConventionalMachine(exemplar(n_cpus), use_cohort=False,
-                              exploit_fine_grained=fine_grained).run(job)
-    coh = ConventionalMachine(exemplar(n_cpus), use_cohort=True,
-                              exploit_fine_grained=fine_grained).run(job)
-    return des, coh
-
-
-def assert_equivalent(des, coh):
-    assert rel_err(coh.seconds, des.seconds) <= REL_TOL
-    assert rel_err(coh.lock_wait_seconds, des.lock_wait_seconds) <= 1e-6 \
-        or abs(coh.lock_wait_seconds - des.lock_wait_seconds) <= 1e-9
+from tests.parity import REL_TOL, assert_equivalent, rel_err
+from tests.parity import run_both_conventional as run_both
 
 
 # ----------------------------------------------------------------------

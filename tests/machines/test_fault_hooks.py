@@ -1,0 +1,106 @@
+"""Micro-level fault hooks on the conventional machines: cache-way
+degradation and memory-latency inflation."""
+
+import pytest
+
+from repro.machines.cache import SetAssociativeCache
+from repro.machines.catalog import get_machine_spec
+from repro.machines.cycle import InOrderCore, resident_kernel
+
+
+def small_cache(assoc=4):
+    return SetAssociativeCache(capacity_bytes=assoc * 16 * 64,
+                               line_bytes=64, assoc=assoc)
+
+
+# ----------------------------------------------------------------------
+# Cache-way degradation
+# ----------------------------------------------------------------------
+
+def test_degrade_ways_caps_associativity():
+    c = small_cache(assoc=4)
+    c.degrade_ways(2)
+    assert c.effective_assoc == 2
+    # fill one set with 4 distinct lines mapping to set 0
+    span = c.n_sets * c.line_bytes
+    for i in range(4):
+        c.access(i * span)
+    # only 2 can be resident
+    assert len(c._sets[0]) == 2
+
+
+def test_degrade_ways_drops_resident_lines():
+    c = small_cache(assoc=4)
+    span = c.n_sets * c.line_bytes
+    for i in range(4):
+        c.access(i * span)
+    c.degrade_ways(3)
+    # the 3 least-recently-used lines were dropped; only the MRU
+    # survives
+    c.reset_stats()
+    c.access(3 * span)
+    assert c.hits == 1
+    c.access(0)
+    assert c.misses == 1
+
+
+def test_degrade_ways_keeps_one_way():
+    c = small_cache(assoc=4)
+    c.degrade_ways(99)
+    assert c.effective_assoc == 1
+    c.restore_ways()
+    assert c.effective_assoc == 4
+
+
+def test_degrade_ways_increases_miss_rate():
+    def misses(degraded):
+        c = small_cache(assoc=4)
+        if degraded:
+            c.degrade_ways(3)
+        span = c.n_sets * c.line_bytes
+        # round-robin over 3 lines of one set: fits in 4 ways, not in 1
+        for i in range(60):
+            c.access((i % 3) * span)
+        return c.misses
+
+    assert misses(True) > misses(False)
+
+
+def test_degrade_ways_validation():
+    c = small_cache()
+    with pytest.raises(ValueError):
+        c.degrade_ways(-1)
+
+
+# ----------------------------------------------------------------------
+# Memory-latency inflation
+# ----------------------------------------------------------------------
+
+def test_latency_factor_inflates_miss_penalty():
+    spec = get_machine_spec("exemplar")
+    healthy = InOrderCore(spec)
+    faulted = InOrderCore(spec, latency_factor=3.0)
+    assert faulted.miss_penalty == pytest.approx(3 * healthy.miss_penalty)
+
+
+def test_inflate_latency_slows_misses_only():
+    spec = get_machine_spec("exemplar")
+    # footprint larger than the cache => every pass misses
+    big = int(spec.cache.capacity_bytes * 4)
+    trace = resident_kernel(2000, footprint_bytes=big, stride=64)
+    healthy = InOrderCore(spec).run(trace)
+    faulted_core = InOrderCore(spec)
+    faulted_core.inflate_latency(2.0)
+    faulted = faulted_core.run(trace)
+    assert faulted.cache_misses == healthy.cache_misses
+    assert faulted.stall_cycles == pytest.approx(2 * healthy.stall_cycles)
+    assert faulted.cycles > healthy.cycles
+
+
+def test_latency_factor_validation():
+    spec = get_machine_spec("exemplar")
+    with pytest.raises(ValueError):
+        InOrderCore(spec, latency_factor=0.5)
+    core = InOrderCore(spec)
+    with pytest.raises(ValueError):
+        core.inflate_latency(0.9)

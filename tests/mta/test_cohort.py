@@ -9,7 +9,6 @@ the acquiring stream's processor.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mta import MtaMachine, mta
 from repro.workload import (
     JobBuilder,
     OpCounts,
@@ -17,23 +16,8 @@ from repro.workload import (
     make_phase,
 )
 
-REL_TOL = 1e-9
-
-
-def rel_err(a: float, b: float) -> float:
-    return abs(a - b) / max(abs(a), abs(b), 1e-300)
-
-
-def run_both(job, n_proc=2):
-    des = MtaMachine(mta(n_proc), use_cohort=False).run(job)
-    coh = MtaMachine(mta(n_proc), use_cohort=True).run(job)
-    return des, coh
-
-
-def assert_equivalent(des, coh):
-    assert rel_err(coh.seconds, des.seconds) <= REL_TOL
-    assert abs(coh.lock_wait_seconds - des.lock_wait_seconds) \
-        <= max(1e-6 * abs(des.lock_wait_seconds), 1e-9)
+from tests.parity import assert_equivalent
+from tests.parity import run_both_mta as run_both
 
 
 @st.composite

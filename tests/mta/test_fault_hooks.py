@@ -1,0 +1,205 @@
+"""Micro-level fault-injection hooks: stream revocation, bank
+hot-spotting, full/empty stalls (the machine-level half of the chaos
+subsystem, exercised at cycle fidelity)."""
+
+import pytest
+
+from repro.mta import (
+    Instruction,
+    InterleavedMemory,
+    MtaSpec,
+    MtaSystem,
+    alu_kernel,
+    independent_load_kernel,
+)
+
+
+def small_spec(n_processors=1, lookahead=5, latency=140.0, streams=128):
+    return MtaSpec(n_processors=n_processors, lookahead=lookahead,
+                   mem_latency_cycles=latency,
+                   streams_per_processor=streams)
+
+
+# ----------------------------------------------------------------------
+# Stream revocation
+# ----------------------------------------------------------------------
+
+def run_revoked(n_streams=8, n_ins=40, revoke_at=200.0, revoke_n=4):
+    sys = MtaSystem(small_spec())
+    for _ in range(n_streams):
+        sys.add_stream(alu_kernel(n_ins))
+    sys.schedule_revocation(revoke_at, 0, revoke_n)
+    return sys, sys.run()
+
+
+def test_revocation_conserves_work():
+    """Every instruction still issues exactly once: revoked streams'
+    residual programs migrate onto fresh streams."""
+    n_streams, n_ins = 8, 40
+    sys, stats = run_revoked(n_streams, n_ins)
+    assert stats.completed
+    assert stats.total_issued == n_streams * n_ins
+    assert stats.stats["revoked_streams"] == 4.0
+    assert stats.stats["migrated_instructions"] > 0
+
+
+def test_revocation_slows_completion():
+    base = MtaSystem(small_spec())
+    for _ in range(8):
+        base.add_stream(alu_kernel(40))
+    healthy = base.run()
+    _, faulted = run_revoked(8, 40, revoke_at=100.0, revoke_n=7)
+    assert faulted.completed
+    # fewer live streams after the fault => longer to drain the work
+    assert faulted.cycles > healthy.cycles
+
+
+def test_revocation_is_deterministic():
+    a = run_revoked()[1]
+    b = run_revoked()[1]
+    assert a.cycles == b.cycles
+    assert a.total_issued == b.total_issued
+    assert a.stats == b.stats
+
+
+def test_revocation_keeps_one_stream():
+    """Revoking more streams than exist leaves the oldest running."""
+    sys = MtaSystem(small_spec())
+    for _ in range(4):
+        sys.add_stream(alu_kernel(10))
+    sys.schedule_revocation(50.0, 0, 99)
+    stats = sys.run()
+    assert stats.completed
+    assert stats.total_issued == 40
+    assert stats.stats["revoked_streams"] == 3.0
+
+
+def test_revocation_with_memory_in_flight():
+    """Streams blocked on outstanding loads migrate only after the
+    references drain; results are still all delivered."""
+    sys = MtaSystem(small_spec(latency=400.0))
+    for s in range(6):
+        sys.add_stream(independent_load_kernel(20, base=s * 4096))
+    sys.schedule_revocation(30.0, 0, 5)
+    stats = sys.run()
+    assert stats.completed
+    assert stats.total_issued == 6 * 20
+    assert stats.memory_requests == 6 * 20
+
+
+def test_revocation_validation():
+    sys = MtaSystem(small_spec())
+    with pytest.raises(ValueError):
+        sys.schedule_revocation(-1.0, 0, 1)
+    with pytest.raises(ValueError):
+        sys.schedule_revocation(0.0, 5, 1)
+    with pytest.raises(ValueError):
+        sys.schedule_revocation(0.0, 0, 0)
+
+
+def test_stream_double_revoke_rejected():
+    from repro.mta.stream import Stream
+    s = Stream(sid=0, program=alu_kernel(4))
+    s.revoke(10.0)
+    with pytest.raises(ValueError):
+        s.revoke(11.0)
+
+
+def test_residual_program_rebases_dependences():
+    from repro.mta.stream import Stream
+    prog = [Instruction("load", addr=0),
+            Instruction("alu", depends_on=0),
+            Instruction("load", addr=8),
+            Instruction("alu", depends_on=2)]
+    s = Stream(sid=0, program=prog)
+    s.note_issue(0.0)
+    s.note_completion(0, 140.0)
+    s.note_issue(21.0)
+    s.revoke(30.0)
+    residual = s.residual_program()
+    assert len(residual) == 2
+    # the load's dependence slot rebased: old index 2 -> new index 0
+    assert residual[0].depends_on is None
+    assert residual[1].depends_on == 0
+
+
+# ----------------------------------------------------------------------
+# Bank hot-spotting
+# ----------------------------------------------------------------------
+
+def test_hotspot_inflates_bank_occupancy():
+    mem = InterleavedMemory(n_banks=4, latency_cycles=10.0)
+    mem.inject_hotspot(0, 5.0)
+    # two back-to-back requests to bank 0: the second queues 5 cycles
+    done0 = mem.issue(_req(0), 0.0)
+    done1 = mem.issue(_req(0), 0.0)
+    assert done1 - done0 == pytest.approx(5.0)
+    assert mem.hotspot_extra_cycles == pytest.approx(8.0)
+    mem.clear_hotspots()
+    d2 = mem.issue(_req(1), 100.0)
+    d3 = mem.issue(_req(1), 100.0)
+    assert d3 - d2 == pytest.approx(1.0)
+
+
+def test_hotspot_slows_system_run():
+    def run(hot):
+        sys = MtaSystem(small_spec(),
+                        memory=InterleavedMemory(n_banks=4,
+                                                 latency_cycles=140.0))
+        if hot:
+            sys.memory.inject_hotspot(0, 16.0)
+        for s in range(8):
+            sys.add_stream(independent_load_kernel(30, stride=1,
+                                                   base=0))
+        return sys.run()
+
+    healthy, faulted = run(False), run(True)
+    assert faulted.completed and healthy.completed
+    assert faulted.cycles > healthy.cycles
+    assert faulted.stats["hotspot_extra_cycles"] > 0.0
+    assert healthy.stats["hotspot_extra_cycles"] == 0.0
+
+
+def test_hotspot_validation():
+    mem = InterleavedMemory(n_banks=4)
+    with pytest.raises(ValueError):
+        mem.inject_hotspot(4, 2.0)
+    with pytest.raises(ValueError):
+        mem.inject_hotspot(0, 0.5)
+
+
+# ----------------------------------------------------------------------
+# Forced-empty full/empty stalls
+# ----------------------------------------------------------------------
+
+def test_force_empty_stalls_sync_loads():
+    mem = InterleavedMemory(n_banks=4, latency_cycles=10.0)
+    mem.poke(8, 42)          # full
+    assert mem.force_empty([8, 16]) == 1   # 16 was already empty
+    sys_spec = small_spec(latency=10.0)
+    sys = MtaSystem(sys_spec, memory=mem)
+    sys.add_stream([Instruction("sync_load", addr=8)])
+    stats = sys.run(max_cycles=500.0)
+    # no producer ever refills the word: the load retries until cutoff
+    assert not stats.completed
+    assert stats.memory_retries > 0
+
+
+def test_force_empty_recovers_when_refilled():
+    mem = InterleavedMemory(n_banks=4, latency_cycles=10.0)
+    mem.poke(8, 42)
+    mem.force_empty([8])
+    sys = MtaSystem(small_spec(latency=10.0), memory=mem)
+    sys.add_stream([Instruction("sync_load", addr=8)])
+    sys.add_stream([Instruction("alu"),
+                    Instruction("sync_store", addr=8, value=7)],
+                   processor=0)
+    stats = sys.run()
+    assert stats.completed
+    (consumer, _), _ = sys._streams[0], None
+    assert consumer.results[0] == 7
+
+
+def _req(addr):
+    from repro.mta.memory import MemRequest
+    return MemRequest(kind="load", addr=addr)

@@ -20,15 +20,11 @@ from repro.obs.metrics import (
 from repro.obs.trace import TraceRecorder
 from repro.workload import JobBuilder, OpCounts, ThreadProgramBuilder
 
-REL_TOL = 1e-9
+from tests.parity import REL_TOL, rel_err  # noqa: E402
 
 #: stats fields the observability layer adds on every machine model
 OBS_FIELDS = ("lock_wait_time", "lock_convoy_max",
               "serial_wall_seconds", "region_wall_seconds")
-
-
-def rel_err(a: float, b: float) -> float:
-    return abs(a - b) / max(abs(a), abs(b), 1e-300)
 
 
 def homogeneous_job(n_threads=6, with_lock=True, balanced=False):

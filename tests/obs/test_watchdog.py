@@ -143,3 +143,116 @@ def test_watched_loop_honors_until_time():
     assert sim.now == 3.5
     sim.run()
     assert sim.now == 10.0
+
+
+# ----------------------------------------------------------------------
+# run-level wall-clock watchdog (fake timers -- no sleeping)
+# ----------------------------------------------------------------------
+
+class FakeTimer:
+    """threading.Timer stand-in driven by tests, not wall clock."""
+
+    armed: list["FakeTimer"] = []
+
+    def __init__(self, interval, function):
+        self.interval = interval
+        self.function = function
+        self.cancelled = False
+
+    def start(self):
+        FakeTimer.armed.append(self)
+
+    def cancel(self):
+        self.cancelled = True
+
+    @classmethod
+    def fire(cls, interval):
+        for t in cls.armed:
+            if t.interval == interval and not t.cancelled:
+                t.function()
+
+
+@pytest.fixture(autouse=True)
+def _reset_fake_timers():
+    FakeTimer.armed = []
+    yield
+    FakeTimer.armed = []
+
+
+def test_run_watchdog_warns_then_aborts():
+    from repro.obs.watchdog import RunWatchdog
+
+    events = []
+    dog = RunWatchdog(soft_seconds=10, hard_seconds=60,
+                      on_warn=lambda: events.append("warn"),
+                      on_abort=lambda: events.append("abort"),
+                      timer_factory=FakeTimer)
+    dog.start()
+    assert len(FakeTimer.armed) == 2
+    assert not dog.warned and not dog.aborted
+
+    FakeTimer.fire(10)
+    assert dog.warned and not dog.aborted
+    assert events == ["warn"]
+
+    FakeTimer.fire(60)
+    assert dog.aborted
+    assert events == ["warn", "abort"]
+
+
+def test_run_watchdog_cancel_disarms():
+    from repro.obs.watchdog import RunWatchdog
+
+    events = []
+    with RunWatchdog(soft_seconds=10,
+                     on_warn=lambda: events.append("warn"),
+                     timer_factory=FakeTimer):
+        pass                               # run finished in time
+    FakeTimer.fire(10)                     # late fire is a no-op
+    assert events == []
+    assert all(t.cancelled for t in FakeTimer.armed)
+
+
+def test_run_watchdog_soft_only():
+    from repro.obs.watchdog import RunWatchdog
+
+    dog = RunWatchdog(soft_seconds=5, timer_factory=FakeTimer)
+    dog.start()
+    assert len(FakeTimer.armed) == 1       # no hard stage armed
+    dog.cancel()
+
+
+def test_run_watchdog_default_abort_interrupts_main():
+    from repro.obs.watchdog import RunWatchdog
+
+    dog = RunWatchdog(soft_seconds=1, hard_seconds=2,
+                      timer_factory=FakeTimer)
+    dog.start()
+    with pytest.raises(KeyboardInterrupt):
+        FakeTimer.fire(2)
+        # interrupt_main sets a pending KeyboardInterrupt for the main
+        # thread; surface it deterministically.
+        import time
+        time.sleep(5)
+    assert dog.aborted
+    dog.cancel()
+
+
+def test_run_watchdog_from_env_and_validation():
+    from repro.obs.watchdog import RunWatchdog
+
+    dog = RunWatchdog.from_env("30:120")
+    assert dog.soft_seconds == 30.0 and dog.hard_seconds == 120.0
+    soft_only = RunWatchdog.from_env("45")
+    assert soft_only.hard_seconds is None
+
+    with pytest.raises(ValueError):
+        RunWatchdog(soft_seconds=0)
+    with pytest.raises(ValueError):
+        RunWatchdog(soft_seconds=10, hard_seconds=5)
+
+    dog = RunWatchdog(soft_seconds=1, timer_factory=FakeTimer)
+    dog.start()
+    with pytest.raises(RuntimeError):
+        dog.start()                        # double start
+    dog.cancel()

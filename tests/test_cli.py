@@ -138,3 +138,44 @@ def test_race_alias_resolves(capsys):
                  "race", "fig3", "--no-parity"])
     assert code == 0
     assert "clean" in capsys.readouterr().out
+
+
+def test_trace_default_output_path(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    code = main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                 "trace", "table2"])
+    assert code == 0
+    assert (tmp_path / "trace-table2.json").exists()
+    assert "trace-table2.json" in capsys.readouterr().out
+
+
+def test_cache_info_and_clear(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    assert main(["cache", "info"]) == 0
+    out = capsys.readouterr().out
+    assert str(tmp_path / "cache") in out
+    assert "entries:   0" in out
+    assert "enabled:   yes" in out
+
+    # populate via a real run, then inspect and clear
+    assert main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                 "run", "table2"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "info"]) == 0
+    out = capsys.readouterr().out
+    entries = int(out.split("entries:")[1].split()[0])
+    assert entries > 0
+    assert "epoch:" in out
+
+    assert main(["cache", "clear"]) == 0
+    out = capsys.readouterr().out
+    assert f"removed {entries} cached results" in out
+    assert main(["cache", "info"]) == 0
+    assert "entries:   0" in capsys.readouterr().out
+
+
+def test_cache_info_reports_disabled(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert main(["cache", "info"]) == 0
+    assert "no (REPRO_NO_CACHE)" in capsys.readouterr().out

@@ -1,0 +1,50 @@
+"""Registry-wide engine-parity sweep.
+
+Every experiment the registry can produce is swept at smoke scale:
+each of its jobs runs under pure DES and under the cohort fast path on
+both machine families, and the pair must satisfy the parity contract
+in ``tests/parity.py``.  This is the contract the chaos CI gate relies
+on -- the fault injector splits jobs and re-runs segments under
+whichever engine is active, so any job the registry can emit must
+agree across engines.
+
+Jobs shared between experiments (the registry collapses identical
+builders) are paired once and memoized by job name.
+"""
+
+import pytest
+
+from repro.analysis.targets import experiment_jobs
+from repro.harness import EXPERIMENT_IDS, BenchmarkData
+
+from tests.parity import assert_equivalent, run_both_conventional, run_both_mta
+
+pytestmark = pytest.mark.slow
+
+SCALES = dict(threat_scale=0.01, terrain_scale=0.03)
+
+_pair_cache = {}
+
+
+@pytest.fixture(scope="module")
+def data():
+    return BenchmarkData(**SCALES)
+
+
+def _pairs(job):
+    if job.name not in _pair_cache:
+        _pair_cache[job.name] = (run_both_mta(job),
+                                 run_both_conventional(job))
+    return _pair_cache[job.name]
+
+
+@pytest.mark.parametrize("eid", sorted(EXPERIMENT_IDS))
+def test_experiment_parity_under_both_engines(eid, data):
+    jobs = experiment_jobs(eid, data)
+    for name, job in jobs.items():
+        (mta_des, mta_coh), (conv_des, conv_coh) = _pairs(job)
+        try:
+            assert_equivalent(mta_des, mta_coh)
+            assert_equivalent(conv_des, conv_coh)
+        except AssertionError as exc:
+            raise AssertionError(f"{eid}/{name}: {exc}") from exc
