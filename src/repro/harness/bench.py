@@ -50,6 +50,16 @@ def _rows() -> dict[str, Callable]:
         "mta2-threat256": lambda data, uc: (
             MtaMachine(mta(2), use_cohort=uc),
             data.threat_chunked_job(256, thread_kind="hw")),
+        # lock-convoy-dominated: every fine-grained thread appends its
+        # result under one lock, so the region is one long convoy
+        "exemplar16-threatfg1000": lambda data, uc: (
+            ConventionalMachine(exemplar(16), use_cohort=uc),
+            data.threat_finegrained_job()),
+        # barrier-dominated: 1024 chunks over 128 hw streams, lock-free
+        # lockstep phases joined only at the region barrier
+        "mta1-threat1024": lambda data, uc: (
+            MtaMachine(mta(1), use_cohort=uc),
+            data.threat_chunked_job(1024, thread_kind="hw")),
     }
 
 

@@ -345,6 +345,9 @@ def metrics_rollup(profile: ExperimentProfile) -> dict:
         "simulated_seconds": 0.0,
         "cohort_regions": 0.0,
         "des_regions": 0.0,
+        "closed_form_regions": 0.0,
+        "drained_grants": 0.0,
+        "stepped_grants": 0.0,
         "region_wall_seconds": 0.0,
         "serial_wall_seconds": 0.0,
         "lock_wait_seconds": 0.0,
@@ -356,6 +359,12 @@ def metrics_rollup(profile: ExperimentProfile) -> dict:
         totals["simulated_seconds"] += float(rec.get("seconds", 0.0))
         totals["cohort_regions"] += stats.get("cohort_regions", 0.0)
         totals["des_regions"] += stats.get("des_regions", 0.0)
+        totals["closed_form_regions"] += stats.get(
+            "closed_form_regions", 0.0)
+        totals["drained_grants"] += stats.get(
+            "cohort_drained_grants", 0.0)
+        totals["stepped_grants"] += stats.get(
+            "cohort_stepped_grants", 0.0)
         totals["region_wall_seconds"] += stats.get(
             "region_wall_seconds", 0.0)
         totals["serial_wall_seconds"] += stats.get(
@@ -384,9 +393,9 @@ def render_metrics(profiles: list[ExperimentProfile]) -> str:
     """The ``--metrics`` table: per-experiment simulation rollups."""
     lines = [
         f"{'experiment':<26} {'sims':>5} {'sim-sec':>10} "
-        f"{'regions c/d':>12} {'region-wall':>12} {'lock-wait':>10} "
-        f"{'convoy':>7}",
-        "-" * 88,
+        f"{'regions c/d':>12} {'closed':>7} {'drained':>8} "
+        f"{'region-wall':>12} {'lock-wait':>10} {'convoy':>7}",
+        "-" * 96,
     ]
     for p in profiles:
         t = metrics_rollup(p)
@@ -395,6 +404,8 @@ def render_metrics(profiles: list[ExperimentProfile]) -> str:
         lines.append(
             f"{p.experiment_id:<26} {t['sim_runs']:>5d} "
             f"{t['simulated_seconds']:>10.3f} {regions:>12} "
+            f"{t['closed_form_regions']:>7.0f} "
+            f"{t['drained_grants']:>8.0f} "
             f"{t['region_wall_seconds']:>12.3f} "
             f"{t['lock_wait_seconds']:>10.3f} "
             f"{t['lock_convoy_max']:>7.0f}")

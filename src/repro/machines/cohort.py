@@ -89,14 +89,15 @@ def run_serial_phase(machine, phase: Phase, t: float, cpu, bus) -> float:
 
 
 def run_region(machine, step: Union[ParallelRegion, WorkQueueRegion],
-               t: float, cpu, bus) -> tuple[float, dict]:
-    """Execute an eligible region; returns (end_time, lock_summary).
+               t: float, cpu, bus) -> tuple[float, dict, dict]:
+    """Execute an eligible region; returns (end, lock_summary, stats).
 
     The lock summary is the dict shape of
     :func:`repro.obs.metrics.lock_summary_from_engine` (waits,
-    wait_time, convoy_max, hist).  Credits the live servers'
-    busy-time/served-work statistics so the final utilization numbers
-    match the DES path.
+    wait_time, convoy_max, hist); ``stats`` is the engine's
+    per-region choice accounting (closed-form vs event-stepped).
+    Credits the live servers' busy-time/served-work statistics so the
+    final utilization numbers match the DES path.
     """
     spec = machine.spec
     clock = spec.core.clock_hz
@@ -128,7 +129,7 @@ def run_region(machine, step: Union[ParallelRegion, WorkQueueRegion],
     for server, batch in ((cpu, eng.servers[CPU]), (bus, eng.servers[BUS])):
         server.busy_time += batch.busy_time
         server.total_served += batch.total_served
-    return end, lock_summary_from_engine(eng)
+    return end, lock_summary_from_engine(eng), eng.stats
 
 
 # ----------------------------------------------------------------------

@@ -123,6 +123,8 @@ class ConventionalMachine:
         # cohort-vs-DES coverage and fast-path lock statistics
         acct = {"cohort_regions": 0, "des_regions": 0,
                 "cohort_serial_steps": 0, "des_serial_steps": 0,
+                "closed_form_regions": 0, "drained_grants": 0,
+                "stepped_grants": 0, "engine_events": 0,
                 "locks": {"waits": 0, "wait_time": 0.0, "convoy_max": 0,
                           "hist": {}}}
 
@@ -145,6 +147,10 @@ class ConventionalMachine:
             "des_regions": float(acct["des_regions"]),
             "cohort_serial_steps": float(acct["cohort_serial_steps"]),
             "des_serial_steps": float(acct["des_serial_steps"]),
+            "closed_form_regions": float(acct["closed_form_regions"]),
+            "cohort_drained_grants": float(acct["drained_grants"]),
+            "cohort_stepped_grants": float(acct["stepped_grants"]),
+            "cohort_engine_events": float(acct["engine_events"]),
             "lock_wait_time": lock_sum["wait_time"],
             "lock_convoy_max": float(lock_sum["convoy_max"]),
         }
@@ -195,9 +201,13 @@ class ConventionalMachine:
                 peak[0] = max(peak[0], step.n_threads)
                 if self.use_cohort and cohort.region_eligible(self, step):
                     t0 = cursor
-                    cursor, lock_sum = cohort.run_region(
+                    cursor, lock_sum, est = cohort.run_region(
                         self, step, cursor, cpu, bus)
                     acct["cohort_regions"] += 1
+                    acct["closed_form_regions"] += est["closed_form"]
+                    acct["drained_grants"] += est["drained_grants"]
+                    acct["stepped_grants"] += est["stepped_grants"]
+                    acct["engine_events"] += est["events"]
                     merge_lock_summaries(acct["locks"], lock_sum)
                     metrics.region("parallel", "cohort", label, t0,
                                    cursor, step.n_threads)
@@ -224,9 +234,13 @@ class ConventionalMachine:
                 peak[0] = max(peak[0], step.n_threads)
                 if self.use_cohort and cohort.region_eligible(self, step):
                     t0 = cursor
-                    cursor, lock_sum = cohort.run_region(
+                    cursor, lock_sum, est = cohort.run_region(
                         self, step, cursor, cpu, bus)
                     acct["cohort_regions"] += 1
+                    acct["closed_form_regions"] += est["closed_form"]
+                    acct["drained_grants"] += est["drained_grants"]
+                    acct["stepped_grants"] += est["stepped_grants"]
+                    acct["engine_events"] += est["events"]
                     merge_lock_summaries(acct["locks"], lock_sum)
                     metrics.region("parallel", "cohort", label, t0,
                                    cursor, step.n_threads)

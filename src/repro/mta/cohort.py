@@ -121,10 +121,11 @@ def run_serial_phase(machine, phase: Phase, t: float, issue,
 
 
 def run_region(machine, step: Union[ParallelRegion, WorkQueueRegion],
-               t: float, issue, network) -> tuple[float, dict]:
-    """Execute an eligible region; returns (end_time, lock_summary),
+               t: float, issue, network) -> tuple[float, dict, dict]:
+    """Execute an eligible region; returns (end, lock_summary, stats),
     the summary being the dict shape of
-    :func:`repro.obs.metrics.lock_summary_from_engine`."""
+    :func:`repro.obs.metrics.lock_summary_from_engine` and ``stats``
+    the engine's per-region choice accounting."""
     spec = machine.spec
     costs = spec.costs_for(step.thread_kind)
     # parent-side creation: a single stream issuing at pipeline rate
@@ -165,7 +166,7 @@ def run_region(machine, step: Union[ParallelRegion, WorkQueueRegion],
         issue[q].total_served += eng.servers[q].total_served
     network.busy_time += eng.servers[net_sid].busy_time
     network.total_served += eng.servers[net_sid].total_served
-    return end, lock_summary_from_engine(eng)
+    return end, lock_summary_from_engine(eng), eng.stats
 
 
 # ----------------------------------------------------------------------

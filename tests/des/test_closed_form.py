@@ -1,0 +1,231 @@
+"""Closed-form vs event-stepped cohort engine equivalence.
+
+The closed-form layers (class compression, convoy-drain replication,
+single-class regions) are an arithmetic shortcut, not a model change:
+for any region the engine accepts, running with the layers on must
+reproduce the event-stepped timeline -- completion order, completion
+times, lock-wait statistics, server busy/served accounting -- to
+1e-12 relative.  Random convoy shapes drive both configurations of
+the same :class:`CohortEngine` and compare everything the machine
+models consume.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.des.batch as batch
+from repro.des.batch import (
+    ACQ,
+    REL,
+    SLEEP,
+    SRV,
+    CohortEngine,
+    FORCE_CLOSED_FORM_ENV,
+    ScalarBatchServer,
+    closed_form_enabled,
+    convoy_schedule,
+)
+
+RTOL = 1e-12
+
+
+def close(a: float, b: float) -> bool:
+    return abs(a - b) <= RTOL * max(abs(a), abs(b), 1e-12)
+
+
+# ----------------------------------------------------------------------
+# random convoy shapes
+# ----------------------------------------------------------------------
+
+@st.composite
+def convoy_cases(draw):
+    """A region of weighted thread classes contending on one lock.
+
+    Classes share the pre-phase (so lock arrivals keep the engines'
+    common FIFO order) and differ in critical-section length; weights
+    cover the compressed-entity paths (armed passthrough, splits,
+    parked resumes, drain replication) and k > 1 covers class
+    boundaries falling back to stepped grants.
+
+    Generated classes are contiguous and pairwise distinct: within the
+    engines' exactness envelope, simultaneous lock arrivals keep their
+    thread order only when identical members are adjacent (class
+    compression enqueues a class's members back to back; members of
+    one class are interchangeable, so only cross-class adjacency
+    matters).  Hold times are drawn unique so no two classes collapse
+    into one.
+    """
+    k = draw(st.integers(min_value=1, max_value=3))
+    weights = draw(st.lists(st.integers(min_value=1, max_value=40),
+                            min_size=k, max_size=k))
+    pre = draw(st.floats(min_value=0.0, max_value=50.0))
+    pre_cap = draw(st.one_of(st.none(),
+                             st.floats(min_value=0.5, max_value=20.0)))
+    holds = draw(st.lists(st.floats(min_value=1e-3, max_value=10.0),
+                          min_size=k, max_size=k, unique=True))
+    hold_sleep = draw(st.floats(min_value=0.0, max_value=2.0))
+    capacity = draw(st.floats(min_value=1.0, max_value=100.0))
+    programs = []
+    for i in range(k):
+        prog = []
+        if pre > 0:
+            prog.append((SRV, 0, pre, pre_cap))
+        prog.append((ACQ, "L"))
+        prog.append((SRV, 0, holds[i], None))
+        if hold_sleep > 0:
+            prog.append((SLEEP, hold_sleep))
+        prog.append((REL, "L"))
+        programs.extend([list(prog)] * weights[i])
+    return programs, capacity
+
+
+def run_engine(programs, capacity, closed_form):
+    eng = CohortEngine(0.0, [capacity],
+                       [list(p) for p in programs],
+                       closed_form=closed_form)
+    end = eng.run()
+    return eng, end
+
+
+def assert_engines_agree(programs, capacity):
+    fast, end_f = run_engine(programs, capacity, closed_form=True)
+    slow, end_s = run_engine(programs, capacity, closed_form=False)
+    assert close(end_f, end_s), (end_f, end_s)
+    assert len(fast.done_times) == len(slow.done_times)
+    for tf, ts in zip(fast.done_times, slow.done_times):
+        assert close(tf, ts), (tf, ts)
+    # accumulated quantities (busy/served/wait) are sums of dt values
+    # the event-stepped engine rounds at the absolute-time magnitude,
+    # so their float error scales with the timeline, not with the sum
+    scale = max(abs(end_s), 1.0)
+    assert fast.locks.keys() == slow.locks.keys()
+    for name, lf in fast.locks.items():
+        ls = slow.locks[name]
+        assert lf.waits == ls.waits
+        assert lf.max_depth == ls.max_depth
+        assert lf.hist == ls.hist
+        assert abs(lf.wait_time - ls.wait_time) \
+            <= RTOL * max(abs(ls.wait_time), scale)
+    for sf, ss in zip(fast.servers, slow.servers):
+        assert abs(sf.busy_time - ss.busy_time) \
+            <= RTOL * max(abs(ss.busy_time), scale)
+        assert abs(sf.total_served - ss.total_served) \
+            <= RTOL * max(abs(ss.total_served), scale)
+    return fast, slow
+
+
+@settings(max_examples=60, deadline=None)
+@given(convoy_cases())
+def test_closed_form_matches_event_stepped_scalar(case):
+    programs, capacity = case
+    assert_engines_agree(programs, capacity)
+
+
+@settings(max_examples=40, deadline=None)
+@given(convoy_cases())
+def test_closed_form_matches_event_stepped_vector(case):
+    # force every server onto the numpy BatchServer
+    programs, capacity = case
+    saved = batch.SCALAR_MAX_SLOTS
+    batch.SCALAR_MAX_SLOTS = 0
+    try:
+        assert_engines_agree(programs, capacity)
+    finally:
+        batch.SCALAR_MAX_SLOTS = saved
+
+
+# ----------------------------------------------------------------------
+# dispatch accounting
+# ----------------------------------------------------------------------
+
+def test_single_class_region_goes_closed_form():
+    prog = [(SRV, 0, 5.0, None), (ACQ, "L"), (SRV, 0, 1.0, None),
+            (REL, "L")]
+    fast, _ = run_engine([list(prog)] * 32, 10.0, closed_form=True)
+    assert fast.stats["closed_form"] == 1
+    assert fast.stats["classes"] == 1
+    assert fast.stats["events"] == 0
+    assert_engines_agree([list(prog)] * 32, 10.0)
+
+
+def test_multi_class_convoy_uses_drain_replication():
+    def prog(hold):
+        return [(SRV, 0, 5.0, None), (ACQ, "L"), (SRV, 0, hold, None),
+                (REL, "L")]
+
+    programs = [list(prog(1.0))] * 30 + [list(prog(2.0))] * 30
+    fast, _ = run_engine(programs, 10.0, closed_form=True)
+    assert fast.stats["closed_form"] == 0
+    assert fast.stats["classes"] == 2
+    assert fast.stats["drained_grants"] > 0
+    # replication replaces most per-grant events
+    assert fast.stats["drained_grants"] > fast.stats["stepped_grants"]
+    assert_engines_agree(programs, 10.0)
+
+
+def test_event_stepped_engine_reports_no_closed_form():
+    prog = [(SRV, 0, 5.0, None)]
+    slow, _ = run_engine([list(prog)] * 8, 10.0, closed_form=False)
+    assert slow.stats["classes"] == 8
+    assert slow.stats["closed_form"] == 0
+    assert slow.stats["drained_grants"] == 0
+
+
+def test_force_closed_form_env_gate(monkeypatch):
+    monkeypatch.delenv(FORCE_CLOSED_FORM_ENV, raising=False)
+    assert closed_form_enabled()
+    monkeypatch.setenv(FORCE_CLOSED_FORM_ENV, "0")
+    assert not closed_form_enabled()
+    eng = CohortEngine(0.0, [10.0], [[(SRV, 0, 1.0, None)]] * 4)
+    assert not eng.closed_form
+    assert eng.stats["classes"] == 4
+    monkeypatch.setenv(FORCE_CLOSED_FORM_ENV, "1")
+    assert closed_form_enabled()
+    eng = CohortEngine(0.0, [10.0], [[(SRV, 0, 1.0, None)]] * 4)
+    assert eng.closed_form
+    assert eng.stats["classes"] == 1
+
+
+def test_convoy_schedule_closed_form():
+    times = convoy_schedule(10.0, 4, 0.5)
+    assert times.tolist() == [10.5, 11.0, 11.5, 12.0]
+
+
+# ----------------------------------------------------------------------
+# scalar finish-time frontier (satellite: indexed early exit)
+# ----------------------------------------------------------------------
+
+def test_scalar_frontier_still_batches_near_ties():
+    # two jobs within the 1e-9 completion tolerance must finish
+    # together even though the frontier fast path exists
+    srv = ScalarBatchServer(10.0, 3, 0.0)
+    srv.add(0, 1.0, None, 0, 0.0)
+    srv.add(1, 1.0 * (1 + 5e-10), None, 1, 0.0)
+    srv.add(2, 2.0, None, 2, 0.0)
+    srv.flush(0.0)
+    done = sorted(s for _q, s in srv.finish(srv.due))
+    assert done == [0, 1]
+    srv.flush(srv._last)
+    done = [s for _q, s in srv.finish(srv.due)]
+    assert done == [2]
+    assert srv.n == 0
+
+
+def test_scalar_frontier_single_completion_path():
+    srv = ScalarBatchServer(10.0, 4, 0.0)
+    for slot, d in enumerate([1.0, 2.0, 3.0, 4.0]):
+        srv.add(slot, d, None, slot, 0.0)
+    order = []
+    srv.flush(0.0)
+    while srv.n:
+        done = srv.finish(srv.due)
+        assert len(done) == 1
+        order.append(done[0][1])
+        srv.flush(srv._last)
+    assert order == [0, 1, 2, 3]
+
+
+def test_closed_form_default_is_on():
+    assert os.environ.get(FORCE_CLOSED_FORM_ENV, "") != "0"

@@ -10,7 +10,9 @@ this contract.
 
 Import these from every parity test instead of redefining them; the
 registry-wide sweep in ``tests/test_parity_sweep.py`` applies the same
-contract to every experiment's jobs at smoke scale.
+contract to every experiment's jobs at smoke scale, under both
+positions of the cohort engine's ``REPRO_FORCE_CLOSED_FORM`` escape
+hatch (closed-form layers on and off).
 """
 
 from repro.machines import ConventionalMachine, exemplar

@@ -8,13 +8,21 @@ on -- the fault injector splits jobs and re-runs segments under
 whichever engine is active, so any job the registry can emit must
 agree across engines.
 
+The sweep runs twice: with the cohort engine's closed-form layers on
+(``REPRO_FORCE_CLOSED_FORM=1``, the default dispatch) and off (``=0``,
+every thread event-stepped individually), so both sides of the
+engine's internal dispatch decision stay covered by the same contract.
+
 Jobs shared between experiments (the registry collapses identical
-builders) are paired once and memoized by job name.
+builders) are paired once and memoized by (mode, job name).
 """
+
+import os
 
 import pytest
 
 from repro.analysis.targets import experiment_jobs
+from repro.des.batch import FORCE_CLOSED_FORM_ENV
 from repro.harness import EXPERIMENT_IDS, BenchmarkData
 
 from tests.parity import assert_equivalent, run_both_conventional, run_both_mta
@@ -22,6 +30,9 @@ from tests.parity import assert_equivalent, run_both_conventional, run_both_mta
 pytestmark = pytest.mark.slow
 
 SCALES = dict(threat_scale=0.01, terrain_scale=0.03)
+
+#: the engine's closed-form escape hatch, both positions
+MODES = ("1", "0")
 
 _pair_cache = {}
 
@@ -31,20 +42,31 @@ def data():
     return BenchmarkData(**SCALES)
 
 
-def _pairs(job):
-    if job.name not in _pair_cache:
-        _pair_cache[job.name] = (run_both_mta(job),
-                                 run_both_conventional(job))
-    return _pair_cache[job.name]
+@pytest.fixture(params=MODES)
+def closed_form_mode(request, monkeypatch):
+    monkeypatch.setenv(FORCE_CLOSED_FORM_ENV, request.param)
+    return request.param
+
+
+def _pairs(job, mode):
+    key = (mode, job.name)
+    if key not in _pair_cache:
+        _pair_cache[key] = (run_both_mta(job),
+                            run_both_conventional(job))
+    return _pair_cache[key]
 
 
 @pytest.mark.parametrize("eid", sorted(EXPERIMENT_IDS))
-def test_experiment_parity_under_both_engines(eid, data):
+def test_experiment_parity_under_both_engines(eid, data, closed_form_mode):
+    assert os.environ[FORCE_CLOSED_FORM_ENV] == closed_form_mode
     jobs = experiment_jobs(eid, data)
     for name, job in jobs.items():
-        (mta_des, mta_coh), (conv_des, conv_coh) = _pairs(job)
+        (mta_des, mta_coh), (conv_des, conv_coh) = _pairs(
+            job, closed_form_mode)
         try:
             assert_equivalent(mta_des, mta_coh)
             assert_equivalent(conv_des, conv_coh)
         except AssertionError as exc:
-            raise AssertionError(f"{eid}/{name}: {exc}") from exc
+            raise AssertionError(
+                f"{eid}/{name} [closed_form={closed_form_mode}]: "
+                f"{exc}") from exc
