@@ -20,7 +20,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.c3i.terrain.model import masking_for_threat
+from repro.c3i.terrain.model import masking_for_threat_cached
 from repro.c3i.terrain.scenarios import TerrainScenario
 
 
@@ -107,7 +107,8 @@ def run_blocked(scenario: TerrainScenario, n_threads: int = 4,
 
     # dynamic queue order == input order (any order gives the same min)
     for threat in scenario.threats:
-        window, alt, stats = masking_for_threat(scenario.terrain, threat)
+        window, alt, stats = masking_for_threat_cached(
+            scenario.terrain, threat)
         blocks = blocks_overlapping(window, n, num_blocks)
         per_block = []
         for bid, (sx, sy) in blocks:

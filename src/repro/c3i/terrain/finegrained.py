@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.c3i.terrain.model import masking_for_threat
+from repro.c3i.terrain.model import masking_for_threat_cached
 from repro.c3i.terrain.scenarios import TerrainScenario
 
 
@@ -56,7 +56,8 @@ def run_finegrained(scenario: TerrainScenario) -> FineGrainedTerrainResult:
     masking = np.full((n, n), np.inf)
 
     for threat in scenario.threats:
-        window, alt, stats = masking_for_threat(scenario.terrain, threat)
+        window, alt, stats = masking_for_threat_cached(
+            scenario.terrain, threat)
         sx, sy = window.slices()
         masking[sx, sy] = np.minimum(alt, masking[sx, sy])
         result.ring_profile.append((window.n_cells,

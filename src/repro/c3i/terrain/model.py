@@ -236,3 +236,33 @@ def masking_for_threat(terrain: np.ndarray, threat: GroundThreat
         stats.ring_sizes.append(int(xs.size))
 
     return window, alt, stats
+
+
+#: (id(terrain), threat) -> (terrain, window, alt, stats); the terrain
+#: reference both keeps the id stable and guards against id reuse
+_MASK_MEMO: dict = {}
+_MASK_MEMO_MAX = 4096
+
+
+def masking_for_threat_cached(terrain: np.ndarray, threat: GroundThreat
+                              ) -> tuple[RegionWindow, np.ndarray,
+                                         ThreatMaskStats]:
+    """Memoized :func:`masking_for_threat`.
+
+    The masking computation depends only on the terrain grid and the
+    threat, both immutable in practice, while every kernel variant
+    (sequential, blocked at each thread count, fine-grained) recomputes
+    the same per-threat altitudes.  Callers must treat the returned
+    window/altitude/stats as read-only; the altitude array is marked
+    non-writeable to enforce that.
+    """
+    key = (id(terrain), threat)
+    hit = _MASK_MEMO.get(key)
+    if hit is not None and hit[0] is terrain:
+        return hit[1], hit[2], hit[3]
+    window, alt, stats = masking_for_threat(terrain, threat)
+    alt.setflags(write=False)
+    if len(_MASK_MEMO) >= _MASK_MEMO_MAX:
+        _MASK_MEMO.clear()
+    _MASK_MEMO[key] = (terrain, window, alt, stats)
+    return window, alt, stats

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -59,17 +60,23 @@ class TerrainScenario:
         return sum(math.pi * t.range_cells ** 2 for t in self.threats)
 
 
+@lru_cache(maxsize=64)
 def make_scenario(index: int, scale: float = 1.0,
                   seed_offset: int = 0) -> TerrainScenario:
     """Generate terrain scenario ``index`` (0..4) at the given scale.
 
     ``seed_offset`` selects an alternative synthetic-input universe.
+
+    Deterministic in the arguments and frozen, so instances (and the
+    per-terrain masking memo keyed on them) are shared process-wide.
+    The terrain grid is marked read-only to keep sharing safe.
     """
     if not 0.0 < scale <= 1.0:
         raise ValueError("scale must be in (0, 1]")
     rng = scenario_rng(TERRAIN_MASKING, index, seed_offset)
     n = max(64, round(FULL_SCALE.grid_n * scale))
     terrain = generate_terrain(n, rng, relief=250.0 + 50.0 * index)
+    terrain.setflags(write=False)
 
     threats = []
     for _ in range(FULL_SCALE.n_threats):

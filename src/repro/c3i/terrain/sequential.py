@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.c3i.terrain.model import masking_for_threat
+from repro.c3i.terrain.model import masking_for_threat_cached
 from repro.c3i.terrain.scenarios import TerrainScenario
 
 
@@ -42,7 +42,8 @@ def run_sequential(scenario: TerrainScenario) -> TerrainMaskingResult:
     masking = np.full((n, n), np.inf)
 
     for threat in scenario.threats:
-        window, alt, stats = masking_for_threat(scenario.terrain, threat)
+        window, alt, stats = masking_for_threat_cached(
+            scenario.terrain, threat)
         sx, sy = window.slices()
         # Program 3: temp = masking region; compute; min back.
         temp = masking[sx, sy].copy()

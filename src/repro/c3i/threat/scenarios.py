@@ -13,6 +13,7 @@ counts back to full scale -- the work is exactly linear in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -62,6 +63,7 @@ class Scenario:
         return full / here
 
 
+@lru_cache(maxsize=64)
 def make_scenario(index: int, scale: float = 1.0,
                   seed_offset: int = 0) -> Scenario:
     """Generate scenario ``index`` (0..4) at the given scale.
@@ -70,6 +72,11 @@ def make_scenario(index: int, scale: float = 1.0,
     (weapons stay fixed: the benchmark's weapon laydown is small).
     ``seed_offset`` selects an alternative synthetic-input universe
     (for the seed-robustness study).
+
+    Generation is deterministic in the arguments, and scenarios are
+    frozen, so instances are shared process-wide: every worker (and
+    every ``BenchmarkData``) that asks for the same universe reuses
+    one object.
     """
     if not 0.0 < scale <= 1.0:
         raise ValueError("scale must be in (0, 1]")

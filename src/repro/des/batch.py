@@ -57,6 +57,23 @@ disabled together by ``REPRO_FORCE_CLOSED_FORM=0``):
   lock-wait statistics (``waits``, ``wait_time``, depth histogram)
   computed arithmetically.
 
+* **Work-queue regions** -- a two-server pull-from-queue region
+  (:meth:`CohortEngine._run_queue`) exploits that between completion
+  events every worker's service rate is piecewise-constant.  A server
+  whose largest per-job cap fits under ``capacity / n_workers`` is
+  *never contended*: the fair share can never drop below the cap, so
+  the DES arithmetic always yields ``rate == cap`` and each of its
+  jobs is a fixed-duration span computed in closed form
+  (``demand / cap``, the ``serve_alone`` arithmetic).  Runs of such
+  spans (plus sleeps) fold into a single arrival timer; only the
+  contended server -- the shared bus, whose rate genuinely changes
+  with membership -- keeps the event-stepped batch-server arithmetic,
+  bit-identical to the stepped path.  When *both* servers are
+  uncontended the whole epoch's completion frontier is an array of
+  folded arrival times and the event count collapses to roughly one
+  per queue item.  Busy time for folded servers is the union length
+  of their recorded spans; served work accumulates per span.
+
 Equivalence with the DES path is *numerical*, not bit-for-bit: the
 vectorized allocation follows the same formulas but groups float
 operations differently (e.g. one ``capacity/n`` division instead of a
@@ -137,6 +154,29 @@ def convoy_schedule(start: float, n: int, delta: float) -> np.ndarray:
     lock for ``delta`` and completes at ``start + i * delta``.
     """
     return start + np.arange(1, n + 1, dtype=np.float64) * delta
+
+
+def span_union_length(spans: Sequence[float]) -> float:
+    """Total length of the union of ``[start, end, start, end, ...]``.
+
+    The work-queue solver computes each uncontended-server job as a
+    closed-form span; the server's busy time is the measure of the
+    union of those spans (the event-stepped engine accumulates the
+    same quantity as per-event ``dt`` while the server is non-empty).
+    Spans may overlap and arrive in any start order.
+    """
+    if not spans:
+        return 0.0
+    a = np.asarray(spans, dtype=np.float64).reshape(-1, 2)
+    order = np.argsort(a[:, 0], kind="stable")
+    starts = a[order, 0]
+    cover = np.maximum.accumulate(a[order, 1])
+    gaps = starts[1:] - cover[:-1]
+    total = float(cover[-1] - starts[0])
+    pos = gaps[gaps > 0.0]
+    if pos.size:
+        total -= float(pos.sum())
+    return total
 
 
 class ScalarBatchServer:
@@ -826,7 +866,8 @@ class CohortEngine:
         #: engine-choice accounting threaded into ``RunResult.stats``
         self.stats = {"members": n, "classes": len(threads),
                       "closed_form": 0, "drained_grants": 0,
-                      "stepped_grants": 0, "events": 0}
+                      "stepped_grants": 0, "events": 0,
+                      "queue_solver": 0}
 
     # ------------------------------------------------------------------
     def run(self) -> float:
@@ -842,6 +883,10 @@ class CohortEngine:
             if end is not None:
                 self.stats["closed_form"] = 1
                 return end
+        if self.closed_form and self.queue is not None:
+            plan = self._queue_plan()
+            if plan is not None:
+                return self._run_queue(plan)
         # threads start in creation order (DES bootstrap order)
         for tid in range(len(self.threads)):
             self._advance_thread(tid)
@@ -1032,6 +1077,230 @@ class CohortEngine:
         self.n_done = n
         self.done_times = times.tolist()
         return end
+
+    # ------------------------------------------------------------------
+    def _queue_plan(self) -> Optional[int]:
+        """Eligibility scan for the closed-form work-queue solver.
+
+        Returns the *stepped* server id (the one whose rate genuinely
+        varies with membership), ``-1`` when every server is
+        uncontended, or ``None`` when the region must event-step:
+        more than two servers, PAR segments, mixed home servers, or
+        two servers that can both be contended.
+
+        A server is *uncontended* when its largest per-job cap fits
+        under ``capacity / n_workers`` (float division, the exact
+        comparison the batch servers make): the fair share can never
+        drop below any cap, so every allocation resolves to
+        ``rate == cap`` and the job's duration is closed-form.
+        """
+        if len(self.servers) != 2:
+            return None
+        threads = self.threads
+        own0 = threads[0].own
+        for th in threads:
+            if th.own != own0:
+                return None
+        maxcap = [0.0, 0.0]
+
+        def scan(segs) -> bool:
+            for seg in segs:
+                op = seg[0]
+                if op == SRV:
+                    _op, sid, demand, cap = seg
+                    if demand <= 0:
+                        continue
+                    if sid is None:
+                        sid = own0
+                    c = cap if cap is not None else _INF
+                    if c > maxcap[sid]:
+                        maxcap[sid] = c
+                elif op == PAR:
+                    return False
+                elif op not in (SLEEP, ACQ, REL):
+                    return False
+            return True
+
+        for segs in (th.segs for th in threads):
+            if not scan(segs):
+                return None
+        for item in self.queue:
+            if not scan(item):
+                return None
+        k = self.n_members
+        unc = [maxcap[sid] <= self.servers[sid].capacity / k
+               for sid in (0, 1)]
+        if unc[0] and unc[1]:
+            return -1
+        if unc[0]:
+            return 1
+        if unc[1]:
+            return 0
+        return None
+
+    def _run_queue(self, stepped: int) -> float:
+        """Closed-form/bus-coupled replay of a work-queue region.
+
+        Jobs on uncontended servers run at exactly their cap, so a run
+        of them (plus sleeps) folds into one arrival timer whose time
+        is the chained ``demand / cap`` sum -- the completion frontier
+        of the fold is computed arithmetically, not event-stepped.
+        The ``stepped`` server (-1 for none) keeps its batch-server
+        arithmetic bit-identical to the event-stepped path, because
+        its fair-share rate really does change at every membership
+        event.  Lock handling (FIFO grants, contention statistics)
+        reuses the event-stepped formulas verbatim.
+
+        Event ordering mirrors the stepped loop: all completions and
+        arrivals at one time are processed in submission order (the
+        global ``_seq`` counter), and lock grants drain after the
+        batch exactly like ``_drain_grants``.
+        """
+        servers = self.servers
+        threads = self.threads
+        q = self.queue
+        srv = servers[stepped] if stepped >= 0 else None
+        arrivals: list[tuple[float, int, int]] = []
+        granted: deque[int] = deque()
+        #: flat [start, end, ...] per folded server, unioned at the end
+        spans: tuple[list[float], list[float]] = ([], [])
+        served = [0.0, 0.0]
+        stats = self.stats
+        now = self.now
+
+        def advance(tid: int) -> None:
+            th = threads[tid]
+            segs = th.segs
+            i = th.idx
+            t = now
+            while True:
+                if i >= len(segs):
+                    if t > now:
+                        # the fold ran to the end of the program; the
+                        # pop (or completion) happens at its end time
+                        th.idx = i
+                        s = self._seq
+                        self._seq = s + 1
+                        heappush(arrivals, (t, s, tid))
+                        return
+                    if q:
+                        segs = th.segs = q.popleft()
+                        i = 0
+                        continue
+                    th.idx = i
+                    self.n_done += 1
+                    self.done_times.append(now)
+                    return
+                seg = segs[i]
+                op = seg[0]
+                if op == SRV:
+                    _op, sid, demand, cap = seg
+                    if demand <= 0:
+                        i += 1
+                        continue
+                    if sid is None:
+                        sid = th.own
+                    if sid == stepped:
+                        th.idx = i
+                        s = self._seq
+                        self._seq = s + 1
+                        if t > now:
+                            heappush(arrivals, (t, s, tid))
+                            return
+                        srv.add(tid, demand, cap, s, now)
+                        th.idx = i + 1
+                        return
+                    # uncontended: rate == cap exactly (plan checked
+                    # cap <= capacity / n_workers, the worst share)
+                    dt = demand / cap
+                    sp = spans[sid]
+                    sp.append(t)
+                    t += dt
+                    sp.append(t)
+                    served[sid] += cap * dt
+                    i += 1
+                elif op == SLEEP:
+                    if seg[1] > 0:
+                        t += seg[1]
+                    i += 1
+                elif op == ACQ:
+                    if t > now:
+                        th.idx = i
+                        s = self._seq
+                        self._seq = s + 1
+                        heappush(arrivals, (t, s, tid))
+                        return
+                    lk = self._lock(seg[1])
+                    i += 1
+                    if lk.holder is None:
+                        lk.holder = tid
+                        continue
+                    self._enqueue(lk, tid, i, 1, now, parked=True)
+                    th.idx = i
+                    return
+                else:  # REL (plan rejected every other opcode)
+                    if t > now:
+                        th.idx = i
+                        s = self._seq
+                        self._seq = s + 1
+                        heappush(arrivals, (t, s, tid))
+                        return
+                    lk = self._lock(seg[1])
+                    lk.holder = None
+                    if lk.queue:
+                        head = lk.queue[0]
+                        cid = head[0]
+                        lk.wait_time += now - head[3]
+                        lk.qlen -= 1
+                        if head[2] == 1:
+                            lk.queue.popleft()
+                        else:  # pragma: no cover - entries are weight-1
+                            head[2] -= 1
+                        lk.holder = cid
+                        threads[cid].idx = head[1]
+                        granted.append(cid)
+                        stats["stepped_grants"] += 1
+                    i += 1
+
+        # bootstrap in thread-creation order, like the stepped engine
+        for tid in range(len(threads)):
+            advance(tid)
+        while granted:
+            advance(granted.popleft())
+        if srv is not None and srv._dirty:
+            srv.flush(now)
+        n = self.n_members
+        events = 0
+        while self.n_done < n:
+            ta = arrivals[0][0] if arrivals else _INF
+            ts = srv.due if srv is not None else _INF
+            t = ta if ta < ts else ts
+            if t == _INF:  # pragma: no cover - defensive
+                raise DesError("cohort region deadlocked")
+            events += 1
+            self.now = now = t
+            batch = srv.finish(t) if ts <= t else []
+            while arrivals and arrivals[0][0] <= t:
+                _t, sq, tid = heappop(arrivals)
+                batch.append((sq, tid))
+            if len(batch) > 1:
+                batch.sort()
+            for _sq, tid in batch:
+                advance(tid)
+            while granted:
+                advance(granted.popleft())
+            if srv is not None and srv._dirty:
+                srv.flush(t)
+        for sid in (0, 1):
+            if sid == stepped:
+                continue
+            servers[sid].total_served += served[sid]
+            servers[sid].busy_time += span_union_length(spans[sid])
+        stats["events"] += events
+        stats["queue_solver"] = 1
+        if srv is None:
+            stats["closed_form"] = 1
+        return self.now
 
     # ------------------------------------------------------------------
     def _run_two(self, n: int) -> float:

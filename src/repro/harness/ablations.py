@@ -327,13 +327,7 @@ def seed_robustness(data: BenchmarkData) -> ExperimentResult:
     the generator's randomness: this re-draws all ten scenarios with
     different seeds and re-measures the key speedups.
     """
-    from repro.harness.runner import BenchmarkData as BD
-
-    universes = [data] + [
-        BD(threat_scale=data.threat_scale,
-           terrain_scale=data.terrain_scale, seed_offset=k)
-        for k in (1, 2)
-    ]
+    universes = [data.with_seed_offset(k) for k in (0, 1, 2)]
     rows = []
     threat_speedups = []
     terrain_speedups = []

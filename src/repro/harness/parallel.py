@@ -1,26 +1,53 @@
-"""Parallel experiment execution.
+"""Parallel experiment execution at simulation-cell granularity.
 
 The registry's experiments are independent of each other (they share
 only the read-only :class:`BenchmarkData` kernels and the persistent
 result cache), so ``python -m repro all`` / ``report`` can fan them out
-over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker
-process builds its own ``BenchmarkData`` (the kernels are cheap; the
-simulations are not) and shares simulation results with every other
-worker through the on-disk cache, so even a cold parallel run does not
-duplicate the expensive work that experiments have in common.
+over a :class:`~concurrent.futures.ProcessPoolExecutor`.  But whole
+experiments are a poor unit of parallel work: a handful of simulations
+dominate the registry's wall clock and many of them are shared between
+experiments, so per-experiment scheduling leaves ``-j N`` gated on the
+single largest experiment.
+
+With the persistent cache available, the run therefore proceeds at
+simulation-cell granularity:
+
+1. **plan** (in the scheduling process) -- run every experiment
+   against a :class:`_PlanningData` probe whose ``_simulate`` records
+   each simulation *cell* (machine spec x job recipe x scales x seed
+   universe) instead of running it.  Planning doubles as warm-up: it
+   builds every kernel and job into the shared ``default_data``
+   memos, and the pool is forked *afterwards*, so workers inherit the
+   warm state copy-on-write instead of re-running kernels per process.
+2. **cell** (workers) -- execute one deduplicated simulation cell
+   (largest first, across all experiments) and publish its result
+   through the content-addressed cache.  Cells already present in the
+   cache are never submitted at all.
+3. **replay** (workers) -- run each experiment for real over the
+   now-warm cache, the moment its last outstanding cell lands; no
+   phase barrier idles the pool.
+
+Without a cache (``REPRO_NO_CACHE``, or an active tracer) cells cannot
+be transported between processes and the scheduler falls back to
+classic per-experiment tasks.
 
 ``run_experiments`` also collects a per-experiment profile (wall time
-and cache hit/miss counts) for the CLI's ``--profile`` flag.
+and cache hit/miss counts) for the CLI's ``--profile`` flag.  Under
+cell scheduling an experiment is charged the cells *it* planned first
+(wall and misses), plus its own plan and replay time; hits are the
+replay's cache reads.
 
-The pool path is crash-resilient: a worker dying mid-experiment (a
-real segfault/OOM kill, or an injected fault -- see
+The pool path is crash-resilient at task granularity: a worker dying
+mid-task (a real segfault/OOM kill, or an injected fault -- see
 ``REPRO_CHAOS_CRASH``) breaks the whole ProcessPoolExecutor, but
 results that finished before the crash are salvaged, the pool is
-rebuilt and only the unfinished experiments are retried, with bounded
+rebuilt and only the unfinished tasks are retried, with bounded
 attempts (``REPRO_RETRY_MAX``, default 3) and exponential backoff
-(base ``REPRO_RETRY_BACKOFF_S``, default 0.25 s).  An experiment that
-*raises* in a worker travels back as :class:`WorkerError` carrying the
-full child traceback, not just the exception repr.
+(base ``REPRO_RETRY_BACKOFF_S``, default 0.25 s).  Backoff only ever
+precedes a re-submission -- a task that exhausts its attempts raises
+immediately, without a terminal sleep.  A task that *raises* in a
+worker travels back as :class:`WorkerError` carrying the full child
+traceback, not just the exception repr.
 """
 
 from __future__ import annotations
@@ -28,21 +55,30 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.harness import store
 from repro.harness.experiment import ExperimentResult
 from repro.harness.registry import EXPERIMENT_IDS, run_experiment
 from repro.harness.runner import BenchmarkData, default_data
+from repro.obs.trace import active_tracer
 
 #: ``seed:rate[:mode]`` -- deterministically crash-fault workers.  A
-#: worker handling experiment ``eid`` on attempt ``a`` dies iff
-#: ``sha256(seed|eid|a|worker-crash)`` maps below ``rate``; mode
+#: worker handling fault unit ``u`` on attempt ``a`` dies iff
+#: ``sha256(seed|u|a|worker-crash)`` maps below ``rate``; mode
 #: ``exit`` (default) kills the process (breaking the pool), ``raise``
-#: raises inside the experiment instead.
+#: raises inside the task instead.  Experiment-level tasks use the
+#: bare experiment id as their unit; simulation-cell tasks use
+#: ``cell:<recipe>@<seed_offset>`` and are faulted only when the mode
+#: carries the ``+cells`` suffix (``exit+cells`` / ``raise+cells``),
+#: so existing experiment-level chaos seeds stay deterministic.
 CHAOS_CRASH_ENV = "REPRO_CHAOS_CRASH"
 
 RETRY_MAX_ENV = "REPRO_RETRY_MAX"
@@ -50,13 +86,15 @@ RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF_S"
 
 
 class WorkerError(RuntimeError):
-    """An experiment failed inside a worker process.
+    """A task failed inside a worker process.
 
     ProcessPoolExecutor pickles exceptions across the process boundary
     and the traceback does not survive the trip -- debugging a parallel
     run used to mean re-running serially.  Workers therefore catch
     everything, format the traceback *in the child*, and send it back
-    attached to this exception.
+    attached to this exception.  ``experiment_id`` is the failing fault
+    unit: a bare experiment id for plan/replay tasks, ``cell:...`` for
+    simulation cells.
     """
 
     def __init__(self, experiment_id: str, child_traceback: str):
@@ -72,7 +110,7 @@ class WorkerError(RuntimeError):
         return (WorkerError, (self.experiment_id, self.child_traceback))
 
 
-def _crash_config() -> Optional[tuple[int, float, str]]:
+def _crash_config() -> Optional[tuple[int, float, str, bool]]:
     raw = os.environ.get(CHAOS_CRASH_ENV, "")
     if not raw:
         return None
@@ -81,23 +119,28 @@ def _crash_config() -> Optional[tuple[int, float, str]]:
         raise ValueError(
             f"{CHAOS_CRASH_ENV} must be seed:rate[:mode], got {raw!r}")
     mode = parts[2] if len(parts) > 2 else "exit"
+    cells = mode.endswith("+cells")
+    if cells:
+        mode = mode[:-len("+cells")]
     if mode not in ("exit", "raise"):
         raise ValueError(f"unknown crash mode {mode!r}")
-    return int(parts[0]), float(parts[1]), mode
+    return int(parts[0]), float(parts[1]), mode, cells
 
 
-def _maybe_crash(experiment_id: str, attempt: int) -> None:
+def _maybe_crash(unit_id: str, attempt: int) -> None:
     """Deterministic worker-crash injection (chaos testing)."""
     cfg = _crash_config()
     if cfg is None:
         return
-    seed, rate, mode = cfg
+    seed, rate, mode, cells = cfg
+    if unit_id.startswith("cell:") and not cells:
+        return
     from repro.faults.plan import derive_unit
 
-    if derive_unit(seed, experiment_id, attempt, "worker-crash") < rate:
+    if derive_unit(seed, unit_id, attempt, "worker-crash") < rate:
         if mode == "raise":
             raise RuntimeError(
-                f"injected worker fault for {experiment_id!r} "
+                f"injected worker fault for {unit_id!r} "
                 f"(attempt {attempt})")
         os._exit(17)  # no cleanup -- model a hard crash/OOM kill
 
@@ -116,30 +159,34 @@ class ExperimentProfile:
     metrics: tuple[dict, ...] = ()
 
 
+def _touch_sentinel(started_dir: Optional[str], task_id: str,
+                    attempt: int) -> None:
+    """Mark a task as started *before* any crash can happen, so the
+    parent can distinguish tasks whose worker actually died from tasks
+    merely poisoned by someone else's pool breakage."""
+    if started_dir is not None:
+        with open(os.path.join(
+                started_dir, f"{task_id}.{attempt}"), "w"):
+            pass
+
+
 def _run_one(experiment_id: str, threat_scale: float,
              terrain_scale: float, attempt: int = 0,
-             started_dir: Optional[str] = None
+             started_dir: Optional[str] = None,
+             task_id: Optional[str] = None,
              ) -> tuple[ExperimentResult, ExperimentProfile]:
     """Worker body: run one experiment and account for it.
 
     Top-level (picklable) for ProcessPoolExecutor.  ``default_data`` is
     lru-cached per process, so a worker reuses its kernels across every
-    experiment it is handed.  Hit/miss attribution uses
+    task it is handed.  Hit/miss attribution uses
     :func:`repro.harness.store.cache_scope`, which counts the lookups
     made in this call's context exactly -- unlike snapshot deltas of
     the process-cumulative counters, it stays correct even if runs
     ever interleave within one process.
-
-    ``started_dir`` is the pool's start-sentinel scratch directory:
-    touching ``<eid>.<attempt>`` *before* any crash can happen lets the
-    parent distinguish experiments whose worker actually died from
-    experiments merely poisoned by someone else's pool breakage.
     """
     try:
-        if started_dir is not None:
-            with open(os.path.join(
-                    started_dir, f"{experiment_id}.{attempt}"), "w"):
-                pass
+        _touch_sentinel(started_dir, task_id or experiment_id, attempt)
         _maybe_crash(experiment_id, attempt)
         data = default_data(threat_scale, terrain_scale)
         n0 = len(data.metrics_log)
@@ -156,6 +203,158 @@ def _run_one(experiment_id: str, threat_scale: float,
     except BaseException:
         raise WorkerError(experiment_id, traceback.format_exc()) \
             from None
+
+
+# ----------------------------------------------------------------------
+# the planning probe: record simulation cells instead of running them
+# ----------------------------------------------------------------------
+
+class _PlanningData(BenchmarkData):
+    """A :class:`BenchmarkData` whose ``_simulate`` records each cell.
+
+    Kernels, scenarios and jobs are built for real (they are cheap and
+    memoized); only the simulations -- the expensive part -- are
+    replaced by a placeholder.  Every recorded cell names a job
+    *recipe*, so any pool worker can rebuild the job and execute the
+    cell independently.  Experiment arithmetic downstream of the
+    placeholder timings is garbage and discarded; the replay phase
+    recomputes it over the warm cache, so an incomplete or failed plan
+    is merely less parallel, never wrong.
+
+    Given a ``donor`` (the process-wide ``default_data``), the probe
+    shares the donor's kernel/job memo dict outright: everything the
+    plan builds lands in the memos every later consumer reads, which
+    is what makes parent-side planning double as pool warm-up.
+    """
+
+    def __init__(self, threat_scale: float = 0.02,
+                 terrain_scale: float = 0.05, seed_offset: int = 0,
+                 donor: Optional[BenchmarkData] = None):
+        super().__init__(threat_scale=threat_scale,
+                         terrain_scale=terrain_scale,
+                         seed_offset=seed_offset)
+        if donor is not None:
+            self._cache = donor._cache
+        self._donor = donor
+        #: planner siblings, deliberately outside the (shared) memo
+        #: dict so they never collide with the donor's real siblings
+        self._plan_siblings: dict[int, "_PlanningData"] = {}
+        #: (cache key, cell descriptor or None) per ``_simulate`` call;
+        #: shared with the seed-offset siblings so one plan call sees
+        #: every universe's cells
+        self.trace: list[tuple[str, Optional[dict]]] = []
+
+    def with_seed_offset(self, seed_offset: int) -> "_PlanningData":
+        if seed_offset == self.seed_offset:
+            return self
+        sib = self._plan_siblings.get(seed_offset)
+        if sib is None:
+            donor = (self._donor.with_seed_offset(seed_offset)
+                     if self._donor is not None else None)
+            sib = _PlanningData(threat_scale=self.threat_scale,
+                                terrain_scale=self.terrain_scale,
+                                seed_offset=seed_offset, donor=donor)
+            sib.trace = self.trace
+            self._plan_siblings[seed_offset] = sib
+        return sib
+
+    def _simulate(self, key_payload: dict, run) -> float:
+        key = self._sim_key(key_payload)
+        self.trace.append((key, self._cell(key, key_payload)))
+        return 1.0  # placeholder: plans never produce user-visible rows
+
+    def _cell(self, key: str, key_payload: dict) -> Optional[dict]:
+        jobfp = key_payload.get("job", "")
+        if not (isinstance(jobfp, str) and jobfp.startswith("recipe:")):
+            return None  # inline-built job: not transportable
+        recipe = jobfp[len("recipe:"):]
+        return {
+            "key": key,
+            "kind": key_payload["kind"],
+            "spec": key_payload["spec"],
+            "job_recipe": recipe,
+            "slices_per_phase": key_payload["slices_per_phase"],
+            "exploit_fine_grained": key_payload.get(
+                "exploit_fine_grained", False),
+            "seed_offset": self.seed_offset,
+            "unit": f"cell:{recipe}@{self.seed_offset}",
+            "weight": _cell_weight(recipe, key_payload["spec"]),
+        }
+
+
+def _cell_weight(recipe: str, spec) -> int:
+    """Largest-first ordering heuristic: thread count x machine width.
+
+    Only the *ordering* of cell submissions depends on this, never a
+    result, so a rough static estimate is enough.
+    """
+    if recipe.endswith("-fg"):
+        base = 1000
+    else:
+        tail = recipe.rsplit("-", 2)
+        base = int(tail[1]) if len(tail) == 3 and tail[1].isdigit() else 1
+    width = (getattr(spec, "n_processors", None)
+             or getattr(spec, "n_cpus", None) or 1)
+    return base * int(width)
+
+
+def _plan_one(experiment_id: str, planner: _PlanningData) -> dict:
+    """Enumerate one experiment's simulation cells (in-process).
+
+    Runs in the scheduling process, before the pool forks: planning is
+    cheap once kernels are memoized, and doing it here warms exactly
+    the state the forked workers inherit.
+    """
+    del planner.trace[:]
+    t0 = time.perf_counter()
+    try:
+        run_experiment(experiment_id, planner)
+    except Exception:
+        # Placeholder timings can break experiment arithmetic (ratios
+        # of constants, checks that divide).  The replay phase runs
+        # the experiment for real, so a partial plan costs
+        # parallelism, not correctness.
+        pass
+    cells: dict[str, Optional[dict]] = {}
+    for key, cell in planner.trace:
+        cells.setdefault(key, cell)
+    return {"cells": cells, "wall": time.perf_counter() - t0}
+
+
+def _run_cell(cell: dict, threat_scale: float, terrain_scale: float,
+              attempt: int = 0, started_dir: Optional[str] = None,
+              task_id: Optional[str] = None) -> dict:
+    """Worker body: execute one simulation cell into the shared cache.
+
+    The job is rebuilt from its recipe name; the resulting cache key is
+    identical to the one the planner recorded (both are fingerprints of
+    the same spec / recipe / scales / universe), so the replay phase
+    finds the entry without coordination.
+    """
+    unit = cell["unit"]
+    try:
+        _touch_sentinel(started_dir, task_id or unit, attempt)
+        _maybe_crash(unit, attempt)
+        data = default_data(threat_scale, terrain_scale) \
+            .with_seed_offset(cell["seed_offset"])
+        job = data.job_from_recipe(cell["job_recipe"])
+        t0 = time.perf_counter()
+        with store.cache_scope() as sc:
+            if cell["kind"] == "conventional":
+                data.run_conventional(
+                    cell["spec"], job,
+                    slices_per_phase=cell["slices_per_phase"],
+                    exploit_fine_grained=cell["exploit_fine_grained"])
+            else:
+                data.run_mta_spec(
+                    cell["spec"], job,
+                    slices_per_phase=cell["slices_per_phase"])
+        return {"wall": time.perf_counter() - t0,
+                "hits": sc.hits, "misses": sc.misses}
+    except WorkerError:
+        raise
+    except BaseException:
+        raise WorkerError(unit, traceback.format_exc()) from None
 
 
 def run_experiments(
@@ -202,9 +401,9 @@ def _run_experiments_inner(
     ids: Sequence[str] = tuple(experiment_ids or EXPERIMENT_IDS)
     if jobs is None:
         jobs = os.cpu_count() or 1
-    jobs = max(1, min(jobs, len(ids)))
+    jobs = max(1, jobs)
 
-    if jobs == 1:
+    if jobs == 1 or not ids:
         if data is None:
             data = default_data(threat_scale, terrain_scale)
         results: dict[str, ExperimentResult] = {}
@@ -221,121 +420,340 @@ def _run_experiments_inner(
                 metrics=tuple(data.metrics_log[n0:])))
         return results, profiles
 
-    pairs = _pool_run(ids, threat_scale, terrain_scale, jobs)
+    # Cell-granular scheduling needs the persistent cache to transport
+    # simulation results between workers, and an active tracer must
+    # observe real simulations in the run's own process semantics --
+    # either condition falls back to classic per-experiment tasks.
+    if store.active_cache() is not None and active_tracer() is None:
+        pairs = _cell_run(ids, threat_scale, terrain_scale, jobs)
+    else:
+        pairs = _experiment_run(ids, threat_scale, terrain_scale,
+                                min(jobs, len(ids)))
     return ({eid: pairs[eid][0] for eid in ids},
             [pairs[eid][1] for eid in ids])
 
 
-def _pool_run(ids: Sequence[str], threat_scale: float,
-              terrain_scale: float, jobs: int
-              ) -> dict[str, tuple[ExperimentResult, ExperimentProfile]]:
-    """Fan experiments over a process pool, surviving worker crashes.
+# ----------------------------------------------------------------------
+# the generic crash-salvaging pool scheduler
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Task:
+    """One unit of pool work.
+
+    ``task_id`` is unique per run and names the start sentinel;
+    ``unit`` is the fault-attribution id (crash injection, WorkerError)
+    -- the bare experiment id for plan/replay tasks, ``cell:...`` for
+    cells, so resilience seeds derived over experiment ids are
+    unaffected by how many cells an experiment fans out into.
+    """
+
+    task_id: str
+    unit: str
+    fn: Callable
+    payload: object = field(compare=False)
+
+
+def _pool_schedule(
+    tasks: Sequence[_Task],
+    threat_scale: float,
+    terrain_scale: float,
+    jobs: int,
+    on_result: Optional[Callable[[str, object], list[_Task]]] = None,
+) -> dict[str, object]:
+    """Drain tasks through one persistent pool, surviving crashes.
+
+    ``on_result(task_id, value)`` may return follow-up tasks, which is
+    how planning fans out into cells and cells into replays without any
+    phase barrier.
 
     A worker that dies (``os._exit``, segfault, OOM kill) breaks the
     entire pool: every unfinished future raises
     :class:`BrokenProcessPool`.  Futures that completed *before* the
     crash still hold their results, so those are salvaged; the pool is
-    rebuilt and only the failures are retried -- each experiment gets
+    rebuilt and only the failures are retried -- each task gets
     ``REPRO_RETRY_MAX`` attempts with exponential backoff.  The attempt
     number reaches the worker, so deterministic crash injection
     (``REPRO_CHAOS_CRASH``) can fault attempt 0 and spare the retry.
 
-    Pool breakage poisons *every* unfinished future, including
-    experiments that were still queued (or mid-run on another worker)
-    when the culprit's worker died, and the executor gives no way to
-    tell them apart.  Charging every poisoned future an attempt would
-    let one bad experiment exhaust innocent budgets.  So workers touch
-    a start sentinel before running, and after a breakage the
-    experiments that had *started* the broken round (a superset
-    containing the culprit, at most pool-width wide) are re-run one at
-    a time: running alone, a crash identifies its experiment exactly,
-    and only that experiment's attempt counter moves.  Experiments
-    that never started are requeued uncharged.
+    Pool breakage poisons *every* unfinished future, including tasks
+    that were still queued (or mid-run on another worker) when the
+    culprit's worker died, and the executor gives no way to tell them
+    apart.  Charging every poisoned future an attempt would let one bad
+    task exhaust innocent budgets.  So workers touch a start sentinel
+    before running, and after a breakage the tasks that had *started*
+    the broken round (a superset containing the culprit, at most
+    pool-width wide) are re-run one at a time: running alone, a crash
+    identifies its task exactly, and only that task's attempt counter
+    moves.  Tasks that never started are requeued uncharged.
+
+    Retry backoff (``base * 2**(attempt-1)``) is applied as a
+    *readiness deadline* on the requeued task, not an inline sleep: the
+    scheduler keeps collecting other results while a retry waits, and a
+    task that exhausts its attempt budget raises immediately -- the
+    final failure never sleeps first.
     """
+    import multiprocessing as mp
     import shutil
     import tempfile
 
+    # Fork (when the platform has it) so workers inherit the parent's
+    # warm kernel/job memos copy-on-write -- the pool is created after
+    # planning precisely so there is something to inherit.
+    mp_context = (mp.get_context("fork")
+                  if "fork" in mp.get_all_start_methods() else None)
+
+    def new_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=jobs,
+                                   mp_context=mp_context)
+
     max_attempts = max(1, int(os.environ.get(RETRY_MAX_ENV, "3")))
     backoff = float(os.environ.get(RETRY_BACKOFF_ENV, "0.25"))
-    done: dict[str, tuple[ExperimentResult, ExperimentProfile]] = {}
-    pending: dict[str, int] = {eid: 0 for eid in ids}
-    suspects: dict[str, int] = {}
+    results: dict[str, object] = {}
+    by_id: dict[str, _Task] = {}
+    attempts: dict[str, int] = {}
+    not_before: dict[str, float] = {}
+    queue: list[str] = []
+    suspects: list[str] = []
     started_dir = tempfile.mkdtemp(prefix="repro-pool-")
-    pool = ProcessPoolExecutor(max_workers=jobs)
+    pool = new_pool()
+
+    def enqueue(task: _Task) -> None:
+        by_id[task.task_id] = task
+        attempts.setdefault(task.task_id, 0)
+        queue.append(task.task_id)
+
+    def settle(tid: str, value: object) -> None:
+        results[tid] = value
+        if on_result is not None:
+            for task in (on_result(tid, value) or ()):
+                enqueue(task)
+
+    def charge(tid: str) -> None:
+        """One failed attempt; sets the retry deadline.  The caller
+        raises instead of calling this when the budget is exhausted."""
+        attempts[tid] += 1
+        not_before[tid] = time.monotonic() + \
+            backoff * (2.0 ** (attempts[tid] - 1))
+
+    def submit(tid: str):
+        task = by_id[tid]
+        return pool.submit(task.fn, task.payload, threat_scale,
+                           terrain_scale, attempts[tid], started_dir,
+                           tid)
 
     def rebuild_pool() -> None:
         nonlocal pool
         # the broken pool cannot run anything anymore
         pool.shutdown(wait=False, cancel_futures=True)
-        pool = ProcessPoolExecutor(max_workers=jobs)
+        pool = new_pool()
+
+    def classify(tid: str) -> None:
+        """After a pool breakage: suspect if the task had started its
+        current attempt, requeue uncharged otherwise."""
+        started = os.path.exists(os.path.join(
+            started_dir, f"{tid}.{attempts[tid]}"))
+        if started:
+            suspects.append(tid)
+        else:
+            queue.append(tid)
+
+    for task in tasks:
+        enqueue(task)
 
     try:
-        while pending or suspects:
+        while queue or suspects:
             # isolation phase: one suspect at a time, so a dead worker
-            # names its experiment unambiguously
+            # names its task unambiguously
             while suspects:
-                eid, attempt = next(iter(suspects.items()))
-                fut = pool.submit(_run_one, eid, threat_scale,
-                                  terrain_scale, attempt, started_dir)
+                tid = suspects.pop(0)
+                delay = not_before.get(tid, 0.0) - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                fut = submit(tid)
                 try:
-                    done[eid] = fut.result()
-                    del suspects[eid]
+                    settle(tid, fut.result())
                 except BrokenProcessPool as exc:
                     rebuild_pool()
-                    attempt += 1
-                    if attempt >= max_attempts:
+                    if attempts[tid] + 1 >= max_attempts:
                         raise WorkerError(
-                            eid,
+                            by_id[tid].unit,
                             f"worker process died "
                             f"({max_attempts} attempts): {exc}") \
                             from exc
-                    suspects[eid] = attempt
-                    time.sleep(backoff * (2.0 ** (attempt - 1)))
+                    charge(tid)
+                    suspects.insert(0, tid)
                 except Exception:
-                    attempt += 1
-                    if attempt >= max_attempts:
+                    if attempts[tid] + 1 >= max_attempts:
                         raise
-                    suspects[eid] = attempt
-                    time.sleep(backoff * (2.0 ** (attempt - 1)))
-            if not pending:
+                    charge(tid)
+                    suspects.insert(0, tid)
+            if not queue:
                 break
 
-            # batch phase: fan everything still pending over the pool
-            futures = {
-                eid: pool.submit(_run_one, eid, threat_scale,
-                                 terrain_scale, attempt, started_dir)
-                for eid, attempt in pending.items()
-            }
-            retry: dict[str, int] = {}
-            rebuild = False
-            for eid, fut in futures.items():
-                try:
-                    done[eid] = fut.result()
-                except BrokenProcessPool:
-                    rebuild = True
-                    started = os.path.exists(os.path.join(
-                        started_dir, f"{eid}.{pending[eid]}"))
-                    if started:
-                        suspects[eid] = pending[eid]
-                    else:                # collateral: requeue uncharged
-                        retry[eid] = pending[eid]
-                except Exception:
-                    attempt = pending[eid] + 1
-                    if attempt >= max_attempts:
-                        raise
-                    retry[eid] = attempt
-                    time.sleep(backoff * (2.0 ** (attempt - 1)))
-            if rebuild:
-                rebuild_pool()
-                if not suspects:
-                    # sentinel writes failed somehow: isolate everyone
-                    # poisoned rather than loop without progress
-                    suspects, retry = retry, {}
-            pending = retry
+            # pipelined phase: keep the pool saturated with every task
+            # that is ready, collecting and fanning out as they finish
+            inflight: dict[object, str] = {}
+            broken = False
+            while queue or inflight:
+                now = time.monotonic()
+                ready = [tid for tid in queue
+                         if not_before.get(tid, 0.0) <= now]
+                if ready:
+                    queue[:] = [tid for tid in queue
+                                if tid not in set(ready)]
+                    for tid in ready:
+                        inflight[submit(tid)] = tid
+                if not inflight:
+                    # everything queued is a retry waiting out backoff
+                    soonest = min(not_before[tid] for tid in queue)
+                    time.sleep(max(0.0, soonest - time.monotonic()))
+                    continue
+                timeout = None
+                if queue:
+                    soonest = min(not_before.get(tid, 0.0)
+                                  for tid in queue)
+                    timeout = max(0.0, soonest - time.monotonic())
+                done, _ = wait(list(inflight), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                for fut in done:
+                    tid = inflight.pop(fut)
+                    try:
+                        settle(tid, fut.result())
+                    except BrokenProcessPool:
+                        broken = True
+                        classify(tid)
+                    except Exception:
+                        if attempts[tid] + 1 >= max_attempts:
+                            raise
+                        charge(tid)
+                        queue.append(tid)
+                if broken:
+                    # drain survivors: completed futures still hold
+                    # results, everything else is poisoned
+                    for fut, tid in list(inflight.items()):
+                        try:
+                            settle(tid, fut.result())
+                        except BrokenProcessPool:
+                            classify(tid)
+                        except Exception:
+                            if attempts[tid] + 1 >= max_attempts:
+                                raise
+                            charge(tid)
+                            queue.append(tid)
+                    inflight.clear()
+                    rebuild_pool()
+                    if not suspects:
+                        # sentinel writes failed somehow: isolate
+                        # everyone poisoned rather than loop without
+                        # progress
+                        suspects[:] = queue
+                        queue[:] = []
+                    break
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
         shutil.rmtree(started_dir, ignore_errors=True)
-    return done
+    return results
+
+
+def _experiment_run(
+    ids: Sequence[str], threat_scale: float, terrain_scale: float,
+    jobs: int,
+) -> dict[str, tuple[ExperimentResult, ExperimentProfile]]:
+    """Per-experiment scheduling (no cache to share cells through)."""
+    tasks = [_Task("run:" + eid, eid, _run_one, eid) for eid in ids]
+    results = _pool_schedule(tasks, threat_scale, terrain_scale, jobs)
+    return {eid: results["run:" + eid] for eid in ids}
+
+
+def _cell_run(
+    ids: Sequence[str], threat_scale: float, terrain_scale: float,
+    jobs: int,
+) -> dict[str, tuple[ExperimentResult, ExperimentProfile]]:
+    """Cell-granular scheduling: plan -> deduped cells -> replay.
+
+    Planning happens up front in this process (warming the kernels and
+    jobs the forked workers then inherit).  The transportable cells of
+    all experiments are deduplicated against each other and against
+    the persistent cache, sorted largest first, and fanned over the
+    pool; each experiment's replay follows as soon as its last
+    outstanding cell lands.  Cell cost (wall and cache misses) is
+    charged to the first experiment that planned the cell.
+    """
+    cache = store.active_cache()
+    planner = _PlanningData(
+        threat_scale=threat_scale, terrain_scale=terrain_scale,
+        donor=default_data(threat_scale, terrain_scale))
+
+    plan_wall = dict.fromkeys(ids, 0.0)
+    charged_wall = dict.fromkeys(ids, 0.0)
+    charged_miss = dict.fromkeys(ids, 0)
+    key_of_task: dict[str, str] = {}
+    owner: dict[str, str] = {}          # cell key -> charged eid
+    waiting: dict[str, list[str]] = {}  # cell key -> waiting eids
+    remaining: dict[str, set] = {eid: set() for eid in ids}
+    replayed: set = set()
+
+    pending_cells: list[dict] = []
+    seen: dict[str, bool] = {}          # cell key -> needs computing
+    for eid in ids:
+        plan = _plan_one(eid, planner)
+        plan_wall[eid] = plan["wall"]
+        for key, cell in plan["cells"].items():
+            if cell is None:
+                continue  # inline-built job: replay computes it
+            if key not in seen:
+                seen[key] = cache.get(key) is None
+                if seen[key]:
+                    owner[key] = eid
+                    waiting[key] = []
+                    pending_cells.append(cell)
+            if seen[key]:
+                waiting[key].append(eid)
+                remaining[eid].add(key)
+
+    def replay_task(eid: str) -> _Task:
+        replayed.add(eid)
+        return _Task("run:" + eid, eid, _run_one, eid)
+
+    # largest first: the biggest cells bound the tail of the run
+    pending_cells.sort(key=lambda c: c["weight"], reverse=True)
+    tasks: list[_Task] = []
+    for cell in pending_cells:
+        task_id = "cell:" + cell["key"]
+        key_of_task[task_id] = cell["key"]
+        tasks.append(_Task(task_id, cell["unit"], _run_cell, cell))
+    # experiments with nothing outstanding replay straight away
+    tasks.extend(replay_task(eid) for eid in ids if not remaining[eid])
+
+    def on_result(tid: str, value) -> list[_Task]:
+        if not tid.startswith("cell:"):
+            return []
+        key = key_of_task[tid]
+        eid = owner[key]
+        charged_wall[eid] += value["wall"]
+        charged_miss[eid] += value["misses"]
+        new: list[_Task] = []
+        for waiter in waiting.pop(key, ()):
+            remaining[waiter].discard(key)
+            if not remaining[waiter] and waiter not in replayed:
+                new.append(replay_task(waiter))
+        return new
+
+    results = _pool_schedule(tasks, threat_scale, terrain_scale, jobs,
+                             on_result=on_result)
+
+    out: dict[str, tuple[ExperimentResult, ExperimentProfile]] = {}
+    for eid in ids:
+        result, rp = results["run:" + eid]
+        out[eid] = (result, ExperimentProfile(
+            experiment_id=eid,
+            wall_seconds=(plan_wall[eid] + charged_wall[eid]
+                          + rp.wall_seconds),
+            cache_hits=rp.cache_hits,
+            cache_misses=charged_miss[eid] + rp.cache_misses,
+            metrics=rp.metrics))
+    return out
 
 
 def metrics_rollup(profile: ExperimentProfile) -> dict:
@@ -346,6 +764,7 @@ def metrics_rollup(profile: ExperimentProfile) -> dict:
         "cohort_regions": 0.0,
         "des_regions": 0.0,
         "closed_form_regions": 0.0,
+        "queue_solver_regions": 0.0,
         "drained_grants": 0.0,
         "stepped_grants": 0.0,
         "region_wall_seconds": 0.0,
@@ -361,6 +780,8 @@ def metrics_rollup(profile: ExperimentProfile) -> dict:
         totals["des_regions"] += stats.get("des_regions", 0.0)
         totals["closed_form_regions"] += stats.get(
             "closed_form_regions", 0.0)
+        totals["queue_solver_regions"] += stats.get(
+            "queue_solver_regions", 0.0)
         totals["drained_grants"] += stats.get(
             "cohort_drained_grants", 0.0)
         totals["stepped_grants"] += stats.get(
@@ -413,7 +834,13 @@ def render_metrics(profiles: list[ExperimentProfile]) -> str:
 
 
 def render_profile(profiles: list[ExperimentProfile]) -> str:
-    """The ``--profile`` table (per-experiment wall + cache traffic)."""
+    """The ``--profile`` table (per-experiment wall + cache traffic).
+
+    Under cell-granular scheduling an experiment's wall is its plan +
+    the cells it was first to request + its replay; misses are counted
+    where the simulation was actually computed, hits are the replay's
+    cache reads.
+    """
     lines = [
         f"{'experiment':<26} {'wall (s)':>9} {'cache hits':>11} "
         f"{'misses':>7}",

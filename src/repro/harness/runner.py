@@ -45,6 +45,23 @@ class BenchmarkData:
         #: material of ``repro all --metrics``
         self.metrics_log: list[dict] = []
 
+    def with_seed_offset(self, seed_offset: int) -> "BenchmarkData":
+        """A sibling data set over an alternative synthetic-input
+        universe (same scales, different generator seeds).
+
+        Centralizing the construction lets the parallel planner
+        intercept *every* simulation an experiment performs, including
+        the seed-robustness study's alternative universes.  Siblings
+        are memoized on the parent so a worker that executes many
+        cells of the same universe pays its kernels once.
+        """
+        if seed_offset == self.seed_offset:
+            return self
+        return self._memo(f"sibling-{seed_offset}", lambda: type(self)(
+            threat_scale=self.threat_scale,
+            terrain_scale=self.terrain_scale,
+            seed_offset=seed_offset))
+
     # ------------------------------------------------------------------
     # kernels (step 1)
     # ------------------------------------------------------------------
@@ -52,6 +69,21 @@ class BenchmarkData:
         if key not in self._cache:
             self._cache[key] = fn()
         return self._cache[key]
+
+    def _job(self, key: str, fn) -> Job:
+        """Memoize a named job recipe and register its fingerprint.
+
+        A recipe-built job is a deterministic function of (recipe
+        name, scales, seed offset, model code); everything but the
+        name is already folded into every simulation key, so the name
+        alone identifies the job content and the structural
+        fingerprint walk over the full step tree is skipped.
+        """
+        job = self._memo(key, fn)
+        hit = self._job_fps.get(id(job))
+        if hit is None or hit[0] is not job:
+            self._job_fps[id(job)] = (job, "recipe:" + key)
+        return job
 
     @property
     def threat_scenarios(self):
@@ -87,36 +119,60 @@ class BenchmarkData:
     # jobs (step 2)
     # ------------------------------------------------------------------
     def threat_sequential_job(self) -> Job:
-        return self._memo("th-job-seq", lambda: TH.sequential_benchmark_job(
+        return self._job("th-job-seq", lambda: TH.sequential_benchmark_job(
             self.threat_scenarios, self.threat_sequential))
 
     def threat_chunked_job(self, n_chunks: int,
                            thread_kind: str = "os") -> Job:
-        return self._memo(
+        return self._job(
             f"th-job-ch-{n_chunks}-{thread_kind}",
             lambda: TH.chunked_benchmark_job(
                 self.threat_scenarios, self.threat_sequential, n_chunks,
                 thread_kind=thread_kind))
 
     def threat_finegrained_job(self) -> Job:
-        return self._memo("th-job-fg", lambda: TH.finegrained_benchmark_job(
+        return self._job("th-job-fg", lambda: TH.finegrained_benchmark_job(
             self.threat_scenarios, self.threat_sequential))
 
     def terrain_sequential_job(self) -> Job:
-        return self._memo("te-job-seq", lambda: TE.sequential_benchmark_job(
+        return self._job("te-job-seq", lambda: TE.sequential_benchmark_job(
             self.terrain_scenarios, self.terrain_sequential))
 
     def terrain_blocked_job(self, n_threads: int,
                             thread_kind: str = "os") -> Job:
-        return self._memo(
+        return self._job(
             f"te-job-bl-{n_threads}-{thread_kind}",
             lambda: TE.blocked_benchmark_job(
                 self.terrain_scenarios, self.terrain_blocked(n_threads),
                 thread_kind=thread_kind))
 
     def terrain_finegrained_job(self) -> Job:
-        return self._memo("te-job-fg", lambda: TE.finegrained_benchmark_job(
+        return self._job("te-job-fg", lambda: TE.finegrained_benchmark_job(
             self.terrain_scenarios, self.terrain_finegrained))
+
+    def job_from_recipe(self, key: str) -> Job:
+        """Rebuild a recipe-named job from its key.
+
+        The inverse of the ``_job`` registry: any job whose fingerprint
+        is ``recipe:<key>`` can be reconstructed in a different process
+        from the key alone, which is what lets the parallel harness
+        ship individual simulation cells to pool workers.
+        """
+        if key == "th-job-seq":
+            return self.threat_sequential_job()
+        if key == "th-job-fg":
+            return self.threat_finegrained_job()
+        if key == "te-job-seq":
+            return self.terrain_sequential_job()
+        if key == "te-job-fg":
+            return self.terrain_finegrained_job()
+        if key.startswith("th-job-ch-"):
+            n, kind = key[len("th-job-ch-"):].rsplit("-", 1)
+            return self.threat_chunked_job(int(n), thread_kind=kind)
+        if key.startswith("te-job-bl-"):
+            n, kind = key[len("te-job-bl-"):].rsplit("-", 1)
+            return self.terrain_blocked_job(int(n), thread_kind=kind)
+        raise KeyError(f"unknown job recipe {key!r}")
 
     # ------------------------------------------------------------------
     # simulation (step 3)
@@ -136,12 +192,16 @@ class BenchmarkData:
         self._job_fps[id(job)] = (job, fp)
         return fp
 
-    def _simulate(self, key_payload: dict, run) -> float:
-        key = store.fingerprint(dict(
+    def _sim_key(self, key_payload: dict) -> str:
+        """The persistent-cache key of one simulation cell."""
+        return store.fingerprint(dict(
             key_payload, epoch=store.model_epoch(),
             threat_scale=self.threat_scale,
             terrain_scale=self.terrain_scale,
             seed_offset=self.seed_offset))
+
+    def _simulate(self, key_payload: dict, run) -> float:
+        key = self._sim_key(key_payload)
         memo_key = "sim-" + key
         memo = self._cache.get(memo_key)
         if memo is not None:

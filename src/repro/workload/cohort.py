@@ -65,9 +65,28 @@ def item_signature(item: Union[Compute, Critical]) -> ItemSignature:
     raise TypeError(f"unknown thread item {item!r}")
 
 
+#: id(program) -> (program, signature); identity-keyed because hashing
+#: a frozen ThreadProgram walks its whole item tree -- as expensive as
+#: recomputing the signature.  The reference keeps the id stable.
+_SIG_MEMO: dict[int, tuple[ThreadProgram, tuple]] = {}
+_SIG_MEMO_MAX = 65536
+
+
 def program_signature(program: ThreadProgram) -> tuple[ItemSignature, ...]:
-    """The ordered item signatures of one thread's program."""
-    return tuple(item_signature(it) for it in program.items)
+    """The ordered item signatures of one thread's program.
+
+    Memoized by object identity: jobs are memoized by the harness, so
+    the same program objects are re-dispatched run after run (every
+    machine model and thread count walks the same job).
+    """
+    hit = _SIG_MEMO.get(id(program))
+    if hit is not None and hit[0] is program:
+        return hit[1]
+    sig = tuple(item_signature(it) for it in program.items)
+    if len(_SIG_MEMO) >= _SIG_MEMO_MAX:
+        _SIG_MEMO.clear()
+    _SIG_MEMO[id(program)] = (program, sig)
+    return sig
 
 
 def region_cohort_signature(

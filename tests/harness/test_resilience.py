@@ -102,6 +102,62 @@ def test_crash_every_attempt_exhausts_retries(monkeypatch, tmp_path):
     assert "2 attempts" in str(excinfo.value)
 
 
+def test_cell_units_crash_only_with_cells_flag(monkeypatch):
+    """Simulation-cell fault units are opt-in (``+cells`` mode suffix)
+    so experiment-level chaos seeds stay deterministic regardless of
+    how many cells an experiment fans out into."""
+    monkeypatch.setenv(CHAOS_CRASH_ENV, "1:1.1:raise")
+    with pytest.raises(RuntimeError):
+        _maybe_crash("table2", 0)
+    _maybe_crash("cell:th-job-seq@0", 0)     # gated off: no-op
+    monkeypatch.setenv(CHAOS_CRASH_ENV, "1:1.1:raise+cells")
+    with pytest.raises(RuntimeError):
+        _maybe_crash("cell:th-job-seq@0", 0)
+
+
+def test_crashed_cell_retried_and_salvaged(monkeypatch, tmp_path):
+    """Cell-granular salvage: every cell of table2 shares the fault
+    unit ``cell:th-job-seq@0``; a seed that faults that unit on
+    attempt 0 kills each cell's first worker, and every one of them
+    must be isolated, retried and folded back into a passing run.
+
+    Runs at scales no other test uses: forked workers inherit the
+    parent's process-wide in-process memo, and warm memos would let
+    the cells answer without ever touching the (empty) persistent
+    cache -- this test needs genuinely cold cells."""
+    from repro.faults.plan import derive_unit as d
+
+    unit = "cell:th-job-seq@0"
+    for seed in range(5000):
+        hits = {(u, a) for u in (unit, "table2") for a in (0, 1, 2)
+                if d(seed, u, a, "worker-crash") < 0.5}
+        if hits == {(unit, 0)}:
+            break
+    else:
+        raise AssertionError("no suitable crash seed found")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    monkeypatch.setenv(CHAOS_CRASH_ENV, f"{seed}:0.5:exit+cells")
+    monkeypatch.setenv(RETRY_BACKOFF_ENV, "0.01")
+    results, profiles = run_experiments(
+        ["table2"], jobs=2, threat_scale=0.012, terrain_scale=0.03)
+    assert results["table2"].all_checks_pass()
+    (profile,) = profiles
+    # the cells were computed (and charged) despite the crashes
+    assert profile.cache_misses > 0
+
+
+def test_cell_crash_every_attempt_exhausts_retries(monkeypatch,
+                                                   tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    monkeypatch.setenv(CHAOS_CRASH_ENV, "3:1.1:exit+cells")
+    monkeypatch.setenv(RETRY_MAX_ENV, "2")
+    monkeypatch.setenv(RETRY_BACKOFF_ENV, "0.01")
+    with pytest.raises(WorkerError) as excinfo:
+        run_experiments(["table2"], jobs=2, **SCALES)
+    assert "worker process died" in str(excinfo.value)
+    assert "2 attempts" in str(excinfo.value)
+
+
 def test_serial_path_ignores_crash_injection(monkeypatch, tmp_path):
     """jobs=1 runs in-process; crash faults target workers only."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
