@@ -19,6 +19,11 @@ Usage::
     python -m repro feedback                  # compiler feedback, Programs 1-4
     python -m repro cache info                # persistent result cache
     python -m repro cache clear
+    python -m repro runs list                 # durable run artifacts
+    python -m repro runs show <run-id>
+    python -m repro runs diff <run-a> <run-b>
+    python -m repro runs query --cell exemplar16 --since <rev>
+    python -m repro runs reindex              # rebuild index from artifacts
 
 Options::
 
@@ -29,7 +34,11 @@ Options::
 
 Simulation results persist in ``.repro_cache/`` (override with
 ``REPRO_CACHE_DIR``; disable with ``REPRO_NO_CACHE=1``), so repeated
-invocations skip already-simulated runs.
+invocations skip already-simulated runs.  Every ``all`` / ``report`` /
+``bench`` / ``chaos`` invocation additionally writes a durable run
+directory under ``.repro_runs/`` (override with ``REPRO_RUNS_DIR``;
+disable with ``REPRO_NO_RUNS=1``) -- manifest, per-cell JSONL stream
+and machine-readable report -- indexed into SQLite for ``repro runs``.
 """
 
 from __future__ import annotations
@@ -142,6 +151,39 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")
     cache_p.add_argument("action", choices=("info", "clear"))
+    runs_p = sub.add_parser(
+        "runs",
+        help="inspect durable run artifacts (.repro_runs/) and the "
+             "cross-run SQLite index")
+    runs_sub = runs_p.add_subparsers(dest="runs_command", required=True)
+    runs_list_p = runs_sub.add_parser(
+        "list", help="list indexed runs, newest first")
+    runs_list_p.add_argument("--limit", "-n", type=int, default=None,
+                             metavar="N", help="show at most N runs")
+    runs_show_p = runs_sub.add_parser(
+        "show", help="one run's manifest, checks and cells")
+    runs_show_p.add_argument("run_id", metavar="RUN",
+                             help="run id (unique prefix accepted)")
+    runs_diff_p = runs_sub.add_parser(
+        "diff", help="compare two runs' reproduced rows "
+                     "(exit 1 on any difference)")
+    runs_diff_p.add_argument("run_a", metavar="RUN_A")
+    runs_diff_p.add_argument("run_b", metavar="RUN_B")
+    runs_query_p = runs_sub.add_parser(
+        "query", help="a cell's trajectory across runs")
+    runs_query_p.add_argument("--cell", metavar="CELL", default=None,
+                              help="cell id (exact, else substring)")
+    runs_query_p.add_argument("--since", metavar="WHEN", default=None,
+                              help="run-id/git-rev prefix or ISO "
+                                   "timestamp lower bound")
+    runs_query_p.add_argument("--limit", "-n", type=int, default=None,
+                              metavar="N")
+    runs_query_p.add_argument("--json", action="store_true",
+                              dest="json_out",
+                              help="machine-readable output")
+    runs_sub.add_parser(
+        "reindex", help="rebuild the SQLite index from the artifacts "
+                        "(lossless)")
     return parser
 
 
@@ -174,7 +216,7 @@ def _cmd_run(ids: list[str], data: BenchmarkData,
 
 def _cmd_all(data: BenchmarkData, jobs: int | None, profile: bool,
              metrics: bool = False,
-             metrics_json: str | None = None) -> int:
+             metrics_json: str | None = None, run=None) -> int:
     from repro.harness.parallel import (
         metrics_to_dict,
         render_metrics,
@@ -184,7 +226,8 @@ def _cmd_all(data: BenchmarkData, jobs: int | None, profile: bool,
 
     results, profiles = run_experiments(
         threat_scale=data.threat_scale, terrain_scale=data.terrain_scale,
-        jobs=jobs, data=data)
+        jobs=jobs, data=data,
+        cell_sink=run.cell_sink if run is not None else None)
     status = 0
     for result in results.values():
         print(result.render())
@@ -196,10 +239,11 @@ def _cmd_all(data: BenchmarkData, jobs: int | None, profile: bool,
     if metrics:
         print(render_metrics(profiles))
     if metrics_json is not None:
-        import json
+        from repro.harness.store import atomic_write_json
 
-        with open(metrics_json, "w", encoding="utf-8") as fh:
-            json.dump(metrics_to_dict(profiles), fh, indent=2)
+        atomic_write_json(metrics_json, metrics_to_dict(profiles))
+    if run is not None:
+        run.write_report(results.values(), profiles)
     return status
 
 
@@ -235,16 +279,21 @@ def _cmd_trace(experiment_id: str, data: BenchmarkData,
 
 
 def _cmd_report(threat_scale: float, terrain_scale: float,
-                jobs: int | None, profile: bool) -> int:
+                jobs: int | None, profile: bool, run=None) -> int:
     import time
 
-    from repro.harness.report import generate
+    from repro.harness.report import generate_with_results
 
     t0 = time.perf_counter()
-    sys.stdout.write(generate(threat_scale, terrain_scale, jobs=jobs))
+    text, results, profiles = generate_with_results(
+        threat_scale, terrain_scale, jobs=jobs,
+        cell_sink=run.cell_sink if run is not None else None)
+    sys.stdout.write(text)
     if profile:
         print(f"report generated in {time.perf_counter() - t0:.2f}s "
               f"({jobs or 'auto'} jobs)", file=sys.stderr)
+    if run is not None:
+        run.write_report(results.values(), profiles)
     return 0
 
 
@@ -289,6 +338,23 @@ def _cmd_feedback() -> int:
     return 0
 
 
+def _cmd_runs(args) -> int:
+    from repro.harness import index
+
+    if args.runs_command == "list":
+        return index.cmd_list(limit=args.limit)
+    if args.runs_command == "show":
+        return index.cmd_show(args.run_id)
+    if args.runs_command == "diff":
+        return index.cmd_diff(args.run_a, args.run_b)
+    if args.runs_command == "query":
+        return index.cmd_query(args.cell, args.since, args.limit,
+                               args.json_out)
+    if args.runs_command == "reindex":
+        return index.cmd_reindex()
+    return 2  # pragma: no cover
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -297,32 +363,66 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_feedback()
     if args.command == "cache":
         return _cmd_cache(args.action)
+    if args.command == "runs":
+        return _cmd_runs(args)
+
+    from repro.harness.rundir import run_scope
+
+    scales = {"threat_scale": args.threat_scale,
+              "terrain_scale": args.terrain_scale}
     if args.command == "report":
-        return _cmd_report(args.threat_scale, args.terrain_scale,
-                           args.jobs, args.profile)
+        with run_scope("report", dict(scales, jobs=args.jobs),
+                       argv=argv) as run:
+            status = _cmd_report(args.threat_scale, args.terrain_scale,
+                                 args.jobs, args.profile, run=run)
+            if run is not None:
+                run.exit_status = status
+        return status
     data = BenchmarkData(threat_scale=args.threat_scale,
                          terrain_scale=args.terrain_scale)
     if args.command == "run":
         return _cmd_run(args.ids, data, args.json)
     if args.command == "all":
-        return _cmd_all(data, args.jobs, args.profile,
-                        metrics=args.metrics,
-                        metrics_json=args.metrics_json)
+        with run_scope("all", dict(scales, jobs=args.jobs,
+                                   profile=args.profile,
+                                   metrics=args.metrics),
+                       argv=argv) as run:
+            status = _cmd_all(data, args.jobs, args.profile,
+                              metrics=args.metrics,
+                              metrics_json=args.metrics_json, run=run)
+            if run is not None:
+                run.exit_status = status
+        return status
     if args.command == "trace":
         return _cmd_trace(args.id, data, args.output, args.max_events)
     if args.command == "bench":
         from repro.harness.bench import run_kernel_bench, run_verify
 
-        if args.verify:
-            return run_verify(data)
-        return run_kernel_bench(data, repeat=args.repeat,
-                                json_path=args.json)
+        with run_scope("bench", dict(scales, repeat=args.repeat,
+                                     verify=args.verify),
+                       argv=argv) as run:
+            if args.verify:
+                status = run_verify(data, run=run)
+            else:
+                status = run_kernel_bench(data, repeat=args.repeat,
+                                          json_path=args.json, run=run)
+            if run is not None:
+                run.exit_status = status
+        return status
     if args.command == "chaos":
         from repro.faults.chaos import DEFAULT_FAULTS, run_chaos
 
-        return run_chaos(args.ids, data, run_all=args.chaos_all,
-                         faults=args.faults or DEFAULT_FAULTS,
-                         seed=args.seed, json_path=args.json)
+        with run_scope("chaos", dict(scales, seed=args.seed,
+                                     faults=args.faults,
+                                     all=args.chaos_all),
+                       argv=argv) as run:
+            status = run_chaos(args.ids, data, run_all=args.chaos_all,
+                               faults=args.faults or DEFAULT_FAULTS,
+                               seed=args.seed, json_path=args.json,
+                               run=run)
+            if run is not None:
+                run.exit_status = status
+        return status
     if args.command == "race":
         from repro.analysis.race import run_race
 

@@ -64,15 +64,19 @@ disabled together by ``REPRO_FORCE_CLOSED_FORM=0``):
   *never contended*: the fair share can never drop below the cap, so
   the DES arithmetic always yields ``rate == cap`` and each of its
   jobs is a fixed-duration span computed in closed form
-  (``demand / cap``, the ``serve_alone`` arithmetic).  Runs of such
-  spans (plus sleeps) fold into a single arrival timer; only the
-  contended server -- the shared bus, whose rate genuinely changes
-  with membership -- keeps the event-stepped batch-server arithmetic,
-  bit-identical to the stepped path.  When *both* servers are
-  uncontended the whole epoch's completion frontier is an array of
-  folded arrival times and the event count collapses to roughly one
-  per queue item.  Busy time for folded servers is the union length
-  of their recorded spans; served work accumulates per span.
+  (``demand / cap``, the ``serve_alone`` arithmetic) -- one arrival
+  timer per segment, sequenced at its simulated start so simultaneous
+  completions stay in the stepped engine's submission order.  Only
+  the contended server -- the shared bus, whose rate genuinely
+  changes with membership -- keeps the event-stepped batch-server
+  arithmetic, bit-identical to the stepped path.  Busy time for
+  folded servers is the union length of their recorded spans; served
+  work accumulates per span.  Folding shifts completion times by
+  ulps (exact spans instead of the batch server's incremental
+  accrual), which every timeline tolerance absorbs but an integer
+  lock counter cannot -- an ulp can flip an exact release/acquire
+  tie -- so lock-taking regions event-step *both* servers and the
+  solver keeps only its leaner control flow.
 
 Equivalence with the DES path is *numerical*, not bit-for-bit: the
 vectorized allocation follows the same formulas but groups float
@@ -1084,15 +1088,27 @@ class CohortEngine:
 
         Returns the *stepped* server id (the one whose rate genuinely
         varies with membership), ``-1`` when every server is
-        uncontended, or ``None`` when the region must event-step:
-        more than two servers, PAR segments, mixed home servers, or
-        two servers that can both be contended.
+        uncontended, ``2`` when the region takes locks (both servers
+        are then event-stepped, see below), or ``None`` when the
+        region must event-step: more than two servers, PAR segments,
+        mixed home servers, or two servers that can both be contended.
 
         A server is *uncontended* when its largest per-job cap fits
         under ``capacity / n_workers`` (float division, the exact
         comparison the batch servers make): the fair share can never
         drop below any cap, so every allocation resolves to
         ``rate == cap`` and the job's duration is closed-form.
+
+        Folding an uncontended server replaces the batch server's
+        incremental ``remaining -= rate * dt`` accrual with the exact
+        ``demand / cap`` span, which shifts completion times by ulps.
+        That is inside every tolerance the timeline is held to -- but
+        lock statistics are *integers*, and an ulp shift can flip an
+        exact tie between a release and a third party's acquire,
+        changing who waits.  So any region that takes locks steps both
+        servers with the real batch arithmetic (bit-identical to the
+        event-stepped engine by construction) and only lock-free
+        regions fold.
         """
         if len(self.servers) != 2:
             return None
@@ -1102,8 +1118,10 @@ class CohortEngine:
             if th.own != own0:
                 return None
         maxcap = [0.0, 0.0]
+        locked = False
 
         def scan(segs) -> bool:
+            nonlocal locked
             for seg in segs:
                 op = seg[0]
                 if op == SRV:
@@ -1115,9 +1133,11 @@ class CohortEngine:
                     c = cap if cap is not None else _INF
                     if c > maxcap[sid]:
                         maxcap[sid] = c
+                elif op == ACQ:
+                    locked = True
                 elif op == PAR:
                     return False
-                elif op not in (SLEEP, ACQ, REL):
+                elif op not in (SLEEP, REL):
                     return False
             return True
 
@@ -1130,36 +1150,49 @@ class CohortEngine:
         k = self.n_members
         unc = [maxcap[sid] <= self.servers[sid].capacity / k
                for sid in (0, 1)]
+        if not (unc[0] or unc[1]):
+            return None
+        if locked:
+            return 2
         if unc[0] and unc[1]:
             return -1
-        if unc[0]:
-            return 1
-        if unc[1]:
-            return 0
-        return None
+        return 1 if unc[0] else 0
 
     def _run_queue(self, stepped: int) -> float:
         """Closed-form/bus-coupled replay of a work-queue region.
 
-        Jobs on uncontended servers run at exactly their cap, so a run
-        of them (plus sleeps) folds into one arrival timer whose time
-        is the chained ``demand / cap`` sum -- the completion frontier
-        of the fold is computed arithmetically, not event-stepped.
-        The ``stepped`` server (-1 for none) keeps its batch-server
-        arithmetic bit-identical to the event-stepped path, because
-        its fair-share rate really does change at every membership
-        event.  Lock handling (FIFO grants, contention statistics)
-        reuses the event-stepped formulas verbatim.
+        Jobs on folded (uncontended) servers run at exactly their
+        cap, so each segment's completion time is the arithmetic
+        ``demand / cap`` span -- no fair-share rebalancing, no server
+        flushes.  ``stepped`` selects which servers keep the real
+        batch-server arithmetic: a contended server's id (its
+        fair-share rate really does change at every membership
+        event), ``-1`` for none, or ``2`` for both -- the
+        lock-bearing case, where folding's ulp-level timeline shifts
+        could flip an exact tie and change the integer lock
+        statistics (see :meth:`_queue_plan`).  Lock handling (FIFO
+        grants, contention statistics) reuses the event-stepped
+        formulas verbatim.
 
-        Event ordering mirrors the stepped loop: all completions and
-        arrivals at one time are processed in submission order (the
-        global ``_seq`` counter), and lock grants drain after the
-        batch exactly like ``_drain_grants``.
+        Event ordering mirrors the stepped loop *exactly*: every
+        time-consuming segment is sequenced at its simulated start
+        (one arrival timer per segment, seq from the global ``_seq``
+        counter), all completions at one time are processed in
+        submission order, and lock grants drain after the batch like
+        ``_drain_grants``.  Sequencing per segment -- rather than
+        folding a run of segments into one arrival stamped at its
+        scheduling event -- is what keeps simultaneous completions
+        (exact ties on the demand grid, e.g. a lock release and a
+        third party's acquire at the same instant) ordered identically
+        to the stepped engine, so the lock statistics agree exactly,
+        not just the timeline.
         """
         servers = self.servers
         threads = self.threads
         q = self.queue
-        srv = servers[stepped] if stepped >= 0 else None
+        live0 = servers[0] if stepped in (0, 2) else None
+        live1 = servers[1] if stepped in (1, 2) else None
+        live = (live0, live1)
         arrivals: list[tuple[float, int, int]] = []
         granted: deque[int] = deque()
         #: flat [start, end, ...] per folded server, unioned at the end
@@ -1172,17 +1205,8 @@ class CohortEngine:
             th = threads[tid]
             segs = th.segs
             i = th.idx
-            t = now
             while True:
                 if i >= len(segs):
-                    if t > now:
-                        # the fold ran to the end of the program; the
-                        # pop (or completion) happens at its end time
-                        th.idx = i
-                        s = self._seq
-                        self._seq = s + 1
-                        heappush(arrivals, (t, s, tid))
-                        return
                     if q:
                         segs = th.segs = q.popleft()
                         i = 0
@@ -1200,36 +1224,32 @@ class CohortEngine:
                         continue
                     if sid is None:
                         sid = th.own
-                    if sid == stepped:
-                        th.idx = i
-                        s = self._seq
-                        self._seq = s + 1
-                        if t > now:
-                            heappush(arrivals, (t, s, tid))
-                            return
-                        srv.add(tid, demand, cap, s, now)
-                        th.idx = i + 1
-                        return
-                    # uncontended: rate == cap exactly (plan checked
-                    # cap <= capacity / n_workers, the worst share)
-                    dt = demand / cap
-                    sp = spans[sid]
-                    sp.append(t)
-                    t += dt
-                    sp.append(t)
-                    served[sid] += cap * dt
-                    i += 1
+                    s = self._seq
+                    self._seq = s + 1
+                    s_live = live[sid]
+                    if s_live is not None:
+                        s_live.add(tid, demand, cap, s, now)
+                    else:
+                        # uncontended: rate == cap exactly (plan
+                        # checked cap <= capacity / n_workers, the
+                        # worst share); completes arithmetically
+                        dt = demand / cap
+                        sp = spans[sid]
+                        sp.append(now)
+                        sp.append(now + dt)
+                        served[sid] += cap * dt
+                        heappush(arrivals, (now + dt, s, tid))
+                    th.idx = i + 1
+                    return
                 elif op == SLEEP:
                     if seg[1] > 0:
-                        t += seg[1]
-                    i += 1
-                elif op == ACQ:
-                    if t > now:
-                        th.idx = i
                         s = self._seq
                         self._seq = s + 1
-                        heappush(arrivals, (t, s, tid))
+                        heappush(arrivals, (now + seg[1], s, tid))
+                        th.idx = i + 1
                         return
+                    i += 1
+                elif op == ACQ:
                     lk = self._lock(seg[1])
                     i += 1
                     if lk.holder is None:
@@ -1239,12 +1259,6 @@ class CohortEngine:
                     th.idx = i
                     return
                 else:  # REL (plan rejected every other opcode)
-                    if t > now:
-                        th.idx = i
-                        s = self._seq
-                        self._seq = s + 1
-                        heappush(arrivals, (t, s, tid))
-                        return
                     lk = self._lock(seg[1])
                     lk.holder = None
                     if lk.queue:
@@ -1267,19 +1281,27 @@ class CohortEngine:
             advance(tid)
         while granted:
             advance(granted.popleft())
-        if srv is not None and srv._dirty:
-            srv.flush(now)
+        if live0 is not None and live0._dirty:
+            live0.flush(now)
+        if live1 is not None and live1._dirty:
+            live1.flush(now)
         n = self.n_members
         events = 0
         while self.n_done < n:
             ta = arrivals[0][0] if arrivals else _INF
-            ts = srv.due if srv is not None else _INF
-            t = ta if ta < ts else ts
+            d0 = live0.due if live0 is not None else _INF
+            d1 = live1.due if live1 is not None else _INF
+            t = d0 if d0 < d1 else d1
+            if ta < t:
+                t = ta
             if t == _INF:  # pragma: no cover - defensive
                 raise DesError("cohort region deadlocked")
             events += 1
             self.now = now = t
-            batch = srv.finish(t) if ts <= t else []
+            batch = live0.finish(t) if d0 <= t else []
+            if d1 <= t:
+                b1 = live1.finish(t)
+                batch = batch + b1 if batch else b1
             while arrivals and arrivals[0][0] <= t:
                 _t, sq, tid = heappop(arrivals)
                 batch.append((sq, tid))
@@ -1289,16 +1311,18 @@ class CohortEngine:
                 advance(tid)
             while granted:
                 advance(granted.popleft())
-            if srv is not None and srv._dirty:
-                srv.flush(t)
+            if live0 is not None and live0._dirty:
+                live0.flush(t)
+            if live1 is not None and live1._dirty:
+                live1.flush(t)
         for sid in (0, 1):
-            if sid == stepped:
+            if live[sid] is not None:
                 continue
             servers[sid].total_served += served[sid]
             servers[sid].busy_time += span_union_length(spans[sid])
         stats["events"] += events
         stats["queue_solver"] = 1
-        if srv is None:
+        if live0 is None and live1 is None:
             stats["closed_form"] = 1
         return self.now
 

@@ -173,8 +173,14 @@ def render_report(payload: dict) -> str:
 
 def run_chaos(experiment_ids: list[str], data: BenchmarkData, *,
               run_all: bool = False, faults: str = DEFAULT_FAULTS,
-              seed: int = 0, json_path: Optional[str] = None) -> int:
-    """CLI entry point; returns the exit status."""
+              seed: int = 0, json_path: Optional[str] = None,
+              run=None) -> int:
+    """CLI entry point; returns the exit status.
+
+    ``run`` is an optional :class:`repro.harness.rundir.RunWriter`:
+    every faulted job becomes a queryable cell and the payload is
+    stored as the run's report.
+    """
     from repro.harness.registry import EXPERIMENT_IDS
 
     ids = list(EXPERIMENT_IDS) if run_all else list(experiment_ids)
@@ -187,6 +193,20 @@ def run_chaos(experiment_ids: list[str], data: BenchmarkData, *,
         print(f"chaos: {exc.args[0]}", file=sys.stderr)
         return 2
     print(render_report(payload))
+    if run is not None:
+        for exp in payload["experiments"]:
+            for e in exp["jobs"]:
+                run.record(exp["experiment"], {
+                    "kind": "chaos",
+                    "machine": e["machine"],
+                    "job": e["job"],
+                    "seconds": e["faulted_seconds"],
+                    "stats": dict(
+                        e["stats"],
+                        healthy_seconds=e["healthy_seconds"],
+                        slowdown=e["slowdown"]),
+                })
+        run.write_report(payload=payload)
     if json_path is not None:
         import json
 

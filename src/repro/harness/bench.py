@@ -86,8 +86,16 @@ def _best_of(fn: Callable[[], object], repeat: int) -> tuple[float, object]:
 
 
 def run_kernel_bench(data: BenchmarkData, repeat: int = 3,
-                     json_path: Optional[str] = None) -> int:
-    """Measure each kernel row DES-vs-cohort; returns an exit status."""
+                     json_path: Optional[str] = None,
+                     run=None) -> int:
+    """Measure each kernel row DES-vs-cohort; returns an exit status.
+
+    ``run`` is an optional :class:`repro.harness.rundir.RunWriter`;
+    each row becomes a queryable cell (``repro runs query --cell
+    exemplar16-threatfg1000``) and the full payload is stored as the
+    run's report, so the perf trajectory accumulates without anyone
+    hand-editing ``BENCH_harness.json``.
+    """
     print(f"kernel rows, best of {repeat} "
           f"(threat_scale={data.threat_scale}, "
           f"terrain_scale={data.terrain_scale})")
@@ -114,13 +122,24 @@ def run_kernel_bench(data: BenchmarkData, repeat: int = 3,
             "simulated_seconds": res_c.seconds,
             "equivalent": ok,
         }
+        if run is not None:
+            run.record("bench", {
+                "cell": name,
+                "kind": machine_c.__class__.__name__,
+                "machine": machine_c.spec.name,
+                "job": job.name,
+                "seconds": res_c.seconds,
+                "stats": dict(payload[name]),
+            })
     if json_path is not None:
         with open(json_path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
+    if run is not None:
+        run.write_report(payload=payload)
     return status
 
 
-def run_verify(data: BenchmarkData) -> int:
+def run_verify(data: BenchmarkData, run=None) -> int:
     """Cohort-vs-DES equivalence over every registry experiment."""
     from repro.harness.registry import EXPERIMENT_IDS, run_experiment
 
@@ -181,4 +200,17 @@ def run_verify(data: BenchmarkData) -> int:
     for (eid, label), sim_c, sim_d in bad:
         print(f"  MISMATCH {eid} / {label}: "
               f"cohort={sim_c!r} des={sim_d!r}")
+    if run is not None:
+        run.write_report(payload={
+            "mode": "verify",
+            "rows_verified": len(cohort_rows),
+            "experiments": len(EXPERIMENT_IDS),
+            "mismatches": [
+                {"experiment": eid, "label": label,
+                 "cohort": sim_c, "des": sim_d}
+                for (eid, label), sim_c, sim_d in bad
+            ],
+            "cohort_walk_s": round(t1 - t0, 3),
+            "des_walk_s": round(t2 - t1, 3),
+        })
     return 1 if bad else 0

@@ -338,6 +338,7 @@ def _run_cell(cell: dict, threat_scale: float, terrain_scale: float,
         data = default_data(threat_scale, terrain_scale) \
             .with_seed_offset(cell["seed_offset"])
         job = data.job_from_recipe(cell["job_recipe"])
+        n0 = len(data.metrics_log)
         t0 = time.perf_counter()
         with store.cache_scope() as sc:
             if cell["kind"] == "conventional":
@@ -349,12 +350,25 @@ def _run_cell(cell: dict, threat_scale: float, terrain_scale: float,
                 data.run_mta_spec(
                     cell["spec"], job,
                     slices_per_phase=cell["slices_per_phase"])
+        # the simulation record this cell produced (exactly one
+        # _simulate call), streamed back so the scheduling process can
+        # emit it to the run directory's cells.jsonl as it lands
+        record = (data.metrics_log[n0]
+                  if len(data.metrics_log) > n0 else None)
         return {"wall": time.perf_counter() - t0,
-                "hits": sc.hits, "misses": sc.misses}
+                "hits": sc.hits, "misses": sc.misses,
+                "record": record}
     except WorkerError:
         raise
     except BaseException:
         raise WorkerError(unit, traceback.format_exc()) from None
+
+
+#: ``cell_sink(experiment_id, records)`` receives simulation records
+#: (``BenchmarkData.metrics_log`` entries) as they land, attributed to
+#: the experiment on whose behalf they ran -- the run directory's
+#: ``cells.jsonl`` stream.  Called in the scheduling process only.
+CellSink = Callable[[str, Sequence[dict]], None]
 
 
 def run_experiments(
@@ -364,6 +378,7 @@ def run_experiments(
     terrain_scale: float,
     jobs: Optional[int] = None,
     data: Optional[BenchmarkData] = None,
+    cell_sink: Optional[CellSink] = None,
 ) -> tuple[dict[str, ExperimentResult], list[ExperimentProfile]]:
     """Run experiments, in parallel when ``jobs > 1``.
 
@@ -371,6 +386,11 @@ def run_experiments(
     completion order.  ``jobs=None`` uses the CPU count; ``jobs=1``
     runs serially in-process (sharing ``data`` when given, so tests and
     the single-core path pay no pickling or re-kerneling cost).
+
+    ``cell_sink`` streams per-simulation records to the caller as work
+    completes (see :data:`CellSink`); the run-directory layer uses it
+    to write ``cells.jsonl`` incrementally, so even an interrupted run
+    leaves its finished cells on disk.
 
     With ``REPRO_RUN_TIMEOUT_S=soft[:hard]`` set, a
     :class:`~repro.obs.watchdog.RunWatchdog` shadows the whole run:
@@ -387,7 +407,8 @@ def run_experiments(
     with guard:
         return _run_experiments_inner(
             experiment_ids, threat_scale=threat_scale,
-            terrain_scale=terrain_scale, jobs=jobs, data=data)
+            terrain_scale=terrain_scale, jobs=jobs, data=data,
+            cell_sink=cell_sink)
 
 
 def _run_experiments_inner(
@@ -397,6 +418,7 @@ def _run_experiments_inner(
     terrain_scale: float,
     jobs: Optional[int] = None,
     data: Optional[BenchmarkData] = None,
+    cell_sink: Optional[CellSink] = None,
 ) -> tuple[dict[str, ExperimentResult], list[ExperimentProfile]]:
     ids: Sequence[str] = tuple(experiment_ids or EXPERIMENT_IDS)
     if jobs is None:
@@ -418,6 +440,8 @@ def _run_experiments_inner(
                 experiment_id=eid, wall_seconds=wall,
                 cache_hits=sc.hits, cache_misses=sc.misses,
                 metrics=tuple(data.metrics_log[n0:])))
+            if cell_sink is not None:
+                cell_sink(eid, data.metrics_log[n0:])
         return results, profiles
 
     # Cell-granular scheduling needs the persistent cache to transport
@@ -425,10 +449,12 @@ def _run_experiments_inner(
     # observe real simulations in the run's own process semantics --
     # either condition falls back to classic per-experiment tasks.
     if store.active_cache() is not None and active_tracer() is None:
-        pairs = _cell_run(ids, threat_scale, terrain_scale, jobs)
+        pairs = _cell_run(ids, threat_scale, terrain_scale, jobs,
+                          cell_sink=cell_sink)
     else:
         pairs = _experiment_run(ids, threat_scale, terrain_scale,
-                                min(jobs, len(ids)))
+                                min(jobs, len(ids)),
+                                cell_sink=cell_sink)
     return ({eid: pairs[eid][0] for eid in ids},
             [pairs[eid][1] for eid in ids])
 
@@ -658,17 +684,25 @@ def _pool_schedule(
 
 def _experiment_run(
     ids: Sequence[str], threat_scale: float, terrain_scale: float,
-    jobs: int,
+    jobs: int, cell_sink: Optional[CellSink] = None,
 ) -> dict[str, tuple[ExperimentResult, ExperimentProfile]]:
     """Per-experiment scheduling (no cache to share cells through)."""
     tasks = [_Task("run:" + eid, eid, _run_one, eid) for eid in ids]
-    results = _pool_schedule(tasks, threat_scale, terrain_scale, jobs)
+
+    def on_result(tid: str, value) -> list[_Task]:
+        if cell_sink is not None:
+            _result, profile = value
+            cell_sink(tid[len("run:"):], profile.metrics)
+        return []
+
+    results = _pool_schedule(tasks, threat_scale, terrain_scale, jobs,
+                             on_result=on_result)
     return {eid: results["run:" + eid] for eid in ids}
 
 
 def _cell_run(
     ids: Sequence[str], threat_scale: float, terrain_scale: float,
-    jobs: int,
+    jobs: int, cell_sink: Optional[CellSink] = None,
 ) -> dict[str, tuple[ExperimentResult, ExperimentProfile]]:
     """Cell-granular scheduling: plan -> deduped cells -> replay.
 
@@ -728,11 +762,18 @@ def _cell_run(
 
     def on_result(tid: str, value) -> list[_Task]:
         if not tid.startswith("cell:"):
+            # a replay finished: stream every record it consulted (the
+            # sink dedupes against the cell-task records by cache key)
+            if cell_sink is not None:
+                _result, profile = value
+                cell_sink(tid[len("run:"):], profile.metrics)
             return []
         key = key_of_task[tid]
         eid = owner[key]
         charged_wall[eid] += value["wall"]
         charged_miss[eid] += value["misses"]
+        if cell_sink is not None and value.get("record") is not None:
+            cell_sink(eid, (value["record"],))
         new: list[_Task] = []
         for waiter in waiting.pop(key, ()):
             remaining[waiter].discard(key)
@@ -758,43 +799,9 @@ def _cell_run(
 
 def metrics_rollup(profile: ExperimentProfile) -> dict:
     """Aggregate one experiment's simulation records into totals."""
-    totals = {
-        "sim_runs": 0,
-        "simulated_seconds": 0.0,
-        "cohort_regions": 0.0,
-        "des_regions": 0.0,
-        "closed_form_regions": 0.0,
-        "queue_solver_regions": 0.0,
-        "drained_grants": 0.0,
-        "stepped_grants": 0.0,
-        "region_wall_seconds": 0.0,
-        "serial_wall_seconds": 0.0,
-        "lock_wait_seconds": 0.0,
-        "lock_convoy_max": 0.0,
-    }
-    for rec in profile.metrics:
-        stats = rec.get("stats") or {}
-        totals["sim_runs"] += 1
-        totals["simulated_seconds"] += float(rec.get("seconds", 0.0))
-        totals["cohort_regions"] += stats.get("cohort_regions", 0.0)
-        totals["des_regions"] += stats.get("des_regions", 0.0)
-        totals["closed_form_regions"] += stats.get(
-            "closed_form_regions", 0.0)
-        totals["queue_solver_regions"] += stats.get(
-            "queue_solver_regions", 0.0)
-        totals["drained_grants"] += stats.get(
-            "cohort_drained_grants", 0.0)
-        totals["stepped_grants"] += stats.get(
-            "cohort_stepped_grants", 0.0)
-        totals["region_wall_seconds"] += stats.get(
-            "region_wall_seconds", 0.0)
-        totals["serial_wall_seconds"] += stats.get(
-            "serial_wall_seconds", 0.0)
-        totals["lock_wait_seconds"] += stats.get("lock_wait_time", 0.0)
-        convoy = stats.get("lock_convoy_max", 0.0)
-        if convoy > totals["lock_convoy_max"]:
-            totals["lock_convoy_max"] = convoy
-    return totals
+    from repro.obs.metrics import rollup_records
+
+    return rollup_records(profile.metrics)
 
 
 def metrics_to_dict(profiles: list[ExperimentProfile]) -> dict:

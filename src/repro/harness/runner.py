@@ -215,19 +215,23 @@ class BenchmarkData:
         entry = cache.get(key) if cache is not None else None
         if entry is not None:
             record = {
+                "key": key,
                 "kind": key_payload["kind"],
                 "machine": entry.get("machine", ""),
                 "job": entry.get("job", ""),
                 "seconds": float(entry["seconds"]),
+                "seed_offset": self.seed_offset,
                 "stats": entry.get("stats") or {},
             }
         else:
             result = run()
             record = {
+                "key": key,
                 "kind": key_payload["kind"],
                 "machine": result.machine,
                 "job": result.job,
                 "seconds": result.seconds,
+                "seed_offset": self.seed_offset,
                 "stats": dict(result.stats),
             }
             if cache is not None:

@@ -85,10 +85,39 @@ def result_from_dict(payload: dict) -> ExperimentResult:
     )
 
 
+def atomic_write_json(path: str, payload, *, indent: Optional[int] = 2,
+                      sort_keys: bool = False) -> None:
+    """Serialize ``payload`` to ``path`` via tempfile + ``os.replace``.
+
+    A crash (or a watchdog interrupt) mid-write must never leave a
+    truncated JSON file behind: the document is written to a temporary
+    file in the destination directory and moved into place atomically,
+    the same pattern :meth:`ResultCache.put` uses.  Unlike the cache's
+    best-effort writes, errors propagate -- the caller asked for this
+    file.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".write-", suffix=".tmp",
+                               dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=indent, sort_keys=sort_keys)
+        # mkstemp creates 0600; give the artifact normal umask perms
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp, 0o666 & ~umask)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def dump_results(results: Iterable[ExperimentResult], path: str) -> None:
-    """Write results as a JSON array."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump([result_to_dict(r) for r in results], fh, indent=2)
+    """Write results as a JSON array (atomically)."""
+    atomic_write_json(path, [result_to_dict(r) for r in results])
 
 
 def load_results(path: str) -> list[ExperimentResult]:
@@ -242,14 +271,22 @@ def _model_source_files(root: str) -> Iterator[str]:
     Exposed separately from the hashing so tests can assert that a
     given file *is* covered (e.g. the cohort compilers, whose output
     the DES path never checks at runtime).
+
+    The walk recurses into nested subpackages: a model package that
+    grows a subdirectory must feed the epoch hash too, or entries
+    cached before the subpackage changed would be trusted forever.
+    ``__pycache__`` trees are skipped.
     """
     for pkg in _MODEL_PACKAGES:
         pkg_dir = os.path.join(root, pkg)
         if not os.path.isdir(pkg_dir):
             continue
-        for name in sorted(os.listdir(pkg_dir)):
-            if name.endswith(".py"):
-                yield os.path.join(pkg_dir, name)
+        for dirpath, dirnames, filenames in os.walk(pkg_dir):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__")
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
 
 
 def _compute_epoch(root: str, version: str) -> str:
@@ -258,7 +295,11 @@ def _compute_epoch(root: str, version: str) -> str:
     h = hashlib.sha256()
     h.update(version.encode("utf-8"))
     for path in _model_source_files(root):
-        h.update(os.path.basename(path).encode("utf-8"))
+        # the package-relative path, not the basename: nested modules
+        # may share a basename, and moving a module between packages
+        # must change the epoch
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        h.update(rel.encode("utf-8"))
         with open(path, "rb") as fh:
             h.update(fh.read())
     return h.hexdigest()[:16]
@@ -355,6 +396,12 @@ class ResultCache:
         cache miss -- the caller transparently recomputes and the
         corrupt file is removed.  Entries written before checksums
         existed fail the check and are rebuilt the same way.
+
+        The entry's embedded ``key`` must also match the lookup key: a
+        cache file copied or renamed to another key's path carries a
+        checksum-consistent payload for the *wrong* simulation cell,
+        and serving it would silently corrupt results.  Mismatches are
+        treated exactly like corruption (discarded and counted).
         """
         path = self._path(key)
         corrupt = False
@@ -369,6 +416,7 @@ class ResultCache:
         else:
             if (not isinstance(payload, dict)
                     or payload.get("schema") != CACHE_SCHEMA_VERSION
+                    or payload.get("key") != key
                     or not isinstance(payload.get("seconds"),
                                       (int, float))
                     or payload.get("sha256")

@@ -132,3 +132,47 @@ def hist_fields(hist: dict[int, int],
                 prefix: str = "lock_convoy_hist_") -> dict[str, float]:
     """Flatten a depth histogram into float-valued stats keys."""
     return {f"{prefix}{b}": float(c) for b, c in sorted(hist.items())}
+
+
+# ----------------------------------------------------------------------
+# simulation-record rollups
+# ----------------------------------------------------------------------
+
+#: ``RunResult.stats`` keys summed by :func:`rollup_records`, mapped to
+#: their rollup field names.  ``lock_convoy_max`` is maxed, not summed.
+_SUMMED_STATS = (
+    ("cohort_regions", "cohort_regions"),
+    ("des_regions", "des_regions"),
+    ("closed_form_regions", "closed_form_regions"),
+    ("queue_solver_regions", "queue_solver_regions"),
+    ("cohort_drained_grants", "drained_grants"),
+    ("cohort_stepped_grants", "stepped_grants"),
+    ("region_wall_seconds", "region_wall_seconds"),
+    ("serial_wall_seconds", "serial_wall_seconds"),
+    ("lock_wait_time", "lock_wait_seconds"),
+)
+
+
+def rollup_records(records: Iterable[dict]) -> dict:
+    """Aggregate simulation records into engine-choice totals.
+
+    A *record* is one ``BenchmarkData.metrics_log`` entry
+    (kind/machine/job/seconds/stats).  One arithmetic serves every
+    consumer -- the ``repro all --metrics`` table, the per-experiment
+    rollups stored in ``report.json``, and the run manifest's
+    ``engine_stats`` -- so the stored trajectory and the live CLI can
+    never drift apart.
+    """
+    totals: dict = {"sim_runs": 0, "simulated_seconds": 0.0}
+    totals.update((out, 0.0) for _, out in _SUMMED_STATS)
+    totals["lock_convoy_max"] = 0.0
+    for rec in records:
+        stats = rec.get("stats") or {}
+        totals["sim_runs"] += 1
+        totals["simulated_seconds"] += float(rec.get("seconds", 0.0))
+        for key, out in _SUMMED_STATS:
+            totals[out] += stats.get(key, 0.0)
+        convoy = stats.get("lock_convoy_max", 0.0)
+        if convoy > totals["lock_convoy_max"]:
+            totals["lock_convoy_max"] = convoy
+    return totals

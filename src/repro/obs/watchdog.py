@@ -85,10 +85,25 @@ class RunWatchdog:
 
     @classmethod
     def from_env(cls, raw: str) -> "RunWatchdog":
-        """Parse ``soft[:hard]`` (the ``REPRO_RUN_TIMEOUT_S`` form)."""
+        """Parse ``soft[:hard]`` (the ``REPRO_RUN_TIMEOUT_S`` form).
+
+        Malformed values -- extra ``:`` parts, non-numeric fields --
+        raise :class:`ValueError` naming the env var instead of being
+        silently truncated or surfacing as a bare ``float()`` error: a
+        typo in a timeout must not run unguarded (or half-guarded).
+        """
         parts = raw.split(":")
-        soft = float(parts[0])
-        hard = float(parts[1]) if len(parts) > 1 else None
+        if len(parts) > 2:
+            raise ValueError(
+                f"{RUN_TIMEOUT_ENV} must be soft[:hard] seconds, "
+                f"got {raw!r} ({len(parts)} ':'-separated parts)")
+        try:
+            soft = float(parts[0])
+            hard = float(parts[1]) if len(parts) > 1 else None
+        except ValueError:
+            raise ValueError(
+                f"{RUN_TIMEOUT_ENV} must be soft[:hard] seconds, "
+                f"got non-numeric {raw!r}") from None
         return cls(soft_seconds=soft, hard_seconds=hard)
 
     # ------------------------------------------------------------------

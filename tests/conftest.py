@@ -1,0 +1,15 @@
+"""Suite-wide fixtures.
+
+CLI commands now persist run artifacts under ``./.repro_runs`` (see
+:mod:`repro.harness.rundir`); tests must never write those into the
+working tree, so every test gets its own throwaway run-directory root.
+Tests that exercise the run-artifact layer itself simply read
+``os.environ["REPRO_RUNS_DIR"]`` or point the fixture elsewhere.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "repro-runs"))

@@ -1,0 +1,222 @@
+"""Tests for the SQLite cross-run index (``repro runs ...``).
+
+The headline property: the index is *derived* from the run artifacts
+alone, so dropping it and re-indexing reproduces the incrementally
+maintained database row for row (``dump_rows`` equality).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness import index, rundir
+from repro.harness.rundir import RunWriter
+
+
+@pytest.fixture
+def runs_root(tmp_path, monkeypatch):
+    d = tmp_path / "runs"
+    monkeypatch.setenv(rundir.RUNS_DIR_ENV, str(d))
+    monkeypatch.delenv(rundir.NO_RUNS_ENV, raising=False)
+    return d
+
+
+def _make_run(command: str = "all", cells: int = 2,
+              rows: int = 0, exit_status: int = 0) -> RunWriter:
+    """One finished (and therefore live-indexed) synthetic run."""
+    writer = RunWriter(command, {"threat_scale": 0.02,
+                                 "terrain_scale": 0.05, "jobs": 1})
+    for n in range(cells):
+        writer.record("t", {
+            "kind": "mta", "machine": f"M{n}", "job": f"j{n}",
+            "seconds": 1.0 + n, "seed_offset": 0, "key": f"k{n}",
+            "stats": {"cohort_regions": float(n)}})
+    if rows:
+        from repro.harness.experiment import (
+            ExperimentResult,
+            Row,
+            ShapeCheck,
+        )
+
+        writer.write_report(results=[ExperimentResult(
+            "tableX", "T",
+            rows=tuple(Row(f"r{n}", float(n), 1.5 * (n + 1))
+                       for n in range(rows)),
+            checks=(ShapeCheck("holds", True),))])
+    writer.exit_status = exit_status
+    writer.finish()
+    return writer
+
+
+# ----------------------------------------------------------------------
+# losslessness
+# ----------------------------------------------------------------------
+
+def test_reindex_is_row_identical_to_live_index(runs_root):
+    for command, cells, rows in (("all", 3, 4), ("bench", 2, 0),
+                                 ("chaos", 1, 0)):
+        _make_run(command, cells=cells, rows=rows)
+
+    conn = index.connect()
+    live = index.dump_rows(conn)
+    conn.close()
+    assert len(live["runs"]) == 3
+    assert len(live["cells"]) == 6
+    assert len(live["rows"]) == 4
+
+    n_runs, n_cells = index.reindex()
+    assert (n_runs, n_cells) == (3, 6)
+    conn = index.connect()
+    rebuilt = index.dump_rows(conn)
+    conn.close()
+    assert rebuilt == live
+
+    # even from a deleted database (fresh clone of the artifacts)
+    os.remove(index.db_path())
+    index.reindex()
+    conn = index.connect()
+    assert index.dump_rows(conn) == live
+    conn.close()
+
+
+def test_torn_final_jsonl_line_is_tolerated(runs_root):
+    writer = _make_run(cells=2)
+    with open(os.path.join(writer.directory, "cells.jsonl"), "a",
+              encoding="utf-8") as fh:
+        fh.write('{"seq": 2, "cell": "half-writ')   # crashed mid-line
+    index.reindex()
+    conn = index.connect()
+    (n,) = conn.execute("SELECT COUNT(*) FROM cells").fetchone()
+    conn.close()
+    assert n == 2                      # intact lines survive
+
+
+# ----------------------------------------------------------------------
+# queries
+# ----------------------------------------------------------------------
+
+def test_resolve_run_prefix_and_ambiguity(runs_root):
+    a = _make_run()
+    b = _make_run()
+    conn = index.connect()
+    try:
+        assert index.resolve_run(conn, a.run_id) == a.run_id
+        # the full stamp-pid-hex id is unique at any distinguishing
+        # prefix; the shared stamp prefix is ambiguous
+        assert index.resolve_run(conn, a.run_id[:-2]) == a.run_id
+        with pytest.raises(KeyError, match="ambiguous"):
+            index.resolve_run(conn, a.run_id[:8])
+        with pytest.raises(KeyError, match="no indexed run"):
+            index.resolve_run(conn, "nope")
+    finally:
+        conn.close()
+
+
+def test_query_cells_shape_and_matching(runs_root):
+    _make_run(cells=3)
+    conn = index.connect()
+    try:
+        records = index.query_cells(conn)
+        assert len(records) == 3
+        assert set(records[0]) == {
+            "run_id", "started", "git_rev", "command", "cell", "kind",
+            "seconds", "seed_offset", "stats"}
+        assert records[0]["stats"] == {"cohort_regions": 0.0}
+        assert [r["seconds"] for r in records] == [1.0, 2.0, 3.0]
+
+        # exact cell-id match
+        assert [r["cell"] for r in
+                index.query_cells(conn, cell="m1/j1")] == ["m1/j1"]
+        # substring fallback when no exact match exists
+        subs = index.query_cells(conn, cell="j1")
+        assert [r["cell"] for r in subs] == ["m1/j1"]
+        assert index.query_cells(conn, cell="zzz") == []
+        assert len(index.query_cells(conn, limit=2)) == 2
+    finally:
+        conn.close()
+
+
+def test_diff_runs_identical_and_changed(runs_root):
+    a = _make_run(rows=3)
+    b = _make_run(rows=3)
+    conn = index.connect()
+    try:
+        diff = index.diff_runs(conn, a.run_id, b.run_id)
+        assert diff["common"] == 3
+        assert not (diff["changed"] or diff["only_a"]
+                    or diff["only_b"])
+
+        # perturb one of b's stored rows and re-diff
+        conn.execute(
+            "UPDATE rows SET simulated = simulated * 1.5 "
+            "WHERE run_id = ? AND label = 'r1'", (b.run_id,))
+        diff = index.diff_runs(conn, a.run_id, b.run_id)
+        assert [key for key, _, _ in diff["changed"]] \
+            == [("tableX", "r1")]
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# CLI round trip (the satellite smoke: list -> show -> reindex -> diff)
+# ----------------------------------------------------------------------
+
+def test_runs_cli_round_trip(runs_root, capsys):
+    a = _make_run(rows=2)
+    b = _make_run(rows=2)
+
+    assert main(["runs", "list"]) == 0
+    out = capsys.readouterr().out
+    assert a.run_id in out and b.run_id in out and "1/1" in out
+
+    assert main(["runs", "show", a.run_id]) == 0
+    out = capsys.readouterr().out
+    assert a.run_id in out and "checks:" in out and "m0/j0" in out
+
+    assert main(["runs", "reindex"]) == 0
+    assert "reindexed 2 runs" in capsys.readouterr().out
+
+    assert main(["runs", "diff", a.run_id, b.run_id]) == 0  # identical
+    assert "0 changed" in capsys.readouterr().out
+
+    assert main(["runs", "query", "--cell", "m0/j0", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cell"] == "m0/j0"
+    assert [r["run_id"] for r in payload["records"]] \
+        == sorted([a.run_id, b.run_id])
+
+    assert main(["runs", "show", "zzz"]) == 2
+    assert "no indexed run" in capsys.readouterr().err
+    assert main(["runs", "diff", a.run_id, "zzz"]) == 2
+
+
+def test_missing_database_is_rebuilt_on_first_query(runs_root, capsys):
+    writer = _make_run()
+    os.remove(index.db_path())
+    assert main(["runs", "list"]) == 0
+    assert writer.run_id in capsys.readouterr().out
+
+
+def test_cli_end_to_end_writes_and_indexes_artifacts(runs_root, capsys):
+    """Acceptance: a real ``repro all`` leaves all three artifacts and
+    the index answers for it."""
+    assert main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                 "all", "-j", "1"]) == 0
+    capsys.readouterr()
+
+    (run_dir,) = index.run_dirs()
+    for artifact in ("manifest.json", "cells.jsonl", "report.json"):
+        assert os.path.exists(os.path.join(run_dir, artifact))
+    with open(os.path.join(run_dir, "manifest.json")) as fh:
+        manifest = json.load(fh)
+    assert manifest["status"] == "ok" and manifest["n_cells"] > 0
+    assert manifest["report"]["checks_total"] > 0
+
+    assert main(["runs", "list"]) == 0
+    assert manifest["run_id"] in capsys.readouterr().out
+    assert main(["runs", "query", "-n", "3"]) == 0
+    assert len(capsys.readouterr().out.strip().splitlines()) == 5

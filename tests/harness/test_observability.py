@@ -73,6 +73,50 @@ def test_adding_a_file_to_a_covered_package_changes_the_epoch(tmp_path):
     assert _compute_epoch(str(root), "") != before
 
 
+def test_nested_subpackage_module_changes_the_epoch(tmp_path):
+    """Regression: the source walk only listdir'd each package's top
+    level, so a model package growing a subpackage (``des/engines/``)
+    would change outcomes without ever invalidating cached entries."""
+    root = tmp_path / "repro"
+    (root / "des").mkdir(parents=True)
+    (root / "des" / "batch.py").write_text("x = 1\n")
+    before = _compute_epoch(str(root), "")
+
+    sub = root / "des" / "engines"
+    sub.mkdir()
+    (sub / "fast.py").write_text("y = 2\n")
+    assert _compute_epoch(str(root), "") != before
+    planted = str(sub / "fast.py")
+    assert planted in set(_model_source_files(str(root)))
+
+    # editing the nested module moves the epoch again
+    mid = _compute_epoch(str(root), "")
+    (sub / "fast.py").write_text("y = 3\n")
+    after = _compute_epoch(str(root), "")
+    assert after != mid
+
+    # __pycache__ trees stay invisible
+    pyc = root / "des" / "__pycache__"
+    pyc.mkdir()
+    (pyc / "batch.cpython-311.py").write_text("compiled\n")
+    assert _compute_epoch(str(root), "") == after
+    assert not any("__pycache__" in p
+                   for p in _model_source_files(str(root)))
+
+
+def test_nested_modules_with_shared_basenames_are_distinct(tmp_path):
+    """Two trees whose files differ only in *path* must not collide:
+    the epoch hashes package-relative paths, not basenames."""
+    a = tmp_path / "a" / "repro"
+    b = tmp_path / "b" / "repro"
+    for root, pkg in ((a, "des"), (b, "des")):
+        (root / pkg).mkdir(parents=True)
+    (a / "des" / "util.py").write_text("same\n")
+    (b / "des" / "deep").mkdir()
+    (b / "des" / "deep" / "util.py").write_text("same\n")
+    assert _compute_epoch(str(a), "") != _compute_epoch(str(b), "")
+
+
 # ----------------------------------------------------------------------
 # cache scopes: exact per-task hit/miss attribution
 # ----------------------------------------------------------------------

@@ -148,6 +148,34 @@ def test_corrupt_entries_discarded_not_crashed(cache_dir, garbage):
     assert payload["seconds"] == reference   # entry rebuilt intact
 
 
+def test_entry_copied_to_wrong_key_is_discarded(cache_dir):
+    """A checksum-valid entry under the wrong key must not be served.
+
+    The payload checksum only proves the file is internally
+    consistent; a cache file copied or renamed onto another key's path
+    (rsync mishap, hand-managed cache dirs) would otherwise return the
+    wrong simulation's seconds with a perfectly valid checksum.
+    """
+    small = _run(_data())
+    large = _run(_data(threat_scale=0.015))
+    assert small != large
+    entry_a, entry_b = _entries(cache_dir)
+    # clobber B's entry with A's (checksum still valid, key embedded
+    # inside now disagrees with the filename-derived lookup key)
+    payload_a = (cache_dir / entry_a).read_text(encoding="utf-8")
+    (cache_dir / entry_b).write_text(payload_a, encoding="utf-8")
+
+    cache = store.ResultCache(str(cache_dir))
+    key_b = entry_b[:-len(".json")]
+    assert cache.get(key_b) is None          # mismatch = miss
+    assert cache.corrupt == 1                # ... and counted
+    assert not (cache_dir / entry_b).exists()  # ... and discarded
+
+    # end to end: both runs still resolve to their correct values
+    assert _run(_data()) == small
+    assert _run(_data(threat_scale=0.015)) == large
+
+
 # ----------------------------------------------------------------------
 # multi-process sharing
 # ----------------------------------------------------------------------

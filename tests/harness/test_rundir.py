@@ -1,0 +1,215 @@
+"""Tests for the durable run-artifact layer (``.repro_runs``).
+
+The contract under test: every CLI invocation leaves a run directory
+with an atomically finalized ``manifest.json``, a ``cells.jsonl``
+streamed as results land, and a machine-readable ``report.json``;
+concurrent runs never collide; disabling via ``REPRO_NO_RUNS`` is a
+true no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.harness import rundir
+from repro.harness.rundir import RunWriter, cell_id, run_scope, slug
+
+
+@pytest.fixture
+def runs_root(tmp_path, monkeypatch):
+    d = tmp_path / "runs"
+    monkeypatch.setenv(rundir.RUNS_DIR_ENV, str(d))
+    monkeypatch.delenv(rundir.NO_RUNS_ENV, raising=False)
+    return d
+
+
+def _manifest(writer: RunWriter) -> dict:
+    with open(os.path.join(writer.directory, "manifest.json"),
+              encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _cells(writer: RunWriter) -> list[dict]:
+    path = os.path.join(writer.directory, "cells.jsonl")
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+REC = {"kind": "mta", "machine": "Tera MTA[2p]",
+       "job": "threat-chunked-256", "seconds": 12.5, "seed_offset": 1,
+       "key": "k1", "stats": {"cohort_regions": 3.0}}
+
+
+# ----------------------------------------------------------------------
+# identifiers
+# ----------------------------------------------------------------------
+
+def test_slug_and_cell_id():
+    assert slug("HP Exemplar S-Class[16p]") == "hp-exemplar-s-class-16p"
+    assert slug("  weird--__stuff  ") == "weird-stuff"
+    assert (cell_id("Tera MTA[2p]", "threat-chunked-256")
+            == "tera-mta-2p/threat-chunked-256")
+
+
+# ----------------------------------------------------------------------
+# manifest lifecycle
+# ----------------------------------------------------------------------
+
+def test_manifest_round_trip(runs_root):
+    writer = RunWriter("all", {"threat_scale": 0.01, "jobs": 2},
+                       argv=["all", "-j", "2"])
+    m = _manifest(writer)          # readable while still running
+    assert m["status"] == "running"
+    assert m["finished"] is None and m["duration_s"] is None
+
+    writer.record("table5", dict(REC))
+    writer.exit_status = 0
+    writer.finish()
+    m = _manifest(writer)
+    assert m["schema"] == rundir.MANIFEST_SCHEMA
+    assert m["run_id"] == writer.run_id
+    assert m["command"] == "all"
+    assert m["argv"] == ["all", "-j", "2"]
+    assert m["flags"] == {"threat_scale": 0.01, "jobs": 2}
+    assert m["status"] == "ok" and m["exit_status"] == 0
+    assert m["finished"] is not None and m["duration_s"] >= 0
+    assert m["machines"] == ["Tera MTA[2p]"]
+    assert m["workloads"] == ["threat-chunked-256"]
+    assert m["seed_offsets"] == [1]
+    assert m["n_cells"] == 1
+    assert m["engine_stats"]["sim_runs"] == 1
+    assert m["engine_stats"]["cohort_regions"] == 3.0
+    assert m["model_epoch"]            # non-empty hash
+
+
+def test_finish_is_idempotent_and_maps_exit_status(runs_root):
+    writer = RunWriter("bench")
+    writer.exit_status = 1
+    assert writer.finish() == writer.finish()  # same dir, once
+    assert _manifest(writer)["status"] == "failed"
+
+
+# ----------------------------------------------------------------------
+# cells.jsonl streaming + dedupe
+# ----------------------------------------------------------------------
+
+def test_cells_stream_as_they_land_and_dedupe_on_key(runs_root):
+    writer = RunWriter("all")
+    writer.record("table5", dict(REC))
+    # visible on disk *before* finish: an interrupted run keeps them
+    (line,) = _cells(writer)
+    assert line["cell"] == "tera-mta-2p/threat-chunked-256"
+    assert line["seq"] == 0 and line["source"] == "table5"
+    assert line["stats"] == {"cohort_regions": 3.0}
+
+    # same cache key again (a replay re-reporting a worker's cell)
+    writer.cell_sink("table6", [dict(REC)])
+    assert len(_cells(writer)) == 1
+    # no key = always written (bench rows, chaos entries)
+    writer.record("bench", {"cell": "row-a", "kind": "bench",
+                            "seconds": 1.0})
+    writer.record("bench", {"cell": "row-a", "kind": "bench",
+                            "seconds": 1.0})
+    writer.finish()
+    assert [c["seq"] for c in _cells(writer)] == [0, 1, 2]
+    assert _manifest(writer)["n_cells"] == 3
+
+
+# ----------------------------------------------------------------------
+# report.json
+# ----------------------------------------------------------------------
+
+def test_write_report_payload_and_summary(runs_root):
+    from repro.harness.experiment import ExperimentResult, Row, ShapeCheck
+
+    result = ExperimentResult(
+        "tableX", "T", rows=(Row("r", 1.0, 1.05),),
+        checks=(ShapeCheck("holds", True), ShapeCheck("breaks", False)))
+    writer = RunWriter("all")
+    writer.write_report(results=[result], payload={"extra": 1})
+    writer.finish()
+    with open(os.path.join(writer.directory, "report.json"),
+              encoding="utf-8") as fh:
+        report = json.load(fh)
+    assert report["schema"] == rundir.REPORT_SCHEMA
+    assert report["run_id"] == writer.run_id
+    assert report["results"][0]["experiment_id"] == "tableX"
+    assert report["payload"] == {"extra": 1}
+    # the manifest carries the check summary for cheap listing
+    assert _manifest(writer)["report"] == {
+        "experiments": 1, "checks_passed": 1, "checks_total": 2}
+
+
+# ----------------------------------------------------------------------
+# run_scope
+# ----------------------------------------------------------------------
+
+def test_run_scope_finalizes_on_success_and_error(runs_root):
+    with run_scope("all", {"jobs": 1}) as run:
+        run.exit_status = 0
+    assert _manifest(run)["status"] == "ok"
+
+    with pytest.raises(RuntimeError):
+        with run_scope("all") as run:
+            raise RuntimeError("boom")
+    assert _manifest(run)["status"] == "error"
+
+
+def test_run_scope_disabled_is_a_no_op(runs_root, monkeypatch):
+    monkeypatch.setenv(rundir.NO_RUNS_ENV, "1")
+    with run_scope("all") as run:
+        assert run is None
+    assert not runs_root.exists()
+
+
+# ----------------------------------------------------------------------
+# concurrency
+# ----------------------------------------------------------------------
+
+def test_concurrent_writers_get_distinct_directories(runs_root):
+    def make(n: int) -> str:
+        writer = RunWriter("all", {"n": n})
+        writer.record("t", {"cell": f"c{n}", "seconds": float(n)})
+        writer.exit_status = 0
+        writer.finish()
+        return writer.directory
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        dirs = list(pool.map(make, range(8)))
+    assert len(set(dirs)) == 8
+    for d in dirs:
+        with open(os.path.join(d, "manifest.json")) as fh:
+            assert json.load(fh)["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# end to end through the scheduler
+# ----------------------------------------------------------------------
+
+def test_run_experiments_streams_cells_through_sink(runs_root):
+    from repro.harness.parallel import run_experiments
+    from repro.harness.runner import BenchmarkData
+
+    data = BenchmarkData(threat_scale=0.01, terrain_scale=0.03)
+    writer = RunWriter("all", {"jobs": 1})
+    results, profiles = run_experiments(
+        ["table2"], jobs=1, data=data,
+        threat_scale=0.01, terrain_scale=0.03,
+        cell_sink=writer.cell_sink)
+    writer.exit_status = 0
+    writer.finish()
+
+    cells = _cells(writer)
+    assert cells                       # table2 simulates machines
+    assert all(c["source"] == "table2" for c in cells)
+    assert all("/" in c["cell"] for c in cells)
+    m = _manifest(writer)
+    assert m["n_cells"] == len(cells)
+    assert m["engine_stats"]["sim_runs"] == len(cells)
+    assert m["machines"] and m["workloads"]

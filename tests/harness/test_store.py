@@ -55,6 +55,34 @@ def test_load_rejects_non_array(tmp_path):
         load_results(str(path))
 
 
+def test_dump_is_atomic_on_serialization_failure(tmp_path):
+    """Regression: ``dump_results`` used to ``open(path, "w")``
+    directly, so a mid-write failure (unserializable payload, watchdog
+    interrupt) truncated a good file in place.  The tempfile +
+    ``os.replace`` path must leave the destination untouched."""
+    from repro.harness.store import atomic_write_json
+
+    path = tmp_path / "out.json"
+    atomic_write_json(str(path), {"good": 1})
+    with pytest.raises(TypeError):
+        atomic_write_json(str(path), {"bad": object()})
+    # the previous contents survive intact ...
+    with open(path) as fh:
+        assert json.load(fh) == {"good": 1}
+    # ... and no temp litter is left behind
+    assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+def test_atomic_write_to_fresh_path_never_exposes_partial(tmp_path):
+    from repro.harness.store import atomic_write_json
+
+    path = tmp_path / "fresh.json"
+    with pytest.raises(TypeError):
+        atomic_write_json(str(path), {"bad": {1, 2}})
+    assert not path.exists()
+    assert list(tmp_path.iterdir()) == []
+
+
 def test_cli_json_output(tmp_path):
     from repro.__main__ import main
     out = str(tmp_path / "out.json")

@@ -246,6 +246,16 @@ def test_run_watchdog_from_env_and_validation():
     soft_only = RunWatchdog.from_env("45")
     assert soft_only.hard_seconds is None
 
+    # regression: malformed values used to be half-parsed (extra ':'
+    # parts silently dropped, non-numeric parts raised a bare
+    # ValueError from float()); both must fail naming the env var
+    for malformed in ("30:120:500", "::", "1:2:3:4"):
+        with pytest.raises(ValueError, match="REPRO_RUN_TIMEOUT_S"):
+            RunWatchdog.from_env(malformed)
+    for non_numeric in ("fast", "30:slow", "", ":", "30:"):
+        with pytest.raises(ValueError, match="REPRO_RUN_TIMEOUT_S"):
+            RunWatchdog.from_env(non_numeric)
+
     with pytest.raises(ValueError):
         RunWatchdog(soft_seconds=0)
     with pytest.raises(ValueError):
