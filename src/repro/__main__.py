@@ -24,6 +24,8 @@ Usage::
     python -m repro runs diff <run-a> <run-b>
     python -m repro runs query --cell exemplar16 --since <rev>
     python -m repro runs reindex              # rebuild index from artifacts
+    python -m repro serve --port 0            # simulation job server (NDJSON/TCP)
+    python -m repro load --connect HOST:PORT --json BENCH_service.json
 
 Options::
 
@@ -184,6 +186,51 @@ def _build_parser() -> argparse.ArgumentParser:
     runs_sub.add_parser(
         "reindex", help="rebuild the SQLite index from the artifacts "
                         "(lossless)")
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the simulation job server (newline-delimited JSON "
+             "over TCP; dedupes and batches requests through the "
+             "result cache and the cell scheduler)")
+    serve_p.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=0, metavar="PORT",
+                         help="bind port; 0 picks an ephemeral port and "
+                              "prints it on stdout before accepting "
+                              "connections (default 0)")
+    serve_p.add_argument("--jobs", "-j", type=int, default=1,
+                         metavar="N",
+                         help="worker processes per engine batch "
+                              "(default 1: in-process)")
+    serve_p.add_argument("--batch-window", type=float, default=0.05,
+                         metavar="S",
+                         help="seconds to let concurrent requests "
+                              "coalesce into one engine batch "
+                              "(default 0.05)")
+    serve_p.add_argument("--max-batch", type=int, default=64,
+                         metavar="N",
+                         help="cells per engine batch (default 64)")
+    load_p = sub.add_parser(
+        "load",
+        help="drive a running 'repro serve' with seeded factorial "
+             "load tables and publish throughput/latency quantiles")
+    load_p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="server address, e.g. 127.0.0.1:7341")
+    load_p.add_argument("--mix", default="hot,scan", metavar="MIXES",
+                        help="comma-separated request mixes "
+                             "(hot, scan, stats; default hot,scan)")
+    load_p.add_argument("--concurrency", default="1,4", metavar="LIST",
+                        help="comma-separated worker counts "
+                             "(default 1,4)")
+    load_p.add_argument("--duration", type=float, default=2.0,
+                        metavar="S",
+                        help="seconds per factor cell (default 2)")
+    load_p.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="request-stream seed (default 0)")
+    load_p.add_argument("--no-warm", action="store_true",
+                        help="skip the untimed cache-warming pass")
+    load_p.add_argument("--json", metavar="PATH", default=None,
+                        help="write the benchmark payload "
+                             "(BENCH_service.json) here")
     return parser
 
 
@@ -338,6 +385,84 @@ def _cmd_feedback() -> int:
     return 0
 
 
+def _cmd_serve(args, argv) -> int:
+    import asyncio
+
+    from repro.harness.rundir import (
+        RunsRootError,
+        ensure_runs_root,
+        run_scope,
+    )
+    from repro.service.server import serve
+
+    try:
+        # fail *before* the socket opens on an unwritable runs root
+        ensure_runs_root()
+    except RunsRootError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    flags = {"threat_scale": args.threat_scale,
+             "terrain_scale": args.terrain_scale,
+             "host": args.host, "port": args.port, "jobs": args.jobs,
+             "batch_window": args.batch_window,
+             "max_batch": args.max_batch}
+    with run_scope("serve", flags, argv=argv) as run:
+        status = asyncio.run(serve(
+            host=args.host, port=args.port,
+            threat_scale=args.threat_scale,
+            terrain_scale=args.terrain_scale, jobs=args.jobs,
+            batch_window=args.batch_window, max_batch=args.max_batch,
+            run=run))
+        if run is not None:
+            run.exit_status = status
+    return status
+
+
+def _cmd_load(args) -> int:
+    import asyncio
+
+    from repro.service.loadgen import render_payload, run_load
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"load: --connect must be HOST:PORT, got "
+              f"{args.connect!r}", file=sys.stderr)
+        return 2
+    mixes = [m.strip() for m in args.mix.split(",") if m.strip()]
+    try:
+        concurrencies = [int(c) for c in args.concurrency.split(",")
+                         if c.strip()]
+    except ValueError:
+        print(f"load: --concurrency must be comma-separated integers, "
+              f"got {args.concurrency!r}", file=sys.stderr)
+        return 2
+    if not mixes or not concurrencies \
+            or any(c < 1 for c in concurrencies):
+        print("load: need at least one mix and positive concurrency",
+              file=sys.stderr)
+        return 2
+    try:
+        payload = asyncio.run(run_load(
+            host, int(port_text), mixes=mixes,
+            concurrencies=concurrencies, duration=args.duration,
+            seed=args.seed, warm=not args.no_warm))
+    except ValueError as exc:
+        print(f"load: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"load: cannot reach {args.connect}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(render_payload(payload))
+    if args.json is not None:
+        from repro.harness.store import atomic_write_json
+
+        atomic_write_json(args.json, payload, sort_keys=True)
+        print(f"wrote {args.json}")
+    failures = sum(c["errors"] for c in payload["factor_cells"])
+    return 1 if failures else 0
+
+
 def _cmd_runs(args) -> int:
     from repro.harness import index
 
@@ -365,6 +490,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache(args.action)
     if args.command == "runs":
         return _cmd_runs(args)
+    if args.command == "serve":
+        return _cmd_serve(args, argv)
+    if args.command == "load":
+        return _cmd_load(args)
 
     from repro.harness.rundir import run_scope
 

@@ -371,6 +371,107 @@ def _run_cell(cell: dict, threat_scale: float, terrain_scale: float,
 CellSink = Callable[[str, Sequence[dict]], None]
 
 
+def run_cells(
+    cells: Sequence[dict],
+    *,
+    threat_scale: float,
+    terrain_scale: float,
+    jobs: int = 1,
+    on_record: Optional[Callable[[dict], None]] = None,
+    trim_logs: bool = False,
+) -> dict[str, dict]:
+    """Execute transportable simulation cells, deduped against the cache.
+
+    The service batcher's engine entry point (and usable by any caller
+    holding cell descriptors of the :class:`_PlanningData` shape:
+    ``key``/``kind``/``spec``/``job_recipe``/``slices_per_phase``/
+    ``exploit_fine_grained``/``seed_offset``/``unit``/``weight``).
+    Cells are deduplicated by content-addressed ``key`` among
+    themselves and against the persistent cache; the remainder run
+    largest-first -- in this process with ``jobs <= 1``, otherwise
+    fanned over the crash-salvaging pool exactly like a ``repro all -j``
+    run (the pool path requires an active cache to transport results,
+    and falls back to in-process execution without one).
+
+    Returns ``{key: record}`` with one simulation record per distinct
+    key.  ``on_record`` is additionally called with each record as it
+    lands (cache hits first), in the scheduling process -- the hook the
+    asyncio service uses to stream results before the whole batch has
+    finished.
+
+    ``trim_logs=True`` truncates the process-wide ``metrics_log`` after
+    each in-process cell: a long-running service executes cells forever
+    in one process, and the log (an append-only list meant to span one
+    CLI invocation) would otherwise grow without bound.  Leave it off
+    when anything else in the process profiles simulations.
+    """
+    records: dict[str, dict] = {}
+    todo: dict[str, dict] = {}
+    cache = store.active_cache()
+    for cell in cells:
+        key = cell["key"]
+        if key in records or key in todo:
+            continue
+        entry = cache.get(key) if cache is not None else None
+        if entry is not None:
+            records[key] = store.entry_to_record(
+                key, entry, cell["seed_offset"], kind=cell["kind"])
+        else:
+            todo[key] = cell
+    if on_record is not None:
+        for record in records.values():
+            on_record(record)
+    if not todo:
+        return records
+
+    def settle(key: str, record: dict) -> None:
+        records[key] = record
+        if on_record is not None:
+            on_record(record)
+
+    order = sorted(todo.values(), key=lambda c: c["weight"],
+                   reverse=True)
+    if jobs > 1 and cache is not None:
+        tasks = [_Task("cell:" + c["key"], c["unit"], _run_cell, c)
+                 for c in order]
+
+        def on_result(tid: str, value) -> list[_Task]:
+            record = value.get("record")
+            if record is not None:
+                settle(tid[len("cell:"):], record)
+            return []
+
+        _pool_schedule(tasks, threat_scale, terrain_scale,
+                       min(jobs, len(tasks)), on_result=on_result)
+        # a worker whose record went missing (it only happens if the
+        # cell's _simulate was memo-elided) still published through
+        # the cache -- recover rather than drop the subscriber
+        for key, cell in todo.items():
+            if key not in records:
+                entry = cache.get(key)
+                if entry is None:
+                    raise WorkerError(
+                        cell["unit"],
+                        f"cell {key} produced no record and no cache "
+                        f"entry")
+                settle(key, store.entry_to_record(
+                    key, entry, cell["seed_offset"], kind=cell["kind"]))
+    else:
+        for cell in order:
+            value = _run_cell(cell, threat_scale, terrain_scale)
+            record = value["record"]
+            if record is None:  # pragma: no cover -- memo-elided
+                raise WorkerError(
+                    cell["unit"],
+                    f"cell {cell['key']} produced no record")
+            settle(cell["key"], record)
+            if trim_logs:
+                data = default_data(threat_scale, terrain_scale) \
+                    .with_seed_offset(cell["seed_offset"])
+                del data.metrics_log[:]
+    return records
+
+
 def run_experiments(
     experiment_ids: Optional[Iterable[str]] = None,
     *,

@@ -43,6 +43,7 @@ from contextlib import contextmanager
 from typing import IO, Iterator, Optional, Sequence
 
 from repro.harness.store import atomic_write_json, model_epoch
+from repro.obs.metrics import new_rollup, rollup_add
 
 #: overrides the run-directory root (default ``./.repro_runs``)
 RUNS_DIR_ENV = "REPRO_RUNS_DIR"
@@ -66,6 +67,37 @@ def runs_root() -> str:
 
 def runs_enabled() -> bool:
     return os.environ.get(NO_RUNS_ENV, "") in ("", "0")
+
+
+class RunsRootError(RuntimeError):
+    """The configured run-artifact root cannot be written."""
+
+
+def ensure_runs_root() -> Optional[str]:
+    """Create the run-directory root and prove it writable.
+
+    Long-running commands (the job server) must fail *at startup* with
+    an actionable message, not on their first request hours later.
+    Returns the root (``None`` with ``REPRO_NO_RUNS`` set); raises
+    :class:`RunsRootError` naming ``REPRO_RUNS_DIR`` when the root
+    cannot be created or written.
+    """
+    if not runs_enabled():
+        return None
+    root = runs_root()
+    try:
+        os.makedirs(root, exist_ok=True)
+        probe = os.path.join(root, f".probe-{os.getpid()}-"
+                                   f"{uuid.uuid4().hex[:8]}")
+        with open(probe, "w"):
+            pass
+        os.remove(probe)
+    except OSError as exc:
+        raise RunsRootError(
+            f"run-artifact root {root!r} is not writable ({exc}); "
+            f"point {RUNS_DIR_ENV} at a writable directory or disable "
+            f"run artifacts with {NO_RUNS_ENV}=1") from exc
+    return root
 
 
 def _utc(ts: float) -> str:
@@ -135,7 +167,10 @@ class RunWriter:
         self._machines: set[str] = set()
         self._workloads: set[str] = set()
         self._seed_offsets: set[int] = set()
-        self._cell_records: list[dict] = []
+        # running engine-stats rollup, folded record by record: a
+        # service session streams unbounded cells, so the writer must
+        # never retain the records themselves
+        self._engine_stats = new_rollup()
         self._report_summary: Optional[dict] = None
 
         stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(self.started))
@@ -155,8 +190,6 @@ class RunWriter:
     # ------------------------------------------------------------------
     def _manifest(self, status: str, finished: Optional[float] = None,
                   ) -> dict:
-        from repro.obs.metrics import rollup_records
-
         manifest = {
             "schema": MANIFEST_SCHEMA,
             "run_id": self.run_id,
@@ -176,7 +209,7 @@ class RunWriter:
             "workloads": sorted(self._workloads),
             "seed_offsets": sorted(self._seed_offsets),
             "n_cells": self._n_cells,
-            "engine_stats": rollup_records(self._cell_records),
+            "engine_stats": dict(self._engine_stats),
         }
         if self._report_summary is not None:
             manifest["report"] = self._report_summary
@@ -233,7 +266,7 @@ class RunWriter:
         if job:
             self._workloads.add(job)
         self._seed_offsets.add(int(rec.get("seed_offset", 0)))
-        self._cell_records.append(rec)
+        rollup_add(self._engine_stats, rec)
 
     def cell_sink(self, experiment_id: str,
                   records: Sequence[dict]) -> None:

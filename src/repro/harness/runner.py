@@ -214,15 +214,8 @@ class BenchmarkData:
         cache = store.active_cache() if active_tracer() is None else None
         entry = cache.get(key) if cache is not None else None
         if entry is not None:
-            record = {
-                "key": key,
-                "kind": key_payload["kind"],
-                "machine": entry.get("machine", ""),
-                "job": entry.get("job", ""),
-                "seconds": float(entry["seconds"]),
-                "seed_offset": self.seed_offset,
-                "stats": entry.get("stats") or {},
-            }
+            record = store.entry_to_record(
+                key, entry, self.seed_offset, kind=key_payload["kind"])
         else:
             result = run()
             record = {

@@ -136,6 +136,31 @@ def load_results(path: str) -> list[ExperimentResult]:
 #: bumped on any change to the cache entry layout
 CACHE_SCHEMA_VERSION = 1
 
+
+def entry_to_record(key: str, entry: dict, seed_offset: int,
+                    kind: Optional[str] = None) -> dict:
+    """A simulation *record* rebuilt from a cache entry.
+
+    Records (``BenchmarkData.metrics_log`` entries -- key/kind/machine/
+    job/seconds/seed_offset/stats) are the currency of the metrics
+    rollups, the run directory's ``cells.jsonl`` and the service's
+    per-cell result stream.  Three consumers reconstruct them from
+    cache entries (the runner's hit path, the parallel harness's cell
+    dedupe, the service batcher); one constructor keeps their shape
+    identical.  ``kind`` overrides the entry's stored kind (the runner
+    passes the request's, which always matches what :meth:`ResultCache.put`
+    embedded).
+    """
+    return {
+        "key": key,
+        "kind": kind if kind is not None else entry.get("kind", ""),
+        "machine": entry.get("machine", ""),
+        "job": entry.get("job", ""),
+        "seconds": float(entry["seconds"]),
+        "seed_offset": seed_offset,
+        "stats": entry.get("stats") or {},
+    }
+
 #: set (non-empty, not "0") to bypass the cache entirely
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 

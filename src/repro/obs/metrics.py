@@ -153,6 +153,33 @@ _SUMMED_STATS = (
 )
 
 
+def new_rollup() -> dict:
+    """A zeroed engine-choice totals dict (see :func:`rollup_add`)."""
+    totals: dict = {"sim_runs": 0, "simulated_seconds": 0.0}
+    totals.update((out, 0.0) for _, out in _SUMMED_STATS)
+    totals["lock_convoy_max"] = 0.0
+    return totals
+
+
+def rollup_add(totals: dict, rec: dict) -> dict:
+    """Fold one simulation record into ``totals`` (in place).
+
+    Exposed separately from :func:`rollup_records` so long-lived
+    consumers -- the run-directory writer under a service session that
+    streams millions of cells -- can keep a running rollup instead of
+    retaining every record in memory.
+    """
+    stats = rec.get("stats") or {}
+    totals["sim_runs"] += 1
+    totals["simulated_seconds"] += float(rec.get("seconds") or 0.0)
+    for key, out in _SUMMED_STATS:
+        totals[out] += stats.get(key, 0.0)
+    convoy = stats.get("lock_convoy_max", 0.0)
+    if convoy > totals["lock_convoy_max"]:
+        totals["lock_convoy_max"] = convoy
+    return totals
+
+
 def rollup_records(records: Iterable[dict]) -> dict:
     """Aggregate simulation records into engine-choice totals.
 
@@ -163,16 +190,63 @@ def rollup_records(records: Iterable[dict]) -> dict:
     ``engine_stats`` -- so the stored trajectory and the live CLI can
     never drift apart.
     """
-    totals: dict = {"sim_runs": 0, "simulated_seconds": 0.0}
-    totals.update((out, 0.0) for _, out in _SUMMED_STATS)
-    totals["lock_convoy_max"] = 0.0
+    totals = new_rollup()
     for rec in records:
-        stats = rec.get("stats") or {}
-        totals["sim_runs"] += 1
-        totals["simulated_seconds"] += float(rec.get("seconds", 0.0))
-        for key, out in _SUMMED_STATS:
-            totals[out] += stats.get(key, 0.0)
-        convoy = stats.get("lock_convoy_max", 0.0)
-        if convoy > totals["lock_convoy_max"]:
-            totals["lock_convoy_max"] = convoy
+        rollup_add(totals, rec)
     return totals
+
+
+# ----------------------------------------------------------------------
+# service request-level counters and latency quantiles
+# ----------------------------------------------------------------------
+
+@dataclass
+class ServiceCounters:
+    """Request-level counters for the simulation service.
+
+    Incremented by the job server (:mod:`repro.service.server`) and its
+    batcher as traffic flows; snapshotted into ``stats`` protocol
+    responses, the service run manifest, and the load generator's
+    ``BENCH_service.json``.  ``dedupe_cached`` counts cells answered
+    from the content-addressed result cache, ``dedupe_inflight`` cells
+    coalesced onto an identical cell already executing, and
+    ``engine_cells`` the cells that actually reached an engine run --
+    ``cells == dedupe_cached + dedupe_inflight + engine_cells`` holds
+    at every quiescent point.
+    """
+
+    connections: int = 0
+    requests: int = 0
+    cells: int = 0
+    dedupe_cached: int = 0
+    dedupe_inflight: int = 0
+    batches: int = 0
+    batched_cells: int = 0
+    engine_cells: int = 0
+    faulted_cells: int = 0
+    errors: int = 0
+    disconnects: int = 0
+
+    def snapshot(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+def quantile(samples: Iterable[float], q: float) -> float:
+    """Linear-interpolated ``q``-quantile (``q`` in [0, 1]).
+
+    The load generator's p50/p95/p99 arithmetic; matches
+    ``numpy.quantile``'s default (linear) method without requiring the
+    samples as an array.  Raises :class:`ValueError` on empty input.
+    """
+    data = sorted(samples)
+    if not data:
+        raise ValueError("quantile of empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q!r}")
+    pos = q * (len(data) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
