@@ -16,6 +16,9 @@ Usage::
     python -m repro race --all --fixtures --json race.json
     python -m repro chaos table5 --seed 7     # fault-injected runs
     python -m repro chaos --all --faults streams:0.5:0.8 --json chaos.json
+    python -m repro sweep --list              # named factorial sweeps
+    python -m repro sweep ci -j 4 --verify    # expand + run + parity-check
+    python -m repro sweep full --manifest sweep.json
     python -m repro feedback                  # compiler feedback, Programs 1-4
     python -m repro cache info                # persistent result cache
     python -m repro cache clear
@@ -148,6 +151,35 @@ def _build_parser() -> argparse.ArgumentParser:
                               "deterministically (default 0)")
     chaos_p.add_argument("--json", metavar="PATH", default=None,
                          help="write the schema-versioned report as JSON")
+    chaos_p.add_argument("--machines", metavar="LIST", default=None,
+                         help="comma-separated platform archetypes to "
+                              "fault: mta, conventional, cmt "
+                              "(default mta,conventional)")
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="expand and run a named factorial sweep (taskbench "
+             "topology x size x machine x seed grids; see "
+             "repro.c3i.sweeps)")
+    sweep_p.add_argument("name", nargs="?", default=None, metavar="NAME",
+                         help="sweep name (see --list)")
+    sweep_p.add_argument("--list", action="store_true",
+                         dest="list_sweeps",
+                         help="list the named sweeps and their sizes")
+    sweep_p.add_argument("--jobs", "-j", type=int, default=1,
+                         metavar="N",
+                         help="worker processes (default 1)")
+    sweep_p.add_argument("--verify", action="store_true",
+                         help="additionally run every unique "
+                              "(machine, workload) pair on both engines "
+                              "directly and require 1e-9 parity")
+    sweep_p.add_argument("--expand-only", action="store_true",
+                         help="expand and fingerprint without running "
+                              "any cell")
+    sweep_p.add_argument("--json", metavar="PATH", default=None,
+                         help="write the outcome payload as JSON")
+    sweep_p.add_argument("--manifest", metavar="PATH", default=None,
+                         help="write the full expansion manifest "
+                              "(every cell payload) as JSON")
     sub.add_parser("feedback",
                    help="compiler feedback for Programs 1-4")
     cache_p = sub.add_parser(
@@ -480,6 +512,56 @@ def _cmd_runs(args) -> int:
     return 2  # pragma: no cover
 
 
+def _cmd_sweep(args, scales: dict, argv: list[str] | None) -> int:
+    """``repro sweep``: expand/run a named factorial sweep."""
+    from repro.c3i import sweeps as sw
+    from repro.harness.store import atomic_write_json
+
+    if args.list_sweeps:
+        for name in sorted(sw.SWEEPS):
+            sweep = sw.SWEEPS[name]
+            print(f"{name:<8} {sweep.n_cells:>5} cells  "
+                  f"{sweep.description}")
+        return 0
+    if args.name is None:
+        print("sweep: give a sweep name or --list", file=sys.stderr)
+        return 2
+    try:
+        sweep = sw.get_sweep(args.name)
+    except KeyError as exc:
+        print(f"sweep: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.manifest is not None:
+        atomic_write_json(args.manifest, sw.expansion_manifest(sweep))
+        print(f"wrote {args.manifest}")
+    if args.expand_only:
+        print(f"sweep {sweep.name}: {sweep.n_cells} cells, fingerprint "
+              f"{sw.expansion_fingerprint(sweep)}")
+        return 0
+
+    from repro.harness.rundir import run_scope
+
+    with run_scope("sweep", dict(scales, sweep=sweep.name,
+                                 jobs=args.jobs, verify=args.verify),
+                   argv=argv) as run:
+        on_record = None
+        if run is not None:
+            on_record = lambda rec: run.record(  # noqa: E731
+                f"sweep:{sweep.name}", rec)
+        outcome = sw.run_sweep(
+            sweep.name, threat_scale=scales["threat_scale"],
+            terrain_scale=scales["terrain_scale"], jobs=args.jobs,
+            verify=args.verify, on_record=on_record)
+        status = 1 if outcome.verify_failures else 0
+        if run is not None:
+            run.write_report(payload=outcome.payload(sweep))
+            run.exit_status = status
+    if args.json is not None:
+        atomic_write_json(args.json, outcome.payload(sweep))
+        print(f"wrote {args.json}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -539,19 +621,29 @@ def main(argv: list[str] | None = None) -> int:
                 run.exit_status = status
         return status
     if args.command == "chaos":
-        from repro.faults.chaos import DEFAULT_FAULTS, run_chaos
+        from repro.faults.chaos import (
+            DEFAULT_FAULTS,
+            DEFAULT_MACHINES,
+            run_chaos,
+        )
 
+        machines = (tuple(m.strip() for m in args.machines.split(",")
+                          if m.strip())
+                    if args.machines else DEFAULT_MACHINES)
         with run_scope("chaos", dict(scales, seed=args.seed,
                                      faults=args.faults,
+                                     machines=list(machines),
                                      all=args.chaos_all),
                        argv=argv) as run:
             status = run_chaos(args.ids, data, run_all=args.chaos_all,
                                faults=args.faults or DEFAULT_FAULTS,
                                seed=args.seed, json_path=args.json,
-                               run=run)
+                               machines=machines, run=run)
             if run is not None:
                 run.exit_status = status
         return status
+    if args.command == "sweep":
+        return _cmd_sweep(args, scales, argv)
     if args.command == "race":
         from repro.analysis.race import run_race
 

@@ -18,6 +18,9 @@ hazard class(es) under **both** engine extractions:
   three threads ever reach (``barrier-mismatch`` + ``deadlock``).
 * ``overwrite-full``  -- a producer resetting cells with ``writeff``
   while one still holds an unconsumed value (``write-to-full``).
+* ``mesh-missync``    -- a generated taskbench mesh whose tasks write
+  their wrap-around neighbour's element in the same level (a forgotten
+  halo exchange): same-region writes overlap (``data-race``).
 
 The static fixtures are plain :class:`~repro.workload.task.Job`
 values and go through :func:`repro.analysis.hb.analyze_job`; the
@@ -33,6 +36,7 @@ from typing import Callable, Optional
 from repro.analysis.hb import analyze_job
 from repro.analysis.monitor import monitoring
 from repro.analysis.report import Finding
+from repro.taskbench import missync_mesh_job
 from repro.workload.builder import make_phase
 from repro.workload.ops import OpCounts, read_of, write_of
 from repro.workload.task import (
@@ -242,6 +246,10 @@ FIXTURES: tuple[Fixture, ...] = (
             "unconditional writeff clobbers an unconsumed full cell",
             frozenset({"write-to-full"}),
             run=overwrite_full_findings),
+    Fixture("mesh-missync",
+            "taskbench mesh tasks write their wrap-around neighbour's "
+            "element without a barrier (forgotten halo exchange)",
+            frozenset({"data-race"}), job=missync_mesh_job),
 )
 
 

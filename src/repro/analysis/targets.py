@@ -47,6 +47,20 @@ def _blocked(n: int) -> _JobSpec:
     return lambda d: d.terrain_blocked_job(n)
 
 
+def _taskbench(recipe: str) -> _JobSpec:
+    return lambda d: d.taskbench_job(recipe)
+
+
+def _taskbench_specs() -> tuple[_JobSpec, ...]:
+    from repro.harness.registry import (
+        TASKBENCH_COARSE,
+        TASKBENCH_FINE,
+        TASKBENCH_TOPOLOGY_RECIPES,
+    )
+    recipes = (TASKBENCH_FINE, TASKBENCH_COARSE) + TASKBENCH_TOPOLOGY_RECIPES
+    return tuple(_taskbench(r) for r in recipes)
+
+
 #: experiment id -> job builders, matching the registry entries
 EXPERIMENT_JOBS: dict[str, tuple[_JobSpec, ...]] = {
     "table2": (_th_seq,),
@@ -73,6 +87,7 @@ EXPERIMENT_JOBS: dict[str, tuple[_JobSpec, ...]] = {
     "seed-robustness": (_chunked(256, "hw"), _te_fg, _blocked(1),
                         _blocked(16)),
     "sensitivity": (_th_seq, _te_seq, _chunked(256, "hw"), _te_fg),
+    "taskbench": _taskbench_specs(),
 }
 
 

@@ -15,6 +15,10 @@ Each problem provides, mirroring the suite's structure: synthetic input
 scenarios (five per problem, deterministic), an efficient sequential
 program, the parallelized variants measured in the paper, a correctness
 test, and workload extraction for the machine models.
+
+Beyond the paper's two problems, :mod:`repro.c3i.sweeps` defines the
+declarative factorial sweep grids (taskbench topology x size x machine
+x seed) that scale the registry past hand-listed cells.
 """
 
-__all__ = ["terrain", "threat"]
+__all__ = ["sweeps", "terrain", "threat"]

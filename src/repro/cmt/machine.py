@@ -1,0 +1,30 @@
+"""CMT machine model: the conventional DES/cohort engine on a CmtSpec."""
+
+from __future__ import annotations
+
+from repro.cmt.spec import SPARC_T3_4, CmtSpec
+from repro.machines.machine import ConventionalMachine
+from repro.machines.spec import MachineSpec
+
+
+class CmtMachine(ConventionalMachine):
+    """The T3-4 model.
+
+    A thin veneer over :class:`ConventionalMachine`: the barrel
+    pipeline, strand pool and crossbar are all encoded in the derived
+    spec (see :mod:`repro.cmt.spec`), so both engines and the cohort
+    compiler run unchanged -- which is what keeps DES-vs-cohort byte
+    parity for free on this family.
+    """
+
+    def __init__(self, spec: CmtSpec | MachineSpec | None = None,
+                 slices_per_phase: int = 16,
+                 exploit_fine_grained: bool = False,
+                 use_cohort: bool | None = None):
+        if spec is None:
+            spec = SPARC_T3_4
+        if isinstance(spec, CmtSpec):
+            spec = spec.machine_spec()
+        super().__init__(spec, slices_per_phase=slices_per_phase,
+                         exploit_fine_grained=exploit_fine_grained,
+                         use_cohort=use_cohort)

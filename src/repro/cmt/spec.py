@@ -1,0 +1,143 @@
+"""A modern CMT descendant of the MTA: the 512-thread SPARC T3-4.
+
+The third machine family, modeled on the Oracle/Sun SPARC T3-4
+characterization (PAPERS.md, arXiv 1106.2992): 4 sockets x 16 cores x
+8 hardware strands = 512 threads at 1.65 GHz, each core an 8-way
+barrel pipeline (two execution pipes, so ~2 of 8 strands issue per
+cycle), per-core L1, a 6 MB shared L2 per socket, and an on-chip
+crossbar to memory.  It retells the paper's stream-saturation story at
+a different design point: like the MTA it hides latency with hardware
+thread contexts, but the contexts live *on top of a cache hierarchy*
+and strand creation, while far cheaper than an OS thread, is not the
+MTA's 2-cycle stream allocation.
+
+The model deliberately reuses the conventional-machine contracts
+(:mod:`repro.machines.spec` / the cohort compiler) unchanged -- a
+:class:`CmtSpec` *derives* a plain :class:`MachineSpec`:
+
+* one model CPU per **strand**, clocked at the per-strand effective
+  issue rate (``1.65 GHz / strands_per_core``).  The fair-share CPU
+  pool then has aggregate capacity ``512 x strand_rate = 64 cores x
+  1.65 GHz`` -- the chip's real issue capacity -- while capping any
+  single thread at one strand's rate, which is exactly the barrel
+  pipeline's behaviour (one thread alone cannot use a whole core);
+* op costs are in *strand* cycles and sit near 1.0 -- the barrel
+  pipeline hides intra-thread dependence stalls the way the MTA's
+  21-cycle instruction wheel does;
+* the cache is the socket L2s aggregated (the per-core L1s are folded
+  into the effective hit cost), the memory system a crossbar with
+  high aggregate bandwidth and DRAM-class latency;
+* the thread-cost table gets an explicit ``"hw"`` row (parking and
+  waking a strand): ~500 strand cycles, between the MTA's 2-cycle
+  streams and the SMPs' 80-100k-cycle OS threads, which is what makes
+  the cross-machine sanity ordering (MTA saturates, CMT absorbs, SMP
+  convoys) come out of the model rather than being asserted into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machines.spec import (
+    CacheSpec,
+    CoreSpec,
+    MachineSpec,
+    MemSpec,
+    ThreadCosts,
+)
+
+MB = 1024.0 * 1024.0
+
+#: Effective cycles per op class, in *strand* cycles.  The S3 core is
+#: single-issue per strand and the barrel rotation hides most intra-
+#: thread latency, so the costs sit near 1; ``sync`` is an on-chip CAS
+#: (~200 ns), far cheaper than the SMPs' bus-locked 400-600 core
+#: cycles but far above the MTA's 1-cycle full/empty bits.
+_T3_OPS = {"ialu": 1.0, "falu": 1.4, "load": 1.1, "store": 1.1,
+           "branch": 1.3, "sync": 40.0}
+
+#: Thread costs in strand cycles.  "hw" is strand park/wake (the MTA
+#: analog of stream allocation); "sw" a user-level task pool; "os" a
+#: Solaris LWP.
+_T3_COSTS = {
+    "hw": ThreadCosts(create_cycles=500.0, sync_cycles=60.0),
+    "sw": ThreadCosts(create_cycles=5_000.0, sync_cycles=120.0),
+    "os": ThreadCosts(create_cycles=20_000.0, sync_cycles=200.0),
+}
+
+
+@dataclass(frozen=True)
+class CmtSpec:
+    """Structural description of a chip-multithreaded machine."""
+
+    name: str = "SPARC T3-4"
+    sockets: int = 4
+    cores_per_socket: int = 16
+    strands_per_core: int = 8
+    clock_hz: float = 1.65e9
+    op_cycles: dict[str, float] = field(
+        default_factory=lambda: dict(_T3_OPS))
+    #: shared L2 per socket (the per-core L1s fold into hit_cycles)
+    l2_bytes_per_socket: float = 6.0 * MB
+    line_bytes: int = 64
+    l2_hit_cycles: float = 4.0
+    l2_assoc: int = 16
+    #: aggregate crossbar/DRAM bandwidth and loaded miss latency
+    mem_bandwidth_bytes_per_s: float = 60e9
+    miss_latency_s: float = 180e-9
+    thread_costs: dict[str, ThreadCosts] = field(
+        default_factory=lambda: dict(_T3_COSTS))
+    memory_bytes: float = 256.0 * 1024**3
+
+    def __post_init__(self) -> None:
+        if min(self.sockets, self.cores_per_socket,
+               self.strands_per_core) < 1:
+            raise ValueError("sockets/cores/strands must all be >= 1")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+
+    @property
+    def n_strands(self) -> int:
+        """Total hardware thread contexts (the model's CPU count)."""
+        return self.sockets * self.cores_per_socket * self.strands_per_core
+
+    @property
+    def strand_hz(self) -> float:
+        """One strand's effective issue rate on the barrel pipeline."""
+        return self.clock_hz / self.strands_per_core
+
+    def machine_spec(self) -> MachineSpec:
+        """Derive the plain conventional-machine spec (see module doc)."""
+        return MachineSpec(
+            name=self.name,
+            n_cpus=self.n_strands,
+            core=CoreSpec(clock_hz=self.strand_hz,
+                          op_cycles=dict(self.op_cycles)),
+            cache=CacheSpec(
+                capacity_bytes=self.sockets * self.l2_bytes_per_socket,
+                line_bytes=self.line_bytes,
+                assoc=self.l2_assoc,
+                hit_cycles=self.l2_hit_cycles),
+            mem=MemSpec(
+                bandwidth_bytes_per_s=self.mem_bandwidth_bytes_per_s,
+                miss_latency_s=self.miss_latency_s),
+            thread_costs=dict(self.thread_costs),
+            memory_bytes=self.memory_bytes,
+        )
+
+
+#: The reference machine of arXiv 1106.2992.
+SPARC_T3_4 = CmtSpec()
+
+#: Its derived conventional-contract spec (512 strand-CPUs).
+CMT_T3_4 = SPARC_T3_4.machine_spec()
+
+
+def cmt(n_strands: int) -> MachineSpec:
+    """The T3-4 restricted to ``n_strands`` hardware strands (1..512)."""
+    if not 1 <= n_strands <= SPARC_T3_4.n_strands:
+        raise ValueError(
+            f"the T3-4 has 1..{SPARC_T3_4.n_strands} strands")
+    if n_strands == SPARC_T3_4.n_strands:
+        return CMT_T3_4
+    return CMT_T3_4.with_cpus(n_strands)

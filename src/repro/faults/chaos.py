@@ -2,8 +2,10 @@
 
 For each selected experiment the runner takes the jobs the registry
 would simulate (:func:`repro.analysis.targets.experiment_jobs`), runs
-each healthy and under the fault plan on both platform archetypes (the
-2-processor MTA and the 4-CPU Exemplar), and reports the realized
+each healthy and under the fault plan on the selected platform
+archetypes (by default the 2-processor MTA and the 4-CPU Exemplar;
+``--machines`` can add the 64-strand T3-4 CMT), and reports the
+realized
 fault schedule plus the degradation.  Runs bypass the persistent
 result cache -- the machines are driven directly -- so the payload
 depends only on (plan, seed, scales) and the engine's arithmetic; with
@@ -23,7 +25,7 @@ from repro.faults.inject import (
 )
 from repro.faults.plan import FaultPlan
 from repro.harness.runner import BenchmarkData
-from repro.machines import exemplar
+from repro.machines import cmt, exemplar
 from repro.machines.machine import ConventionalMachine
 from repro.mta import mta
 from repro.mta.machine import MtaMachine
@@ -36,6 +38,12 @@ SCHEMA = "repro-chaos-report/v1"
 DEFAULT_FAULTS = ",".join(
     ("streams", "bank-hotspot", "febit-stall", "cache-ways",
      "mem-latency"))
+
+#: platform archetypes a chaos sweep can fault.  The default pair is
+#: unchanged from the original runner (CI pins its payload bytes);
+#: "cmt" adds the 64-strand T3-4 slice of the third machine family.
+DEFAULT_MACHINES = ("mta", "conventional")
+MACHINE_KINDS = ("mta", "conventional", "cmt")
 
 
 def _sig(x: float, digits: int = 6) -> float:
@@ -67,7 +75,7 @@ class _ChaosRunner:
         self.data = data
         self.plan = plan
         self.mta_spec = mta(2)
-        self.conv_spec = exemplar(4)
+        self.specs = {"conventional": exemplar(4), "cmt": cmt(64)}
         self._healthy: dict[tuple[str, str], float] = {}
         self._faulted: dict[tuple[str, str], FaultedRun] = {}
 
@@ -78,7 +86,7 @@ class _ChaosRunner:
             if machine == "mta":
                 result = MtaMachine(self.mta_spec).run(job)
             else:
-                result = ConventionalMachine(self.conv_spec).run(job)
+                result = ConventionalMachine(self.specs[machine]).run(job)
             self._healthy[key] = result.seconds
         return self._healthy[key]
 
@@ -88,7 +96,7 @@ class _ChaosRunner:
             if machine == "mta":
                 run = run_faulted_mta(self.mta_spec, job, self.plan)
             else:
-                run = run_faulted_conventional(self.conv_spec, job,
+                run = run_faulted_conventional(self.specs[machine], job,
                                                self.plan)
             self._faulted[key] = run
         return self._faulted[key]
@@ -115,10 +123,15 @@ class _ChaosRunner:
 
 def chaos_report(experiment_ids: list[str], data: BenchmarkData,
                  faults: str = DEFAULT_FAULTS,
-                 seed: int = 0) -> dict:
+                 seed: int = 0,
+                 machines: tuple[str, ...] = DEFAULT_MACHINES) -> dict:
     """Build the chaos payload for the given experiments."""
     from repro.analysis.targets import experiment_jobs
 
+    for machine in machines:
+        if machine not in MACHINE_KINDS:
+            raise ValueError(f"unknown chaos machine {machine!r}; "
+                             f"known: {list(MACHINE_KINDS)}")
     plan = FaultPlan.parse(faults, seed=seed)
     runner = _ChaosRunner(data, plan)
     experiments = []
@@ -126,7 +139,7 @@ def chaos_report(experiment_ids: list[str], data: BenchmarkData,
         jobs = experiment_jobs(eid, data)   # raises KeyError on bad id
         entries = []
         for job in jobs.values():
-            for machine in ("mta", "conventional"):
+            for machine in machines:
                 entries.append(runner.job_entry(machine, job))
         experiments.append({"experiment": eid, "jobs": entries})
     return {
@@ -174,6 +187,7 @@ def render_report(payload: dict) -> str:
 def run_chaos(experiment_ids: list[str], data: BenchmarkData, *,
               run_all: bool = False, faults: str = DEFAULT_FAULTS,
               seed: int = 0, json_path: Optional[str] = None,
+              machines: tuple[str, ...] = DEFAULT_MACHINES,
               run=None) -> int:
     """CLI entry point; returns the exit status.
 
@@ -188,7 +202,8 @@ def run_chaos(experiment_ids: list[str], data: BenchmarkData, *,
         print("chaos: give experiment ids or --all", file=sys.stderr)
         return 2
     try:
-        payload = chaos_report(ids, data, faults=faults, seed=seed)
+        payload = chaos_report(ids, data, faults=faults, seed=seed,
+                               machines=machines)
     except (KeyError, ValueError) as exc:
         print(f"chaos: {exc.args[0]}", file=sys.stderr)
         return 2

@@ -64,6 +64,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro import taskbench
 from repro.harness import store
 from repro.harness.experiment import ExperimentResult
 from repro.harness.registry import EXPERIMENT_IDS, run_experiment
@@ -290,6 +291,8 @@ def _cell_weight(recipe: str, spec) -> int:
     """
     if recipe.endswith("-fg"):
         base = 1000
+    elif recipe.startswith("tb-"):
+        base = taskbench.recipe_weight(recipe)  # total grain units
     else:
         tail = recipe.rsplit("-", 2)
         base = int(tail[1]) if len(tail) == 3 and tail[1].isdigit() else 1

@@ -451,6 +451,88 @@ def micro(_data: BenchmarkData) -> ExperimentResult:
 
 
 # ----------------------------------------------------------------------
+# Taskbench: parameterized task graphs across three machine families
+# ----------------------------------------------------------------------
+
+#: Fixed-total-work grain pair: ~384 grain units as 384 fine tasks
+#: (width 64) vs 48 coarse tasks of grain 8 (width 8).  The mesh
+#: topology keeps every level the same width, so the two jobs differ
+#: only in how finely the same work is divided.
+TASKBENCH_FINE = "tb-mesh-w64-d6-g1-s0-hw"
+TASKBENCH_COARSE = "tb-mesh-w8-d6-g8-s0-hw"
+
+#: One small graph per remaining topology (generator span coverage).
+TASKBENCH_TOPOLOGY_RECIPES = (
+    "tb-stencil-w8-d4-g1-s0-hw",
+    "tb-fanout-w8-d4-g1-s0-hw",
+    "tb-tree-w16-d5-g1-s0-hw",
+)
+
+
+def taskbench(data: BenchmarkData) -> ExperimentResult:
+    """Cross-machine sanity ordering on generated task graphs.
+
+    The paper's stream-saturation story, retold on synthetic graphs
+    across all three machine families: dividing a fixed amount of work
+    into finer tasks is free (or better) where hardware thread contexts
+    are cheap -- the MTA's streams and the T3-4's strands -- but
+    convoys on the serialized OS-thread creation cost of a conventional
+    SMP.  The checks assert the *ordering*, not absolute times, so they
+    are robust to recalibration of any one machine.
+    """
+    fine = data.taskbench_job(TASKBENCH_FINE)
+    coarse = data.taskbench_job(TASKBENCH_COARSE)
+    mta_f, mta_c = data.run_mta(1, fine), data.run_mta(1, coarse)
+    cmt_f, cmt_c = data.cmt(256, fine), data.cmt(256, coarse)
+    ex_f, ex_c = data.exemplar(16, fine), data.exemplar(16, coarse)
+    mta_ratio = mta_f / mta_c
+    cmt_ratio = cmt_f / cmt_c
+    ex_ratio = ex_f / ex_c
+    rows = [
+        Row("MTA[1p] mesh fine (w64 g1)", None, mta_f, unit="s"),
+        Row("MTA[1p] mesh coarse (w8 g8)", None, mta_c, unit="s"),
+        Row("T3-4[256] mesh fine (w64 g1)", None, cmt_f, unit="s"),
+        Row("T3-4[256] mesh coarse (w8 g8)", None, cmt_c, unit="s"),
+        Row("Exemplar[16p] mesh fine (w64 g1)", None, ex_f, unit="s"),
+        Row("Exemplar[16p] mesh coarse (w8 g8)", None, ex_c, unit="s"),
+        Row("fine/coarse ratio: MTA", None, mta_ratio),
+        Row("fine/coarse ratio: T3-4", None, cmt_ratio),
+        Row("fine/coarse ratio: Exemplar", None, ex_ratio),
+    ]
+    topo_times = []
+    for recipe in TASKBENCH_TOPOLOGY_RECIPES:
+        job = data.taskbench_job(recipe)
+        t_mta, t_cmt = data.run_mta(1, job), data.cmt(64, job)
+        topo_times += [t_mta, t_cmt]
+        rows.append(Row(f"MTA[1p] {recipe}", None, t_mta, unit="s"))
+        rows.append(Row(f"T3-4[64] {recipe}", None, t_cmt, unit="s"))
+    checks = (
+        _check("MTA streams absorb fine grain (fine no slower than "
+               "coarse)", mta_ratio <= 1.2,
+               f"fine/coarse {mta_ratio:.3f}"),
+        _check("T3-4 strands absorb fine grain", cmt_ratio <= 1.5,
+               f"fine/coarse {cmt_ratio:.3f}"),
+        _check("the SMP convoys on OS-thread creation at fine grain",
+               ex_ratio >= 3.0, f"fine/coarse {ex_ratio:.3f}"),
+        _check("grain sensitivity ordering: SMP at least 2x worse than "
+               "the CMT", ex_ratio >= 2.0 * cmt_ratio,
+               f"Exemplar {ex_ratio:.2f} vs T3-4 {cmt_ratio:.2f}"),
+        _check("both multithreaded families beat the SMP outright on "
+               "the fine-grained graph",
+               mta_f <= ex_f and cmt_f <= ex_f,
+               f"MTA {mta_f:.3e}s, T3-4 {cmt_f:.3e}s, "
+               f"Exemplar {ex_f:.3e}s"),
+        _check("every topology produces a finite, positive runtime on "
+               "both multithreaded families",
+               all(t > 0.0 for t in topo_times)),
+    )
+    return ExperimentResult(
+        "taskbench",
+        "Generated task graphs: grain sensitivity across machine "
+        "families", tuple(rows), checks)
+
+
+# ----------------------------------------------------------------------
 # registry plumbing
 # ----------------------------------------------------------------------
 
@@ -511,6 +593,7 @@ _EXPERIMENTS: dict[str, Callable[[BenchmarkData], ExperimentResult]] = {
     "ablation-temp-memory": _ablation("temp_memory"),
     "seed-robustness": _ablation("seed_robustness"),
     "sensitivity": sensitivity,
+    "taskbench": taskbench,
 }
 
 #: figures are produced by the same experiments as their tables

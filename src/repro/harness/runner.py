@@ -16,8 +16,10 @@ from __future__ import annotations
 import dataclasses
 from functools import lru_cache
 
+from repro import taskbench
 from repro.c3i import terrain as TE
 from repro.c3i import threat as TH
+from repro.cmt.spec import cmt as cmt_spec
 from repro.harness import store
 from repro.obs.trace import active_tracer
 from repro.machines import ConventionalMachine, exemplar, ppro
@@ -150,6 +152,13 @@ class BenchmarkData:
         return self._job("te-job-fg", lambda: TE.finegrained_benchmark_job(
             self.terrain_scenarios, self.terrain_finegrained))
 
+    def taskbench_job(self, recipe: str) -> Job:
+        """A generated task-graph job; the recipe *is* the parameter
+        vector (``tb-<topo>-w<W>-d<D>-g<G>-s<S>-<kind>``), so the key
+        round-trips through :meth:`job_from_recipe` like every other
+        recipe."""
+        return self._job(recipe, lambda: taskbench.job_from_recipe(recipe))
+
     def job_from_recipe(self, key: str) -> Job:
         """Rebuild a recipe-named job from its key.
 
@@ -172,6 +181,9 @@ class BenchmarkData:
         if key.startswith("te-job-bl-"):
             n, kind = key[len("te-job-bl-"):].rsplit("-", 1)
             return self.terrain_blocked_job(int(n), thread_kind=kind)
+        if key.startswith("tb-"):
+            taskbench.parse_recipe(key)  # raises KeyError if malformed
+            return self.taskbench_job(key)
         raise KeyError(f"unknown job recipe {key!r}")
 
     # ------------------------------------------------------------------
@@ -268,6 +280,9 @@ class BenchmarkData:
 
     def exemplar(self, n: int, job: Job) -> float:
         return self.run_conventional(exemplar(n), job)
+
+    def cmt(self, n: int, job: Job) -> float:
+        return self.run_conventional(cmt_spec(n), job)
 
 
 @lru_cache(maxsize=4)

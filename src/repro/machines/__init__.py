@@ -15,7 +15,10 @@ shared-memory multiprocessor:
 
 The three platforms of the paper are in
 :mod:`repro.machines.catalog`: ``ALPHASTATION_500`` (1x500 MHz),
-``PPRO_SMP_4`` (4x200 MHz), ``EXEMPLAR_16`` (16x180 MHz).
+``PPRO_SMP_4`` (4x200 MHz), ``EXEMPLAR_16`` (16x180 MHz).  The catalog
+also carries the modern chip-multithreaded family, ``CMT_T3_4`` (the
+512-strand SPARC T3-4 derived in :mod:`repro.cmt.spec`), which runs on
+the same conventional-machine contracts.
 
 :mod:`repro.machines.cache` additionally provides a trace-level
 set-associative cache simulator used by the unit tests and
@@ -45,13 +48,26 @@ from repro.machines.catalog import (
     ALPHASTATION_500,
     EXEMPLAR_16,
     PPRO_SMP_4,
+    cmt,
     exemplar,
     get_machine_spec,
     ppro,
 )
 
+
+def __getattr__(name: str) -> object:
+    # CMT_T3_4 resolves through the catalog's lazy loader (see
+    # repro.machines.catalog: repro.cmt.spec imports this package, so
+    # an eager re-export here would be circular).
+    if name == "CMT_T3_4":
+        from repro.machines import catalog
+        return catalog.CMT_T3_4
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ALPHASTATION_500",
+    "CMT_T3_4",
     "CacheSpec",
     "ConventionalMachine",
     "CoreInstruction",
@@ -69,6 +85,7 @@ __all__ = [
     "RunResult",
     "SetAssociativeCache",
     "ThreadCosts",
+    "cmt",
     "exemplar",
     "get_machine_spec",
     "miss_traffic_bytes",

@@ -102,14 +102,42 @@ _CATALOG = {
     "exemplar": EXEMPLAR_16,
 }
 
+#: The modern CMT family (not in the paper's Table 1): the SPARC T3-4
+#: strand pool, derived in repro/cmt/spec.py.  Registered lazily --
+#: repro.cmt.spec itself imports repro.machines.spec, so an eager
+#: import here would be circular when repro.cmt is the entry point.
+_CMT_ALIASES = ("cmt", "t3", "sparct34")
+
+
+def _load_cmt() -> MachineSpec:
+    from repro.cmt.spec import CMT_T3_4
+    for alias in _CMT_ALIASES:
+        _CATALOG.setdefault(alias, CMT_T3_4)
+    return CMT_T3_4
+
+
+def __getattr__(name: str) -> MachineSpec:
+    if name == "CMT_T3_4":
+        return _load_cmt()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 def get_machine_spec(name: str) -> MachineSpec:
     """Look up a platform by short name (case-insensitive)."""
     key = name.strip().lower().replace(" ", "").replace("-", "")
+    if key not in _CATALOG and key in _CMT_ALIASES:
+        _load_cmt()
     if key not in _CATALOG:
         raise KeyError(
-            f"unknown machine {name!r}; known: {sorted(set(_CATALOG))}")
+            f"unknown machine {name!r}; "
+            f"known: {sorted(set(_CATALOG) | set(_CMT_ALIASES))}")
     return _CATALOG[key]
+
+
+def cmt(n_strands: int) -> MachineSpec:
+    """The SPARC T3-4 restricted to ``n_strands`` strands (1..512)."""
+    from repro.cmt.spec import cmt as _cmt
+    return _cmt(n_strands)
 
 
 def exemplar(n_cpus: int) -> MachineSpec:

@@ -15,6 +15,7 @@ Client -> server ops::
     {"op": "simulate", "id": "r1", "cells": [CELL, ...],
      "threat_scale": 0.02, "terrain_scale": 0.05}   # scales optional
     {"op": "sweep", "id": "r2", "experiments": ["table3"] | "all"}
+    {"op": "sweep", "id": "r3", "sweep": "ci"}   # named factorial sweep
     {"op": "stats"}
     {"op": "shutdown"}
 
@@ -53,9 +54,10 @@ from __future__ import annotations
 import json
 from typing import Optional
 
+from repro import taskbench
 from repro.faults.plan import FaultPlan
 from repro.harness import store
-from repro.machines import exemplar, ppro
+from repro.machines import cmt, exemplar, ppro
 from repro.machines.catalog import ALPHASTATION_500
 from repro.mta import mta
 
@@ -70,6 +72,7 @@ MACHINE_FAMILIES = {
     "ppro": (ppro, 1, 4),
     "exemplar": (exemplar, 1, 16),
     "mta": (mta, 1, 256),
+    "cmt": (cmt, 1, 512),         # SPARC T3-4 strands (conventional kind)
 }
 
 #: exact job-recipe names (parameterized forms documented below)
@@ -92,8 +95,9 @@ def parse_machine(text: str):
     ``kind`` is the engine dispatch tag (``"mta"`` or
     ``"conventional"``); ``spec`` the machine-spec dataclass.  Families:
     ``alpha`` (the AlphaStation, always 1 CPU), ``ppro[:1..4]``,
-    ``exemplar[:1..16]`` (default: full machine) and ``mta[:n]``
-    (default 1 processor).
+    ``exemplar[:1..16]`` (default: full machine), ``mta[:n]``
+    (default 1 processor) and ``cmt[:1..512]`` (T3-4 strands, default
+    the full machine; conventional kind).
     """
     if not isinstance(text, str) or not text.strip():
         raise ProtocolError(f"bad machine id {text!r}: expected "
@@ -111,7 +115,7 @@ def parse_machine(text: str):
                 f"machine {family!r} has exactly 1 CPU, got {text!r}")
         return "conventional", ALPHASTATION_500
     if tail == "":
-        n = {"ppro": 4, "exemplar": 16, "mta": 1}[family]
+        n = {"ppro": 4, "exemplar": 16, "mta": 1, "cmt": 512}[family]
     else:
         try:
             n = int(tail)
@@ -131,16 +135,25 @@ def validate_recipe(key) -> str:
     """Check a workload id names a rebuildable job recipe.
 
     Accepted: the fixed recipes, ``th-job-ch-<n>-<os|sw>`` (Threat
-    Analysis chunked into ``n`` simulated threads) and
-    ``te-job-bl-<n>-<os|sw>`` (Terrain Masking blocked over ``n``).
-    Mirrors :meth:`repro.harness.runner.BenchmarkData.job_from_recipe`
+    Analysis chunked into ``n`` simulated threads),
+    ``te-job-bl-<n>-<os|sw>`` (Terrain Masking blocked over ``n``) and
+    ``tb-<topo>-w<W>-d<D>-g<G>-s<S>-<os|sw|hw>`` (a generated
+    taskbench graph; see :mod:`repro.taskbench`).  Mirrors
+    :meth:`repro.harness.runner.BenchmarkData.job_from_recipe`
     without building anything.
     """
     known = (f"one of {', '.join(FIXED_RECIPES)}, "
-             f"th-job-ch-<n>-<os|sw>, te-job-bl-<n>-<os|sw>")
+             f"th-job-ch-<n>-<os|sw>, te-job-bl-<n>-<os|sw>, "
+             f"tb-<topo>-w<W>-d<D>-g<G>-s<S>-<os|sw|hw>")
     if not isinstance(key, str):
         raise ProtocolError(f"bad workload id {key!r}: expected {known}")
     if key in FIXED_RECIPES:
+        return key
+    if key.startswith("tb-"):
+        try:
+            taskbench.parse_recipe(key)  # bounds-checks without building
+        except KeyError as exc:
+            raise ProtocolError(str(exc.args[0])) from None
         return key
     for prefix in ("th-job-ch-", "te-job-bl-"):
         if key.startswith(prefix):
@@ -291,6 +304,14 @@ def decode(line: bytes) -> dict:
     return message
 
 
+def _sweep_names() -> list[str]:
+    """Named factorial sweeps the ``sweep`` op accepts (lazy import:
+    the sweep registry sits above the harness)."""
+    from repro.c3i.sweeps import SWEEPS
+
+    return sorted(SWEEPS)
+
+
 def hello_payload(*, threat_scale: float, terrain_scale: float,
                   jobs: int) -> dict:
     """The ``hello`` response body (service capabilities)."""
@@ -305,9 +326,11 @@ def hello_payload(*, threat_scale: float, terrain_scale: float,
         "terrain_scale": terrain_scale,
         "jobs": jobs,
         "machines": ["alpha", "ppro:1..4", "exemplar:1..16",
-                     "mta:1..256"],
+                     "mta:1..256", "cmt:1..512"],
         "workloads": list(FIXED_RECIPES) + [
-            "th-job-ch-<n>-<os|sw>", "te-job-bl-<n>-<os|sw>"],
+            "th-job-ch-<n>-<os|sw>", "te-job-bl-<n>-<os|sw>",
+            "tb-<topo>-w<W>-d<D>-g<G>-s<S>-<os|sw|hw>"],
+        "sweeps": _sweep_names(),
         "ops": ["hello", "simulate", "sweep", "stats", "shutdown"],
     }
 

@@ -290,18 +290,55 @@ class ReproService:
 
     async def _handle_sweep(self, message: dict,
                             writer: asyncio.StreamWriter) -> None:
-        """Registry experiments as a service request.
+        """Registry experiments or a named factorial sweep as a request.
 
-        Plans the experiments exactly like ``repro all -j`` (the
-        :class:`_PlanningData` probe) and streams every planned cell --
-        so a served full-registry sweep produces, per content-addressed
-        key, the same records a local ``repro all`` writes.
+        With ``"sweep": "<name>"`` the request expands one declarative
+        grid from :data:`repro.c3i.sweeps.SWEEPS` -- the same
+        :func:`~repro.c3i.sweeps.expand_cells` path `repro sweep`
+        takes, so the served records are byte-identical per key to a
+        local run, and the done line carries the expansion fingerprint.
+
+        Otherwise ``"experiments"`` plans registry experiments exactly
+        like ``repro all -j`` (the :class:`_PlanningData` probe) and
+        streams every planned cell -- so a served full-registry sweep
+        produces, per content-addressed key, the same records a local
+        ``repro all`` writes.
         """
         from repro.harness.parallel import _plan_one, _PlanningData
         from repro.harness.runner import default_data
 
         request_id = message.get("id")
         self.counters.requests += 1
+        named = message.get("sweep")
+        if named is not None:
+            try:
+                threat, terrain = self._request_scales(message)
+                if not isinstance(named, str):
+                    raise protocol.ProtocolError(
+                        f"sweep name must be a string, got {named!r}")
+                from repro.c3i import sweeps as sweep_defs
+
+                try:
+                    sweep = sweep_defs.get_sweep(named)
+                except KeyError as exc:
+                    raise protocol.ProtocolError(str(exc.args[0]))
+            except protocol.ProtocolError as exc:
+                self.counters.errors += 1
+                await self._send(writer, {"type": "error",
+                                          "id": request_id,
+                                          "error": str(exc)})
+                return
+            loop = asyncio.get_running_loop()
+            cells = await loop.run_in_executor(
+                self.batcher._engine,
+                lambda: sweep_defs.expand_cells(
+                    sweep, threat_scale=threat, terrain_scale=terrain))
+            await self._stream_cells(
+                request_id, cells, writer,
+                extra={"sweep": sweep.name,
+                       "fingerprint":
+                           sweep_defs.expansion_fingerprint(sweep)})
+            return
         try:
             threat, terrain = self._request_scales(message)
             wanted = message.get("experiments", "all")

@@ -1,0 +1,400 @@
+"""Parameterized task-graph workload generator (Task Bench style).
+
+A single seeded generator spans the workload space that dozens of
+hand-written benchmarks cannot (PAPERS.md: "Task Bench", arXiv
+1908.05790): a dependence *topology* x graph *width* x *depth* x
+per-task *grain*, expanded into an explicit level-synchronous task
+graph and compiled onto the existing workload IR
+(:mod:`repro.workload`).  Because the output is an ordinary
+:class:`~repro.workload.task.Job` -- serial steps plus one
+:class:`~repro.workload.task.ParallelRegion` per graph level -- every
+generated graph runs on both the DES and cohort engines via the
+existing segment-program path, is race-analyzable, fault-injectable
+and cacheable with **no engine changes**.
+
+Topologies (levels ``0..depth-1``, edges only from level ``L-1`` to
+``L``, so every graph is acyclic by construction):
+
+* ``stencil`` -- constant width; task ``(L, i)`` depends on its
+  three-point neighbourhood ``(L-1, i-1..i+1)``, clipped at the edges.
+* ``fanout`` -- repeated fork/join: even levels hold one task, odd
+  levels ``width`` tasks; forks read the single parent, joins read
+  every task of the previous level.
+* ``tree`` -- binary tree unrolled level by level: level ``L`` holds
+  ``min(width, 2**L)`` tasks and task ``(L, i)`` depends on
+  ``(L-1, i // 2)`` while the tree is still widening, or on its own
+  column once the width cap is reached.
+* ``mesh`` -- nearest-neighbour wrap-around mesh: constant width,
+  task ``(L, i)`` depends on ``(L-1, i)`` and ``(L-1, (i+1) % width)``.
+
+Determinism: per-task grain jitter comes from SHA-256 over the
+``(seed, level, index)`` coordinates -- no ``random.Random``, so the
+same parameters produce bit-identical graphs on every Python version
+and platform (the golden-fingerprint tests pin this).  The seed
+changes task *magnitudes* only, never the graph structure.
+
+Recipe grammar (the registry/service cell vocabulary)::
+
+    tb-<topology>-w<width>-d<depth>-g<grain>-s<seed>-<kind>
+
+e.g. ``tb-stencil-w8-d4-g2-s0-hw``: kind is the thread-kind cost row
+("hw" for MTA streams / CMT strands, "os"/"sw" for the SMPs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.workload.builder import make_phase
+from repro.workload.ops import OpCounts, read_of, write_of
+from repro.workload.phase import Phase
+from repro.workload.task import (
+    Compute,
+    Job,
+    ParallelRegion,
+    SerialStep,
+    ThreadProgram,
+)
+
+#: The four dependence topologies.
+TOPOLOGIES = ("stencil", "fanout", "tree", "mesh")
+
+#: Thread kinds a recipe may name (cost-table rows of the machine specs).
+THREAD_KINDS = ("os", "sw", "hw")
+
+#: Parameter bounds -- generous enough for thousand-cell sweeps, tight
+#: enough that a malformed service request cannot ask for a billion-task
+#: graph.
+MAX_WIDTH = 4096
+MAX_DEPTH = 256
+MAX_GRAIN = 65536
+MAX_SEED = 2**32 - 1
+
+#: Work of one grain unit (one task at ``grain=1`` averages one unit).
+#: ~2700 scalar ops with a realistic mix: enough that a task is not
+#: pure thread-creation overhead, small enough that wide x deep graphs
+#: stay cheap to simulate.
+BASE_OPS = OpCounts(ialu=1200.0, falu=400.0, load=600.0, store=300.0,
+                    branch=200.0)
+
+#: Footprint of one grain unit (bytes): word-sized traffic over a small
+#: private working set, so cache behaviour varies with grain.
+BASE_UNIQUE_BYTES = 2048.0
+
+#: Jitter band: per-task scale factors are uniform in [0.75, 1.25).
+JITTER_SPAN = 0.5
+JITTER_BASE = 0.75
+
+
+@dataclass(frozen=True)
+class TaskGraphParams:
+    """The factorial coordinates of one generated graph."""
+
+    topology: str
+    width: int
+    depth: int
+    grain: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; "
+                f"expected one of {TOPOLOGIES}")
+        if not 1 <= self.width <= MAX_WIDTH:
+            raise ValueError(f"width must be in 1..{MAX_WIDTH}")
+        if not 1 <= self.depth <= MAX_DEPTH:
+            raise ValueError(f"depth must be in 1..{MAX_DEPTH}")
+        if not 1 <= self.grain <= MAX_GRAIN:
+            raise ValueError(f"grain must be in 1..{MAX_GRAIN}")
+        if not 0 <= self.seed <= MAX_SEED:
+            raise ValueError(f"seed must be in 0..{MAX_SEED}")
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One task: its coordinates, work scale and predecessors."""
+
+    level: int
+    index: int
+    #: work multiplier relative to one grain unit (grain x jitter)
+    scale: float
+    #: predecessor task indices in the previous level (empty at level 0)
+    preds: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """A fully expanded task graph: one tuple of nodes per level."""
+
+    params: TaskGraphParams
+    levels: tuple[tuple[TaskNode, ...], ...]
+
+    @property
+    def n_tasks(self) -> int:
+        return sum(len(lvl) for lvl in self.levels)
+
+    def edges(self) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        """All dependence edges as ((level-1, pred), (level, index))."""
+        out = []
+        for lvl in self.levels:
+            for node in lvl:
+                for p in node.preds:
+                    out.append(((node.level - 1, p),
+                                (node.level, node.index)))
+        return out
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical serialization of the graph.
+
+        Same (topology, params, seed) => identical fingerprint, on any
+        platform; any structural or magnitude change alters it.
+        """
+        doc = {
+            "topology": self.params.topology,
+            "width": self.params.width,
+            "depth": self.params.depth,
+            "grain": self.params.grain,
+            "seed": self.params.seed,
+            "levels": [
+                [[n.index, repr(n.scale), list(n.preds)] for n in lvl]
+                for lvl in self.levels
+            ],
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Structure
+
+
+def level_width(params: TaskGraphParams, level: int) -> int:
+    """Number of tasks at ``level`` (structure is seed-independent)."""
+    if params.topology == "fanout":
+        return 1 if level % 2 == 0 else params.width
+    if params.topology == "tree":
+        return min(params.width, 2**level if level < 32 else params.width)
+    return params.width
+
+
+def _preds(params: TaskGraphParams, level: int, index: int) -> tuple[int, ...]:
+    """Predecessor indices of task ``(level, index)`` in level-1."""
+    if level == 0:
+        return ()
+    prev_w = level_width(params, level - 1)
+    topo = params.topology
+    if topo == "stencil":
+        lo = max(0, index - 1)
+        hi = min(prev_w - 1, index + 1)
+        return tuple(range(lo, hi + 1))
+    if topo == "fanout":
+        if level % 2 == 1:
+            return (0,)              # fork: every child reads the parent
+        return tuple(range(prev_w))  # join: the parent reads every child
+    if topo == "tree":
+        if prev_w < level_width(params, level):
+            return (index // 2,)     # still widening: binary fan-out
+        return (min(index, prev_w - 1),)  # width-capped: straight columns
+    # mesh: own column plus wrap-around right neighbour
+    if prev_w == 1:
+        return (0,)
+    return tuple(sorted({index % prev_w, (index + 1) % prev_w}))
+
+
+def _unit(seed: int, level: int, index: int) -> float:
+    """Deterministic uniform [0, 1) from the task coordinates."""
+    token = f"taskbench|{seed}|{level}|{index}".encode("ascii")
+    digest = hashlib.sha256(token).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def generate(params: TaskGraphParams) -> TaskGraph:
+    """Expand the factorial coordinates into an explicit task graph."""
+    levels = []
+    for level in range(params.depth):
+        nodes = []
+        for index in range(level_width(params, level)):
+            jitter = (JITTER_BASE
+                      + JITTER_SPAN * _unit(params.seed, level, index))
+            nodes.append(TaskNode(
+                level=level,
+                index=index,
+                scale=params.grain * jitter,
+                preds=_preds(params, level, index),
+            ))
+        levels.append(tuple(nodes))
+    return TaskGraph(params=params, levels=tuple(levels))
+
+
+# ----------------------------------------------------------------------
+# Compilation onto the workload IR
+
+
+def _array(level: int) -> str:
+    """Shared array holding the outputs of one graph level."""
+    return f"tb-l{level}" if level >= 0 else "tb-in"
+
+
+def _task_phase(node: TaskNode) -> Phase:
+    """The compute phase of one task.
+
+    The shared-access records realize the dependence edges for the race
+    detector: each task *writes* its own element of the level's output
+    array (disjoint within the region -- race-free) and *reads* the hull
+    of its predecessors' elements in the previous level's array (the
+    inter-region barrier provides the happens-before edge).
+    """
+    if node.preds:
+        read = read_of(_array(node.level - 1),
+                       float(min(node.preds)), float(max(node.preds)))
+    else:
+        read = read_of(_array(-1), float(node.index), float(node.index))
+    write = write_of(_array(node.level),
+                     float(node.index), float(node.index))
+    return make_phase(
+        f"task-l{node.level}-{node.index}",
+        ops=BASE_OPS * node.scale,
+        unique_bytes=BASE_UNIQUE_BYTES * node.scale,
+        accesses=(read, write),
+    )
+
+
+def compile_graph(graph: TaskGraph, thread_kind: str = "hw",
+                  name: str | None = None) -> Job:
+    """Lower a task graph to a level-synchronous :class:`Job`.
+
+    Each level becomes one :class:`ParallelRegion` (one single-phase
+    thread per task, so regions stay cohort-eligible); the barrier
+    between regions realizes every cross-level dependence edge.  A
+    serial setup step materializes the input array and a serial collect
+    step reads the final level, bracketing the graph the way the C3I
+    jobs bracket their parallel sections.
+    """
+    if thread_kind not in THREAD_KINDS:
+        raise ValueError(
+            f"unknown thread kind {thread_kind!r}; "
+            f"expected one of {THREAD_KINDS}")
+    p = graph.params
+    w0 = level_width(p, 0)
+    w_last = level_width(p, p.depth - 1)
+    steps: list[SerialStep | ParallelRegion] = [SerialStep(make_phase(
+        "tb-setup",
+        ops=OpCounts(ialu=2.0 * w0, store=float(w0)),
+        unique_bytes=8.0 * w0,
+        accesses=(write_of(_array(-1), 0.0, float(w0 - 1)),),
+    ))]
+    for lvl in graph.levels:
+        steps.append(ParallelRegion(
+            threads=tuple(
+                ThreadProgram(f"tb-t{n.level}-{n.index}",
+                              (Compute(_task_phase(n)),))
+                for n in lvl),
+            thread_kind=thread_kind,
+        ))
+    steps.append(SerialStep(make_phase(
+        "tb-collect",
+        ops=OpCounts(ialu=2.0 * w_last, load=float(w_last)),
+        unique_bytes=8.0 * w_last,
+        accesses=(read_of(_array(p.depth - 1), 0.0, float(w_last - 1)),),
+    )))
+    return Job(name or recipe_name(p, thread_kind), tuple(steps))
+
+
+# ----------------------------------------------------------------------
+# Recipe grammar
+
+
+def recipe_name(params: TaskGraphParams, thread_kind: str) -> str:
+    """Format the canonical recipe key of a (graph, thread-kind) pair."""
+    return (f"tb-{params.topology}-w{params.width}-d{params.depth}"
+            f"-g{params.grain}-s{params.seed}-{thread_kind}")
+
+
+def parse_recipe(key: str) -> tuple[TaskGraphParams, str]:
+    """Parse ``tb-<topo>-w<W>-d<D>-g<G>-s<S>-<kind>`` or raise KeyError.
+
+    Validation mirrors generation exactly (bounds included) without
+    building anything, so the service protocol can vet requests cheaply.
+    """
+    parts = key.split("-")
+    if len(parts) != 7 or parts[0] != "tb":
+        raise KeyError(f"malformed taskbench recipe {key!r}")
+    _, topo, w, d, g, s, kind = parts
+    if kind not in THREAD_KINDS:
+        raise KeyError(f"bad thread kind in taskbench recipe {key!r}")
+    fields = {}
+    for text, prefix in ((w, "w"), (d, "d"), (g, "g"), (s, "s")):
+        if (len(text) < 2 or not text.startswith(prefix)
+                or not text[1:].isdigit()):
+            raise KeyError(f"malformed taskbench recipe {key!r}")
+        fields[prefix] = int(text[1:])
+    try:
+        params = TaskGraphParams(topology=topo, width=fields["w"],
+                                 depth=fields["d"], grain=fields["g"],
+                                 seed=fields["s"])
+    except ValueError as exc:
+        raise KeyError(f"bad taskbench recipe {key!r}: {exc}") from exc
+    return params, kind
+
+
+def job_from_recipe(key: str) -> Job:
+    """Generate and compile the graph a recipe names."""
+    params, kind = parse_recipe(key)
+    return compile_graph(generate(params), kind, name=key)
+
+
+def recipe_weight(key: str) -> int:
+    """Scheduling weight of a recipe: total grain units in the graph
+    (the parallel runner drains largest-first).  1 if unparseable."""
+    try:
+        params, _ = parse_recipe(key)
+    except KeyError:
+        return 1
+    n_tasks = sum(level_width(params, lvl) for lvl in range(params.depth))
+    return max(1, n_tasks * params.grain)
+
+
+# ----------------------------------------------------------------------
+# Negative control
+
+
+def missync_mesh_job(width: int = 4, depth: int = 3) -> Job:
+    """A deliberately mis-synchronized mesh: the race-detector fixture.
+
+    Each task writes its *neighbour's* element of the level array as
+    well as its own -- the classic forgotten-halo bug in a wrap-around
+    stencil.  Same-level writes overlap between threads of one region,
+    so the happens-before analysis must report a data race.
+    """
+    params = TaskGraphParams("mesh", width, depth)
+    graph = generate(params)
+    steps: list[SerialStep | ParallelRegion] = [SerialStep(make_phase(
+        "tb-setup",
+        ops=OpCounts(ialu=2.0 * width, store=float(width)),
+        unique_bytes=8.0 * width,
+        accesses=(write_of(_array(-1), 0.0, float(width - 1)),),
+    ))]
+    for lvl in graph.levels:
+        threads = []
+        for n in lvl:
+            touched = sorted({float(n.index), float((n.index + 1) % width)})
+            phase = make_phase(
+                f"task-l{n.level}-{n.index}",
+                ops=BASE_OPS * n.scale,
+                unique_bytes=BASE_UNIQUE_BYTES * n.scale,
+                accesses=(
+                    read_of(_array(n.level - 1),
+                            float(min(n.preds or (n.index,))),
+                            float(max(n.preds or (n.index,)))),
+                    # BUG (deliberate): writes the wrap-around hull, so
+                    # neighbouring threads' write ranges overlap.
+                    write_of(_array(n.level), touched[0], touched[-1]),
+                ),
+            )
+            threads.append(ThreadProgram(f"tb-t{n.level}-{n.index}",
+                                         (Compute(phase),)))
+        steps.append(ParallelRegion(tuple(threads), "os"))
+    return Job(f"tb-mesh-missync-w{width}-d{depth}", tuple(steps))

@@ -1,0 +1,102 @@
+"""The CMT (SPARC T3-4) machine family: spec contract, catalog
+registration and the cross-machine sanity ordering.
+
+The ordering test is the behavioural core: on a fine-grained generated
+workload the MTA's 2-cycle streams and the T3-4's ~500-cycle strand
+park/wake both absorb thread creation, while the SMP's OS threads
+convoy on the creating CPU -- so ``fine/coarse`` degradation must rank
+MTA <= CMT << SMP, *out of the model*, not by assertion in the spec.
+"""
+
+import pytest
+
+from repro.cmt import CMT_T3_4, CmtSpec, SPARC_T3_4, cmt
+from repro.machines import get_machine_spec
+from repro.machines.machine import ConventionalMachine
+from repro.machines.spec import MachineSpec
+
+
+def test_t3_4_structural_arithmetic():
+    assert SPARC_T3_4.n_strands == 4 * 16 * 8 == 512
+    assert SPARC_T3_4.strand_hz == pytest.approx(1.65e9 / 8)
+    assert CMT_T3_4.n_cpus == 512
+    # pool capacity: 512 strands at strand rate == 64 cores at 1.65 GHz
+    assert CMT_T3_4.n_cpus * CMT_T3_4.core.clock_hz \
+        == pytest.approx(64 * 1.65e9)
+    assert CMT_T3_4.cache.capacity_bytes == 4 * 6 * 1024 * 1024
+
+
+def test_cmt_spec_validation():
+    with pytest.raises(ValueError):
+        CmtSpec(sockets=0)
+    with pytest.raises(ValueError):
+        CmtSpec(clock_hz=0)
+
+
+def test_thread_cost_table_has_an_explicit_hw_row():
+    # the design point: strand park/wake sits between MTA streams
+    # (2 cycles) and SMP OS threads (~1e5 cycles)
+    hw = CMT_T3_4.costs_for("hw")
+    os_row = CMT_T3_4.costs_for("os")
+    assert 2.0 < hw.create_cycles < os_row.create_cycles
+    # the SMPs have no hw row -- costs_for falls back to "os" there
+    from repro.machines import EXEMPLAR_16
+
+    assert EXEMPLAR_16.costs_for("hw") == EXEMPLAR_16.costs_for("os")
+
+
+def test_cmt_slicer():
+    assert cmt(512) is CMT_T3_4
+    assert cmt(64).n_cpus == 64
+    assert cmt(64).name == "SPARC T3-4[64p]"
+    for bad in (0, 513):
+        with pytest.raises(ValueError):
+            cmt(bad)
+
+
+def test_catalog_aliases_resolve_to_the_t3_4():
+    for alias in ("cmt", "t3", "sparct34"):
+        assert get_machine_spec(alias) is CMT_T3_4
+    with pytest.raises(KeyError):
+        get_machine_spec("t4")
+
+
+def test_machines_package_reexports():
+    from repro import machines
+
+    assert machines.CMT_T3_4 is CMT_T3_4
+    assert machines.cmt(16).n_cpus == 16
+    assert isinstance(CMT_T3_4, MachineSpec)
+
+
+def test_cross_machine_sanity_ordering():
+    """fine/coarse degradation ranks MTA <= CMT << SMP on the same
+    generated graphs -- the taskbench registry experiment's headline
+    check, asserted here directly against the machines."""
+    from repro.machines import exemplar
+    from repro.mta import MtaMachine, mta
+    from repro.taskbench import job_from_recipe
+
+    fine = job_from_recipe("tb-mesh-w64-d6-g1-s0-hw")
+    coarse = job_from_recipe("tb-mesh-w8-d6-g8-s0-hw")
+
+    def ratio(machine):
+        return machine.run(fine).seconds / machine.run(coarse).seconds
+
+    mta_ratio = ratio(MtaMachine(mta(1)))
+    cmt_ratio = ratio(ConventionalMachine(cmt(256)))
+    smp_ratio = ratio(ConventionalMachine(exemplar(16)))
+    assert mta_ratio <= cmt_ratio * 1.05   # streams at least as cheap
+    assert smp_ratio >= 2.0 * cmt_ratio    # OS threads convoy
+    assert smp_ratio >= 3.0                # and it hurts in absolute terms
+
+
+def test_more_strands_never_hurt():
+    from repro.taskbench import job_from_recipe
+
+    job = job_from_recipe("tb-stencil-w32-d4-g2-s0-hw")
+    prev = float("inf")
+    for n in (8, 32, 128, 512):
+        seconds = ConventionalMachine(cmt(n)).run(job).seconds
+        assert seconds <= prev * (1.0 + 1e-9)
+        prev = seconds

@@ -15,7 +15,7 @@ positions of the cohort engine's ``REPRO_FORCE_CLOSED_FORM`` escape
 hatch (closed-form layers on and off).
 """
 
-from repro.machines import ConventionalMachine, exemplar
+from repro.machines import ConventionalMachine, cmt, exemplar
 from repro.mta import MtaMachine, mta
 
 REL_TOL = 1e-9
@@ -38,6 +38,13 @@ def run_both_conventional(job, n_cpus=4, fine_grained=False):
                               exploit_fine_grained=fine_grained).run(job)
     coh = ConventionalMachine(exemplar(n_cpus), use_cohort=True,
                               exploit_fine_grained=fine_grained).run(job)
+    return des, coh
+
+
+def run_both_cmt(job, n_strands=64):
+    """Run a job on the CMT (SPARC T3-4) model under both engines."""
+    des = ConventionalMachine(cmt(n_strands), use_cohort=False).run(job)
+    coh = ConventionalMachine(cmt(n_strands), use_cohort=True).run(job)
     return des, coh
 
 

@@ -26,11 +26,15 @@ def test_parse_machine_families():
     assert kind == "mta" and spec.n_processors == 4
     kind, spec = protocol.parse_machine("mta")
     assert spec.n_processors == 1
+    kind, spec = protocol.parse_machine("cmt:64")
+    assert kind == "conventional" and spec.n_cpus == 64
+    kind, spec = protocol.parse_machine("cmt")
+    assert spec.n_cpus == 512
 
 
 @pytest.mark.parametrize("bad", [
     "", "   ", "cray", "ppro:0", "ppro:5", "exemplar:17", "mta:0",
-    "mta:257", "alpha:2", "ppro:x", None, 7])
+    "mta:257", "alpha:2", "ppro:x", None, 7, "cmt:0", "cmt:513"])
 def test_parse_machine_rejects(bad):
     with pytest.raises(protocol.ProtocolError):
         protocol.parse_machine(bad)
@@ -43,7 +47,8 @@ def test_parse_machine_rejects(bad):
 @pytest.mark.parametrize("good", [
     "th-job-seq", "th-job-fg", "te-job-seq", "te-job-fg",
     "th-job-ch-4-os", "th-job-ch-128-sw", "te-job-bl-1-os",
-    "te-job-bl-16-sw"])
+    "te-job-bl-16-sw", "tb-stencil-w8-d4-g1-s0-hw",
+    "tb-mesh-w64-d6-g2-s3-os", "tb-fanout-w4-d2-g1-s0-sw"])
 def test_validate_recipe_accepts(good):
     assert protocol.validate_recipe(good) == good
 
@@ -51,7 +56,8 @@ def test_validate_recipe_accepts(good):
 @pytest.mark.parametrize("bad", [
     "bogus", "th-job-ch-4-hw", "th-job-ch--os", "th-job-ch-4",
     "te-job-bl-0-os", "te-job-bl-99999999-os", "th-job-ch-x-os",
-    None, 3, ""])
+    None, 3, "", "tb-spiral-w8-d4-g1-s0-hw", "tb-mesh-w0-d4-g1-s0-hw",
+    "tb-mesh-w8-d4-g1-s0", "tb-mesh-w8-d4-g1-s0-user"])
 def test_validate_recipe_rejects(bad):
     with pytest.raises(protocol.ProtocolError):
         protocol.validate_recipe(bad)
@@ -180,3 +186,6 @@ def test_hello_payload_shape():
     assert hello["schema"] == protocol.SCHEMA
     assert json.loads(json.dumps(hello)) == hello  # JSON-serializable
     assert "simulate" in hello["ops"] and "sweep" in hello["ops"]
+    assert any(m.startswith("cmt:") for m in hello["machines"])
+    assert any(w.startswith("tb-") for w in hello["workloads"])
+    assert hello["sweeps"] == ["ci", "full", "smoke"]

@@ -100,3 +100,65 @@ def test_served_sweep_is_byte_identical_to_repro_all(tmp_path,
     assert served_warm == served
     assert warm_counters["engine_cells"] == 0
     assert warm_counters["dedupe_cached"] == len(served)
+
+
+# ----------------------------------------------------------------------
+# named factorial sweeps (repro.c3i.sweeps) through the same op
+# ----------------------------------------------------------------------
+
+async def _served_named_sweep(name):
+    async with serve_ctx(**SCALES) as svc:
+        client = await ServiceClient.connect("127.0.0.1",
+                                             svc.bound_port)
+        lines = await client.request({
+            "op": "sweep", "id": "named", "sweep": name})
+        await client.close()
+    return lines
+
+
+def test_served_named_sweep_matches_local_repro_sweep(tmp_path,
+                                                      monkeypatch):
+    from repro.c3i import sweeps as sweep_defs
+
+    sweep = sweep_defs.get_sweep("smoke")
+
+    # cold served run, cache A
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-a"))
+    default_data.cache_clear()
+    lines = run_async(_served_named_sweep("smoke"), timeout=600)
+    done = lines[-1]
+    assert done["type"] == "done" and done["ok"]
+    assert done["sweep"] == "smoke"
+    assert done["n_cells"] == sweep.n_cells
+    assert done["fingerprint"] == \
+        sweep_defs.expansion_fingerprint(sweep)
+    served = {ln["cell"]["key"]: _normalize(ln["cell"])
+              for ln in lines[:-1]}
+    assert len(served) == sweep.n_cells  # smoke cells are all unique
+
+    # independent local `repro sweep`, cache B: every cell recomputed
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-b"))
+    default_data.cache_clear()
+    local = {}
+    outcome = sweep_defs.run_sweep(
+        "smoke", jobs=1,
+        on_record=lambda rec: local.update({rec["key"]:
+                                            _normalize(rec)}),
+        **SCALES)
+    assert outcome.n_computed == sweep.n_cells
+    assert outcome.fingerprint == done["fingerprint"]
+
+    # byte-identical per content-addressed key
+    assert set(served) == set(local)
+    for key in served:
+        assert served[key] == local[key], key
+
+
+def test_named_sweep_unknown_name_is_one_error_line(tmp_path,
+                                                    monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    default_data.cache_clear()
+    lines = run_async(_served_named_sweep("nope"), timeout=120)
+    assert len(lines) == 1
+    assert lines[0]["type"] == "error"
+    assert "unknown sweep" in lines[0]["error"]

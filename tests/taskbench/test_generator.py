@@ -1,0 +1,212 @@
+"""Property suite for the task-graph workload generator.
+
+The generator's contract, pinned by construction-independent checks:
+bit-identical regeneration (the fingerprint is the cache/golden-test
+anchor), acyclicity and level-locality of every dependence edge,
+seed-independence of the *structure* (seeds move magnitudes only),
+bounded jitter, a total recipe-grammar round-trip, and compilation to
+a well-formed level-synchronous :class:`~repro.workload.task.Job`.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.taskbench import (
+    BASE_OPS,
+    JITTER_BASE,
+    JITTER_SPAN,
+    MAX_DEPTH,
+    MAX_SEED,
+    MAX_WIDTH,
+    THREAD_KINDS,
+    TOPOLOGIES,
+    TaskGraphParams,
+    compile_graph,
+    generate,
+    job_from_recipe,
+    level_width,
+    parse_recipe,
+    recipe_name,
+    recipe_weight,
+)
+from repro.workload.task import Job, ParallelRegion, SerialStep
+
+#: compact strategies -- small enough to generate thousands of graphs,
+#: wide enough to hit every structural case (width 1, widening trees,
+#: clipped stencil halos, fanout parity, wrap-around meshes)
+params_st = st.builds(
+    TaskGraphParams,
+    topology=st.sampled_from(TOPOLOGIES),
+    width=st.integers(min_value=1, max_value=24),
+    depth=st.integers(min_value=1, max_value=10),
+    grain=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=MAX_SEED),
+)
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(params_st)
+def test_regeneration_is_bit_identical(params):
+    a, b = generate(params), generate(params)
+    assert a == b
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_golden():
+    # pins the hash across Python versions and platforms; a change here
+    # invalidates every cached taskbench cell and must be deliberate
+    g = generate(TaskGraphParams("stencil", 4, 3, 2, 7))
+    assert g.fingerprint() == (
+        "cc9ffc65374f54b8ccf538e2e99ac1b5b5b2984e938e721ccbd10ded048f1a30")
+
+
+@settings(max_examples=60, deadline=None)
+@given(params_st, st.integers(min_value=0, max_value=MAX_SEED))
+def test_seed_moves_magnitudes_never_structure(params, other_seed):
+    import dataclasses
+
+    a = generate(params)
+    b = generate(dataclasses.replace(params, seed=other_seed))
+    # identical structure: same level widths, same dependence edges
+    assert [len(lvl) for lvl in a.levels] == [len(lvl) for lvl in b.levels]
+    assert a.edges() == b.edges()
+    if other_seed == params.seed:
+        assert a.fingerprint() == b.fingerprint()
+
+
+def test_different_seeds_differ_in_fingerprint():
+    p = TaskGraphParams("mesh", 8, 4)
+    import dataclasses
+
+    q = dataclasses.replace(p, seed=1)
+    assert generate(p).fingerprint() != generate(q).fingerprint()
+
+
+# ----------------------------------------------------------------------
+# structure: bounds, acyclicity, connectivity, jitter band
+# ----------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(params_st)
+def test_structure_invariants(params):
+    g = generate(params)
+    assert len(g.levels) == params.depth
+    assert g.n_tasks == sum(level_width(params, lvl)
+                            for lvl in range(params.depth))
+    for level, lvl in enumerate(g.levels):
+        assert 1 <= len(lvl) <= params.width
+        assert len(lvl) == level_width(params, level)
+        prev_w = level_width(params, level - 1) if level else 0
+        for i, node in enumerate(lvl):
+            assert (node.level, node.index) == (level, i)
+            if level == 0:
+                assert node.preds == ()
+            else:
+                # acyclic + level-local by construction: every edge
+                # points at a real task one level up, and every task
+                # past level 0 is reachable (>= 1 predecessor)
+                assert node.preds
+                assert all(0 <= p < prev_w for p in node.preds)
+                assert list(node.preds) == sorted(set(node.preds))
+            lo = JITTER_BASE * params.grain
+            hi = (JITTER_BASE + JITTER_SPAN) * params.grain
+            assert lo <= node.scale < hi
+
+
+@settings(max_examples=80, deadline=None)
+@given(params_st)
+def test_edges_are_acyclic(params):
+    # topological order is the level order; every edge strictly
+    # increases the level, so no cycle can exist
+    for (src_lvl, _), (dst_lvl, _) in generate(params).edges():
+        assert dst_lvl == src_lvl + 1
+
+
+# ----------------------------------------------------------------------
+# compilation to the workload IR
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(params_st, st.sampled_from(THREAD_KINDS))
+def test_compiles_to_level_synchronous_job(params, kind):
+    g = generate(params)
+    job = compile_graph(g, kind)
+    assert isinstance(job, Job)
+    assert job.name == recipe_name(params, kind)
+    # setup + one region per level + collect
+    assert len(job.steps) == params.depth + 2
+    assert isinstance(job.steps[0], SerialStep)
+    assert isinstance(job.steps[-1], SerialStep)
+    regions = [s for s in job.steps if isinstance(s, ParallelRegion)]
+    assert len(regions) == params.depth
+    for level, region in enumerate(regions):
+        assert region.thread_kind == kind
+        assert len(region.threads) == len(g.levels[level])
+        for thread in region.threads:
+            assert len(thread.items) == 1  # single-phase: cohort-eligible
+    # the graph's work survives lowering: ops scale with n_tasks x grain
+    floor = g.n_tasks * params.grain * JITTER_BASE * BASE_OPS.total
+    assert job.total_ops.total >= floor
+
+
+def test_compile_rejects_unknown_thread_kind():
+    g = generate(TaskGraphParams("stencil", 2, 2))
+    with pytest.raises(ValueError):
+        compile_graph(g, "fibers")
+
+
+# ----------------------------------------------------------------------
+# recipe grammar
+# ----------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(params_st, st.sampled_from(THREAD_KINDS))
+def test_recipe_round_trip_is_total(params, kind):
+    key = recipe_name(params, kind)
+    parsed, parsed_kind = parse_recipe(key)
+    assert parsed == params
+    assert parsed_kind == kind
+    assert recipe_name(parsed, parsed_kind) == key
+
+
+@pytest.mark.parametrize("bad", [
+    "tb-stencil-w8-d4-g1-s0",          # missing kind
+    "tb-stencil-w8-d4-g1-s0-user",     # unknown kind
+    "tb-spiral-w8-d4-g1-s0-hw",        # unknown topology
+    "tb-stencil-w0-d4-g1-s0-hw",       # width below bounds
+    f"tb-stencil-w{MAX_WIDTH + 1}-d4-g1-s0-hw",
+    f"tb-stencil-w8-d{MAX_DEPTH + 1}-g1-s0-hw",
+    f"tb-stencil-w8-d4-g1-s{MAX_SEED + 1}-hw",
+    "tb-stencil-wx-d4-g1-s0-hw",       # non-numeric field
+    "tb-stencil-d4-w8-g1-s0-hw",       # fields out of order
+    "tb-stencil-w8-d4-g1-s0-hw-extra",
+    "threat-seq",                      # not a taskbench recipe at all
+    "tb",
+])
+def test_malformed_recipes_raise_keyerror(bad):
+    with pytest.raises(KeyError):
+        parse_recipe(bad)
+
+
+def test_job_from_recipe_builds_the_named_job():
+    key = "tb-tree-w16-d5-g2-s3-sw"
+    job = job_from_recipe(key)
+    assert job.name == key
+    assert len(job.steps) == 5 + 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(params_st, st.sampled_from(THREAD_KINDS))
+def test_recipe_weight_counts_grain_units(params, kind):
+    n_tasks = sum(level_width(params, lvl) for lvl in range(params.depth))
+    assert recipe_weight(recipe_name(params, kind)) \
+        == max(1, n_tasks * params.grain)
+
+
+def test_recipe_weight_defaults_to_one():
+    assert recipe_weight("threat-seq") == 1
+    assert recipe_weight("tb-bogus") == 1

@@ -1,0 +1,110 @@
+"""Race-detector and chaos coverage over the generated workloads.
+
+Positive direction: the registered ``taskbench`` experiment -- MTA,
+Exemplar *and* CMT cells -- is race-clean under both engine
+extractions, and chaos fault injection over it (including the CMT
+archetype) degrades every job monotonically.  Negative direction: the
+deliberately mis-synchronized mesh must trip the detector, both as the
+registered ``mesh-missync`` fixture and as a synthetic registry
+experiment driven through ``run_race`` (exit code 1 -- the CI contract
+for a finding in a registered experiment).
+"""
+
+import pytest
+
+from repro.analysis.race import run_race
+from repro.harness.runner import BenchmarkData
+from repro.taskbench import missync_mesh_job
+
+SCALES = dict(threat_scale=0.01, terrain_scale=0.03)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return BenchmarkData(**SCALES)
+
+
+# ----------------------------------------------------------------------
+# positive: generated workloads are race-clean, chaos stays monotone
+# ----------------------------------------------------------------------
+
+def test_taskbench_experiment_is_race_clean(data, capsys):
+    status = run_race(["taskbench"], data)
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "taskbench" in out and "clean" in out
+    # the experiment spans all five generated recipes
+    from repro.analysis.targets import experiment_jobs
+
+    jobs = experiment_jobs("taskbench", data)
+    assert len(jobs) == 5
+    assert all(name.startswith("tb-") for name in jobs)
+
+
+def test_missync_fixture_is_registered_and_trips_both_engines():
+    from repro.analysis.fixtures import FIXTURES
+
+    fixture = {fx.name: fx for fx in FIXTURES}["mesh-missync"]
+    assert fixture.expected == frozenset({"data-race"})
+    for engine in ("des", "cohort"):
+        flagged, findings = fixture.check(engine)
+        assert flagged, engine
+        assert findings
+        assert {f.hazard for f in findings} == {"data-race"}
+
+
+def test_chaos_over_taskbench_covers_mta_and_cmt(data, tmp_path):
+    import json
+
+    from repro.faults.chaos import run_chaos
+
+    json_path = tmp_path / "chaos.json"
+    status = run_chaos(["taskbench"], data, machines=("mta", "cmt"),
+                       json_path=str(json_path))
+    assert status == 0
+    payload = json.loads(json_path.read_text())
+    entries = [e for exp in payload["experiments"] for e in exp["jobs"]]
+    machines = {e["machine"] for e in entries}
+    assert any("Tera MTA" in m for m in machines)
+    assert any("SPARC T3-4" in m for m in machines)
+    for entry in entries:
+        assert entry["ok"], entry  # faults never speed a job up
+        assert entry["job"].startswith("tb-")
+        assert entry["faulted_seconds"] >= entry["healthy_seconds"]
+
+
+def test_chaos_rejects_unknown_machine_archetype(data):
+    from repro.faults.chaos import run_chaos
+
+    assert run_chaos(["taskbench"], data, machines=("mta", "gpu")) == 2
+
+
+# ----------------------------------------------------------------------
+# negative control: the detector must catch the planted bug
+# ----------------------------------------------------------------------
+
+def test_missync_mesh_as_registered_experiment_exits_one(
+        data, monkeypatch, capsys):
+    """Plant the broken mesh behind a synthetic experiment id; the
+    ``repro race`` driver must report the finding and exit 1."""
+    from repro.analysis import targets
+    from repro.harness import registry
+
+    monkeypatch.setitem(targets.EXPERIMENT_JOBS, "missync-demo",
+                        (lambda d: missync_mesh_job(),))
+    monkeypatch.setitem(registry._EXPERIMENTS, "missync-demo",
+                        lambda d: None)
+    status = run_race(["missync-demo"], data)
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "tb-mesh-missync-w4-d3" in out
+    assert "data-race" in out
+
+
+def test_missync_job_flagged_under_both_engines_directly():
+    from repro.analysis.hb import analyze_job_both
+
+    des, cohort = analyze_job_both(missync_mesh_job())
+    assert des.findings and cohort.findings
+    assert des.findings == cohort.findings
+    assert {f.hazard for f in des.findings} == {"data-race"}

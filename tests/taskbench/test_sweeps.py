@@ -1,0 +1,155 @@
+"""Factorial sweep definitions: expansion goldens and execution.
+
+The expansion fingerprint is the reproducibility anchor for sweeps the
+way result-store keys are for cells: the golden values below pin the
+grids, the recipe grammar and the expansion order all at once.  A
+failure here means every archived sweep manifest changed meaning --
+bump deliberately, never casually.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.c3i import sweeps as sw
+from repro.harness.runner import default_data
+
+SCALES = dict(threat_scale=0.01, terrain_scale=0.03)
+
+#: name -> (cell count, expansion fingerprint)
+GOLDEN = {
+    "smoke": (12, "d0d9e8d63446fb04b2c4052c84d7134d"
+                  "87aa4d141e89feaacb1e5166ef9edd97"),
+    "ci": (144, "9c1e2c7906b819cdf92b99a0b1e21f26"
+                "cc714381270257ba2d1eca24fa73295d"),
+    "full": (1152, "f10a0b3f391f11a9cabf2b3b612e9e57"
+                   "6638777b452c53000f6bb369081ee91d"),
+}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "tb-cache"))
+    default_data.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# expansion
+# ----------------------------------------------------------------------
+
+def test_catalog_and_golden_fingerprints():
+    assert set(sw.SWEEPS) == set(GOLDEN)
+    for name, (n_cells, fingerprint) in GOLDEN.items():
+        sweep = sw.get_sweep(name)
+        assert sweep.n_cells == n_cells
+        assert len(sw.expand_payloads(sweep)) == n_cells
+        assert sw.expansion_fingerprint(sweep) == fingerprint
+
+
+def test_size_floors_of_the_acceptance_criteria():
+    assert sw.get_sweep("ci").n_cells >= 100
+    assert sw.get_sweep("full").n_cells >= 1000
+
+
+def test_expansion_is_deterministic():
+    for sweep in sw.SWEEPS.values():
+        assert sw.expand_payloads(sweep) == sw.expand_payloads(sweep)
+
+
+def test_every_payload_validates_through_the_protocol():
+    # the same validation path a service `sweep` request takes
+    for sweep in sw.SWEEPS.values():
+        cells = sw.expand_cells(sweep, **SCALES)
+        assert len(cells) == sweep.n_cells
+        for cell in cells:
+            assert cell["key"]
+            assert cell["job_recipe"].startswith("tb-")
+            assert cell["kind"] in ("mta", "conventional")
+
+
+def test_machine_families_pick_their_thread_kind():
+    for payload in sw.expand_payloads(sw.get_sweep("full")):
+        family = payload["machine"].partition(":")[0]
+        kind = payload["workload"].rsplit("-", 1)[1]
+        assert kind == ("hw" if family in ("mta", "cmt") else "os"), \
+            payload
+
+
+def test_manifest_carries_the_grid_and_the_cells():
+    sweep = sw.get_sweep("smoke")
+    manifest = sw.expansion_manifest(sweep)
+    assert manifest["schema"] == sw.SCHEMA
+    assert manifest["fingerprint"] == GOLDEN["smoke"][1]
+    assert manifest["n_cells"] == len(manifest["cells"]) == 12
+    assert manifest["factors"] == sweep.factors()
+
+
+def test_get_sweep_unknown_raises_keyerror():
+    with pytest.raises(KeyError, match="unknown sweep"):
+        sw.get_sweep("nope")
+
+
+def test_sweepdef_rejects_bad_grids():
+    base = sw.get_sweep("smoke")
+    with pytest.raises(ValueError, match="unknown topology"):
+        dataclasses.replace(base, topologies=("spiral",))
+    with pytest.raises(ValueError, match="empty factor"):
+        dataclasses.replace(base, widths=())
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+def test_run_sweep_smoke_then_cached_rerun(capsys):
+    first = sw.run_sweep("smoke", **SCALES)
+    assert (first.n_cells, first.n_unique) == (12, 12)
+    assert first.n_computed == 12 and first.n_cached == 0
+    assert first.fingerprint == GOLDEN["smoke"][1]
+
+    second = sw.run_sweep("smoke", **SCALES)
+    assert second.n_computed == 0 and second.n_cached == 12
+    assert second.fingerprint == first.fingerprint
+    assert "12 cached" in capsys.readouterr().out
+
+
+def test_run_sweep_verify_smoke_is_clean():
+    outcome = sw.run_sweep("smoke", verify=True, **SCALES)
+    assert outcome.verify_checked == 12
+    assert outcome.verify_failures == []
+
+
+def test_run_sweep_streams_records():
+    seen = []
+    sw.run_sweep("smoke", on_record=seen.append, **SCALES)
+    assert len(seen) == 12
+    assert all(rec["job"].startswith("tb-") for rec in seen)
+
+
+@pytest.mark.slow
+def test_full_sweep_runs_and_lands_in_the_run_index():
+    """The >=1000-cell acceptance path: `repro sweep full -j 2` runs
+    every cell and the run index answers factor-substring queries
+    (topology, width, grain) over the results."""
+    from repro.__main__ import main
+    from repro.harness import index
+
+    status = main(["--threat-scale", "0.01", "--terrain-scale", "0.03",
+                   "sweep", "full", "-j", "2"])
+    assert status == 0
+
+    conn = index.connect()
+    try:
+        sweep_cells = index.query_cells(conn, cell="tb-")
+        assert len(sweep_cells) == sw.get_sweep("full").n_cells
+        by_topology = index.query_cells(conn, cell="tb-mesh")
+        assert by_topology
+        assert all("tb-mesh" in r["cell"] for r in by_topology)
+        by_width = index.query_cells(conn, cell="-w8-")
+        assert by_width
+        assert all("-w8-" in r["cell"] for r in by_width)
+        by_grain = index.query_cells(conn, cell="-g2-")
+        assert len(by_grain) == sw.get_sweep("full").n_cells // 2
+        assert all(r["seconds"] > 0 for r in sweep_cells)
+    finally:
+        conn.close()

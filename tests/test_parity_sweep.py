@@ -25,7 +25,12 @@ from repro.analysis.targets import experiment_jobs
 from repro.des.batch import FORCE_CLOSED_FORM_ENV
 from repro.harness import EXPERIMENT_IDS, BenchmarkData
 
-from tests.parity import assert_equivalent, run_both_conventional, run_both_mta
+from tests.parity import (
+    assert_equivalent,
+    run_both_cmt,
+    run_both_conventional,
+    run_both_mta,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -70,3 +75,58 @@ def test_experiment_parity_under_both_engines(eid, data, closed_form_mode):
             raise AssertionError(
                 f"{eid}/{name} [closed_form={closed_form_mode}]: "
                 f"{exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# taskbench topologies x all three machine families
+# ----------------------------------------------------------------------
+
+#: one recipe per topology, widths/depths chosen so every topology's
+#: structural cases (halo clipping, fan-in joins, widening trees,
+#: wrap-around meshes) are exercised, plus a non-default grain/seed
+TASKBENCH_RECIPES = (
+    "tb-stencil-w8-d4-g1-s0-hw",
+    "tb-fanout-w8-d4-g1-s0-hw",
+    "tb-tree-w16-d5-g1-s0-hw",
+    "tb-mesh-w8-d3-g2-s1-hw",
+)
+
+
+@pytest.mark.parametrize("recipe", TASKBENCH_RECIPES)
+def test_taskbench_parity_on_all_families(recipe, closed_form_mode):
+    """Every topology is *byte-identical* across engines on the MTA,
+    the Exemplar SMP and the T3-4 CMT -- exact equality, stricter than
+    the registry contract's REL_TOL."""
+    from repro.taskbench import job_from_recipe
+
+    job = job_from_recipe(recipe)
+    for family, (des, coh) in (("mta", run_both_mta(job)),
+                               ("exemplar", run_both_conventional(job)),
+                               ("cmt", run_both_cmt(job))):
+        assert coh.seconds == des.seconds, \
+            (recipe, family, closed_form_mode, des.seconds, coh.seconds)
+        assert_equivalent(des, coh)
+
+
+@pytest.mark.parametrize("recipe", TASKBENCH_RECIPES)
+def test_taskbench_parity_under_no_cohort_hatch(recipe, monkeypatch):
+    """With REPRO_NO_COHORT set, default-constructed machines dispatch
+    to pure DES -- and still produce the exact cohort-path numbers."""
+    from repro.machines import ConventionalMachine, cmt, exemplar
+    from repro.mta import MtaMachine, mta
+    from repro.taskbench import job_from_recipe
+    from repro.workload.cohort import NO_COHORT_ENV
+
+    job = job_from_recipe(recipe)
+    cohort = [m.run(job).seconds
+              for m in (MtaMachine(mta(2), use_cohort=True),
+                        ConventionalMachine(exemplar(4),
+                                            use_cohort=True),
+                        ConventionalMachine(cmt(64), use_cohort=True))]
+    monkeypatch.setenv(NO_COHORT_ENV, "1")
+    hatched = [MtaMachine(mta(2)).run(job),
+               ConventionalMachine(exemplar(4)).run(job),
+               ConventionalMachine(cmt(64)).run(job)]
+    for coh_seconds, des in zip(cohort, hatched):
+        assert des.stats.get("cohort_regions", 0) == 0  # hatch honored
+        assert des.seconds == coh_seconds
